@@ -1,0 +1,77 @@
+//! Criterion benchmarks of the paper's three prestige score functions
+//! and the end-to-end pipeline stages, on a small shared testbed.
+
+use context_search::{ContextSearchEngine, EngineConfig, ScoreFunction};
+use corpus::{generate_corpus, CorpusConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use ontology::{generate_ontology, GeneratorConfig};
+use std::hint::black_box;
+
+fn build_engine() -> ContextSearchEngine {
+    let onto = generate_ontology(&GeneratorConfig {
+        n_terms: 150,
+        seed: 3,
+        ..Default::default()
+    });
+    let corp = generate_corpus(
+        &onto,
+        &CorpusConfig {
+            n_papers: 800,
+            seed: 5,
+            body_len: (80, 140),
+            abstract_len: (30, 60),
+            ..Default::default()
+        },
+    );
+    ContextSearchEngine::build(onto, corp, EngineConfig::default())
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let engine = build_engine();
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+
+    group.bench_function("text_context_sets", |b| {
+        b.iter(|| black_box(engine.text_context_sets()))
+    });
+    group.bench_function("pattern_context_sets", |b| {
+        // Patterns are cached after the first call; this measures the
+        // assignment sweep itself.
+        b.iter(|| black_box(engine.pattern_context_sets()))
+    });
+
+    let tsets = engine.text_context_sets();
+    let psets = engine.pattern_context_sets();
+    group.bench_function("prestige/citation", |b| {
+        b.iter(|| black_box(engine.prestige(&psets, ScoreFunction::Citation)))
+    });
+    group.bench_function("prestige/text", |b| {
+        b.iter(|| black_box(engine.prestige(&tsets, ScoreFunction::Text)))
+    });
+    group.bench_function("prestige/pattern", |b| {
+        b.iter(|| black_box(engine.prestige(&psets, ScoreFunction::Pattern)))
+    });
+    group.finish();
+
+    let prestige = engine.prestige(&psets, ScoreFunction::Pattern);
+    let term = engine
+        .ontology()
+        .term_ids()
+        .find(|&t| engine.ontology().level(t) == 3)
+        .expect("level-3 term");
+    let query = engine.ontology().term(term).name.clone();
+    let mut group = c.benchmark_group("query");
+    group.bench_function("context_search", |b| {
+        b.iter(|| black_box(engine.search(black_box(&query), &psets, &prestige, 20)))
+    });
+    group.bench_function("keyword_baseline", |b| {
+        b.iter(|| black_box(engine.keyword_search(black_box(&query), 0.0)))
+    });
+    group.bench_function("ac_answer_set", |b| {
+        b.iter(|| black_box(engine.ac_answer_set(black_box(&query))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

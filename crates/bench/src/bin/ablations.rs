@@ -1,0 +1,6 @@
+//! Regenerates ablations of the paper. See crates/bench/src/experiments.rs.
+fn main() {
+    let config = bench::ExpConfig::from_args();
+    let setup = bench::Setup::build(config);
+    bench::setup::emit("ablations", &bench::ablations(&setup));
+}

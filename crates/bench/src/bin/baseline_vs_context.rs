@@ -1,0 +1,6 @@
+//! Regenerates baseline_vs_context of the paper. See crates/bench/src/experiments.rs.
+fn main() {
+    let config = bench::ExpConfig::from_args();
+    let setup = bench::Setup::build(config);
+    bench::setup::emit("baseline_vs_context", &bench::baseline_vs_context(&setup));
+}

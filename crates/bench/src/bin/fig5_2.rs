@@ -1,0 +1,6 @@
+//! Regenerates fig5_2 of the paper. See crates/bench/src/experiments.rs.
+fn main() {
+    let config = bench::ExpConfig::from_args();
+    let setup = bench::Setup::build(config);
+    bench::setup::emit("fig5_2", &bench::fig5_2(&setup));
+}

@@ -1,0 +1,6 @@
+//! Regenerates fig5_5 of the paper. See crates/bench/src/experiments.rs.
+fn main() {
+    let config = bench::ExpConfig::from_args();
+    let setup = bench::Setup::build(config);
+    bench::setup::emit("fig5_5", &bench::fig5_5(&setup));
+}

@@ -1,0 +1,6 @@
+//! Related-work comparison: GoPubMed-style categorization (§6).
+fn main() {
+    let config = bench::ExpConfig::from_args();
+    let setup = bench::Setup::build(config);
+    bench::setup::emit("related_gopubmed", &bench::related_gopubmed(&setup));
+}

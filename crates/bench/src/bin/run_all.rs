@@ -1,0 +1,32 @@
+//! Runs every experiment on one shared setup and writes all result
+//! tables to `results/` (plus `results/experiments_output.md`).
+fn main() {
+    let config = bench::ExpConfig::from_args();
+    let setup = bench::Setup::build(config);
+    let mut all = Vec::new();
+    for (name, tables) in [
+        ("testbed_stats", bench::testbed_stats(&setup)),
+        ("fig5_1", bench::fig5_1(&setup)),
+        ("fig5_2", bench::fig5_2(&setup)),
+        ("fig5_3", bench::fig5_3(&setup)),
+        ("fig5_4", bench::fig5_4(&setup)),
+        ("fig5_5", bench::fig5_5(&setup)),
+        ("fig5_6", bench::fig5_6(&setup)),
+        ("fig5_7", bench::fig5_7(&setup)),
+        ("baseline_vs_context", bench::baseline_vs_context(&setup)),
+        ("related_gopubmed", bench::related_gopubmed(&setup)),
+        ("sparsity_analysis", bench::sparsity_analysis(&setup)),
+        ("ablations", bench::ablations(&setup)),
+    ] {
+        eprintln!("[run_all] {name}");
+        bench::setup::emit(name, &tables);
+        all.extend(tables);
+    }
+    let md: String = all
+        .iter()
+        .map(|t| format!("{}\n", t.to_markdown()))
+        .collect();
+    let _ = std::fs::create_dir_all("results");
+    let _ = std::fs::write("results/experiments_output.md", md);
+    eprintln!("[run_all] wrote results/experiments_output.md");
+}

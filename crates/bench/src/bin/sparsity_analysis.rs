@@ -1,0 +1,7 @@
+//! Within-context citation-graph sparsity per level (the mechanism
+//! behind the paper's citation-function findings).
+fn main() {
+    let config = bench::ExpConfig::from_args();
+    let setup = bench::Setup::build(config);
+    bench::setup::emit("sparsity_analysis", &bench::sparsity_analysis(&setup));
+}

@@ -1,0 +1,218 @@
+//! Compact directed citation graph in CSR (compressed sparse row) form.
+//!
+//! Nodes are dense `u32` indices (the caller maps its paper ids onto
+//! them). Both out-adjacency (references: who this paper cites) and
+//! in-adjacency (citations: who cites this paper) are materialized, as
+//! every algorithm in this crate needs one direction or the other hot.
+
+use serde::{Deserialize, Serialize};
+
+/// An immutable citation digraph: edge `u → v` means "u cites v".
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct CitationGraph {
+    n: u32,
+    out_offsets: Vec<u32>,
+    out_targets: Vec<u32>,
+    in_offsets: Vec<u32>,
+    in_targets: Vec<u32>,
+}
+
+impl CitationGraph {
+    /// Build from an edge list over `n` nodes. Edges out of range are
+    /// rejected; duplicate edges and self-citations are dropped (a paper
+    /// citing itself carries no prestige signal).
+    pub fn from_edges(n: u32, edges: &[(u32, u32)]) -> Self {
+        let mut cleaned: Vec<(u32, u32)> = edges
+            .iter()
+            .copied()
+            .filter(|&(u, v)| u < n && v < n && u != v)
+            .collect();
+        cleaned.sort_unstable();
+        cleaned.dedup();
+
+        let mut out_offsets = vec![0u32; n as usize + 1];
+        for &(u, _) in &cleaned {
+            out_offsets[u as usize + 1] += 1;
+        }
+        for i in 0..n as usize {
+            out_offsets[i + 1] += out_offsets[i];
+        }
+        let out_targets: Vec<u32> = cleaned.iter().map(|&(_, v)| v).collect();
+
+        // In-adjacency: sort by target.
+        let mut by_target = cleaned;
+        by_target.sort_unstable_by_key(|&(u, v)| (v, u));
+        let mut in_offsets = vec![0u32; n as usize + 1];
+        for &(_, v) in &by_target {
+            in_offsets[v as usize + 1] += 1;
+        }
+        for i in 0..n as usize {
+            in_offsets[i + 1] += in_offsets[i];
+        }
+        let in_targets: Vec<u32> = by_target.iter().map(|&(u, _)| u).collect();
+
+        Self {
+            n,
+            out_offsets,
+            out_targets,
+            in_offsets,
+            in_targets,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn n_nodes(&self) -> u32 {
+        self.n
+    }
+
+    /// Number of (deduplicated, non-self) edges.
+    pub fn n_edges(&self) -> usize {
+        self.out_targets.len()
+    }
+
+    /// Papers that `u` cites (its reference list).
+    pub fn references(&self, u: u32) -> &[u32] {
+        let (a, b) = (
+            self.out_offsets[u as usize] as usize,
+            self.out_offsets[u as usize + 1] as usize,
+        );
+        &self.out_targets[a..b]
+    }
+
+    /// Papers citing `u`.
+    pub fn citations(&self, u: u32) -> &[u32] {
+        let (a, b) = (
+            self.in_offsets[u as usize] as usize,
+            self.in_offsets[u as usize + 1] as usize,
+        );
+        &self.in_targets[a..b]
+    }
+
+    /// Out-degree (reference count).
+    pub fn out_degree(&self, u: u32) -> usize {
+        self.references(u).len()
+    }
+
+    /// In-degree (citation count).
+    pub fn in_degree(&self, u: u32) -> usize {
+        self.citations(u).len()
+    }
+
+    /// Iterate all edges as `(citing, cited)`.
+    pub fn edges(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        (0..self.n).flat_map(move |u| self.references(u).iter().map(move |&v| (u, v)))
+    }
+
+    /// Induced subgraph on `members` (paper §3.1: "only citation
+    /// information between papers in the given context is used").
+    ///
+    /// Returns the subgraph plus the member list in subgraph-node order
+    /// (`sub_node i` ↔ `members_sorted[i]`). Duplicate members are
+    /// collapsed.
+    pub fn induced_subgraph(&self, members: &[u32]) -> (CitationGraph, Vec<u32>) {
+        let mut sorted: Vec<u32> = members.iter().copied().filter(|&m| m < self.n).collect();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let mut dense = vec![u32::MAX; self.n as usize];
+        for (i, &m) in sorted.iter().enumerate() {
+            dense[m as usize] = i as u32;
+        }
+        let mut edges = Vec::new();
+        for (i, &m) in sorted.iter().enumerate() {
+            for &v in self.references(m) {
+                let dv = dense[v as usize];
+                if dv != u32::MAX {
+                    edges.push((i as u32, dv));
+                }
+            }
+        }
+        (
+            CitationGraph::from_edges(sorted.len() as u32, &edges),
+            sorted,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 0 → 1 → 2, 0 → 2, 3 isolated.
+    fn tiny() -> CitationGraph {
+        CitationGraph::from_edges(4, &[(0, 1), (1, 2), (0, 2)])
+    }
+
+    #[test]
+    fn adjacency_is_correct() {
+        let g = tiny();
+        assert_eq!(g.references(0), &[1, 2]);
+        assert_eq!(g.references(1), &[2]);
+        assert_eq!(g.references(2), &[] as &[u32]);
+        assert_eq!(g.citations(2), &[0, 1]);
+        assert_eq!(g.citations(0), &[] as &[u32]);
+        assert_eq!(g.n_edges(), 3);
+    }
+
+    #[test]
+    fn degrees() {
+        let g = tiny();
+        assert_eq!(g.out_degree(0), 2);
+        assert_eq!(g.in_degree(2), 2);
+        assert_eq!(g.out_degree(3), 0);
+        assert_eq!(g.in_degree(3), 0);
+    }
+
+    #[test]
+    fn self_loops_and_duplicates_dropped() {
+        let g = CitationGraph::from_edges(3, &[(0, 0), (0, 1), (0, 1), (2, 1)]);
+        assert_eq!(g.n_edges(), 2);
+        assert_eq!(g.references(0), &[1]);
+    }
+
+    #[test]
+    fn out_of_range_edges_dropped() {
+        let g = CitationGraph::from_edges(2, &[(0, 1), (0, 9), (9, 1)]);
+        assert_eq!(g.n_edges(), 1);
+    }
+
+    #[test]
+    fn edges_iterator_round_trips() {
+        let g = tiny();
+        let edges: Vec<(u32, u32)> = g.edges().collect();
+        assert_eq!(edges, vec![(0, 1), (0, 2), (1, 2)]);
+    }
+
+    #[test]
+    fn induced_subgraph_keeps_internal_edges_only() {
+        let g = tiny();
+        // Members {0, 2, 3}: edge 0→2 survives, 0→1→2 path does not.
+        let (sub, map) = g.induced_subgraph(&[3, 0, 2]);
+        assert_eq!(map, vec![0, 2, 3]);
+        assert_eq!(sub.n_nodes(), 3);
+        assert_eq!(sub.n_edges(), 1);
+        assert_eq!(sub.references(0), &[1]); // dense 0=paper0, 1=paper2
+    }
+
+    #[test]
+    fn induced_subgraph_of_empty_member_set() {
+        let g = tiny();
+        let (sub, map) = g.induced_subgraph(&[]);
+        assert_eq!(sub.n_nodes(), 0);
+        assert!(map.is_empty());
+    }
+
+    #[test]
+    fn induced_subgraph_dedups_members() {
+        let g = tiny();
+        let (sub, map) = g.induced_subgraph(&[1, 1, 2]);
+        assert_eq!(map, vec![1, 2]);
+        assert_eq!(sub.n_edges(), 1);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = CitationGraph::from_edges(0, &[]);
+        assert_eq!(g.n_nodes(), 0);
+        assert_eq!(g.n_edges(), 0);
+    }
+}

@@ -1,0 +1,30 @@
+//! Citation-graph substrate.
+//!
+//! The citation-based prestige score function (paper §3.1) runs a
+//! PageRank variant on the *within-context* citation subgraph; the
+//! text-based function (§3.2) uses bibliographic coupling and
+//! co-citation; the AC-answer-set construction (§2) expands along
+//! citation paths of length ≤ 2. This crate provides those pieces:
+//!
+//! * [`graph`] — a compact CSR digraph of `citing → cited` edges with
+//!   induced-subgraph extraction (for per-context graphs),
+//! * [`mod@pagerank`] — the paper's PageRank variant with both teleport
+//!   options (`E1`, `E2`) and dangling-mass redistribution,
+//! * [`mod@hits`] — Kleinberg's HITS (discussed in §3.1; the paper's ref
+//!   \[11\] found it highly correlated with PageRank — our ablation bench
+//!   checks the same),
+//! * [`coupling`] — bibliographic coupling (Kessler 1963) and
+//!   co-citation (Small 1973) similarities,
+//! * [`paths`] — bounded-length path neighborhoods for AC expansion.
+
+pub mod coupling;
+pub mod graph;
+pub mod hits;
+pub mod pagerank;
+pub mod paths;
+pub mod stats;
+
+pub use graph::CitationGraph;
+pub use stats::{graph_stats, GraphStats};
+pub use hits::{hits, HitsConfig, HitsScores};
+pub use pagerank::{pagerank, PageRankConfig, TeleportMode};

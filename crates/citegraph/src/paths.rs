@@ -1,0 +1,114 @@
+//! Bounded-length citation-path neighborhoods.
+//!
+//! The AC-answer-set construction (paper §2) includes "papers in the
+//! citation path of length at most 2 from the initial paper set" —
+//! longer paths "usually lose context". Citation paths are followed in
+//! both directions (a relevant paper may cite or be cited by a seed).
+
+use crate::graph::CitationGraph;
+use std::collections::VecDeque;
+
+/// Nodes within undirected citation distance `max_depth` of `seeds`,
+/// with their distances. Seeds themselves are included at distance 0.
+pub fn neighborhood(
+    graph: &CitationGraph,
+    seeds: &[u32],
+    max_depth: u32,
+) -> Vec<(u32, u32)> {
+    let n = graph.n_nodes() as usize;
+    let mut dist = vec![u32::MAX; n];
+    let mut queue = VecDeque::new();
+    for &s in seeds {
+        if (s as usize) < n && dist[s as usize] == u32::MAX {
+            dist[s as usize] = 0;
+            queue.push_back(s);
+        }
+    }
+    let mut out = Vec::new();
+    while let Some(u) = queue.pop_front() {
+        let d = dist[u as usize];
+        out.push((u, d));
+        if d == max_depth {
+            continue;
+        }
+        for &v in graph.references(u).iter().chain(graph.citations(u)) {
+            if dist[v as usize] == u32::MAX {
+                dist[v as usize] = d + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// Just the node set within distance `max_depth` of `seeds` (excluding
+/// the seeds themselves) — the expansion candidates for the AC set.
+pub fn expansion_candidates(graph: &CitationGraph, seeds: &[u32], max_depth: u32) -> Vec<u32> {
+    neighborhood(graph, seeds, max_depth)
+        .into_iter()
+        .filter(|&(_, d)| d > 0)
+        .map(|(u, _)| u)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Chain 0→1→2→3→4 plus 5 citing 0.
+    fn chain() -> CitationGraph {
+        CitationGraph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (5, 0)])
+    }
+
+    #[test]
+    fn depth_limits_reach() {
+        let g = chain();
+        let nb = neighborhood(&g, &[0], 2);
+        let nodes: Vec<u32> = nb.iter().map(|&(u, _)| u).collect();
+        // From 0 within 2 hops (undirected): 0,1,2 forward; 5 backward.
+        assert_eq!(nodes, vec![0, 1, 2, 5]);
+    }
+
+    #[test]
+    fn distances_are_bfs_distances() {
+        let g = chain();
+        let nb = neighborhood(&g, &[0], 3);
+        let by: std::collections::HashMap<u32, u32> = nb.into_iter().collect();
+        assert_eq!(by[&0], 0);
+        assert_eq!(by[&1], 1);
+        assert_eq!(by[&2], 2);
+        assert_eq!(by[&3], 3);
+        assert_eq!(by[&5], 1);
+        assert!(!by.contains_key(&4));
+    }
+
+    #[test]
+    fn candidates_exclude_seeds() {
+        let g = chain();
+        let c = expansion_candidates(&g, &[0, 1], 1);
+        assert_eq!(c, vec![2, 5]);
+    }
+
+    #[test]
+    fn multiple_seeds_merge() {
+        let g = chain();
+        let nb = neighborhood(&g, &[0, 4], 1);
+        let nodes: Vec<u32> = nb.iter().map(|&(u, _)| u).collect();
+        assert_eq!(nodes, vec![0, 1, 3, 4, 5]);
+    }
+
+    #[test]
+    fn depth_zero_is_just_seeds() {
+        let g = chain();
+        let nb = neighborhood(&g, &[2], 0);
+        assert_eq!(nb, vec![(2, 0)]);
+    }
+
+    #[test]
+    fn out_of_range_and_duplicate_seeds_are_ignored() {
+        let g = chain();
+        let nb = neighborhood(&g, &[0, 0, 99], 0);
+        assert_eq!(nb, vec![(0, 0)]);
+    }
+}

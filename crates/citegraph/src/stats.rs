@@ -1,0 +1,175 @@
+//! Graph statistics: the quantities behind the paper's explanations.
+//!
+//! The paper repeatedly attributes the citation function's weaknesses
+//! to *sparsity* of within-context citation graphs ("papers of some
+//! contexts cite or are cited by large numbers of papers outside the
+//! contexts. This causes the citation graphs to be sparse within those
+//! contexts"). This module measures that directly: isolated-node
+//! fraction, edge density, degree distribution, and weakly connected
+//! components — the experiment harness reports them per context level.
+
+use crate::graph::CitationGraph;
+
+/// Summary statistics of one (sub)graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphStats {
+    /// Node count.
+    pub n_nodes: usize,
+    /// Edge count.
+    pub n_edges: usize,
+    /// Nodes with neither in- nor out-edges.
+    pub n_isolated: usize,
+    /// Edges per node (0 for the empty graph).
+    pub mean_degree: f64,
+    /// Edge density: `edges / (n·(n-1))` (0 for n < 2).
+    pub density: f64,
+    /// Number of weakly connected components.
+    pub n_components: usize,
+    /// Size of the largest weakly connected component.
+    pub largest_component: usize,
+}
+
+impl GraphStats {
+    /// Fraction of isolated nodes (the tie-pathology measure).
+    pub fn isolated_fraction(&self) -> f64 {
+        if self.n_nodes == 0 {
+            0.0
+        } else {
+            self.n_isolated as f64 / self.n_nodes as f64
+        }
+    }
+}
+
+/// Compute [`GraphStats`] for a graph.
+pub fn graph_stats(graph: &CitationGraph) -> GraphStats {
+    let n = graph.n_nodes() as usize;
+    let n_edges = graph.n_edges();
+    let mut n_isolated = 0usize;
+    for u in 0..graph.n_nodes() {
+        if graph.out_degree(u) == 0 && graph.in_degree(u) == 0 {
+            n_isolated += 1;
+        }
+    }
+    let (n_components, largest_component) = weak_components(graph);
+    GraphStats {
+        n_nodes: n,
+        n_edges,
+        n_isolated,
+        mean_degree: if n == 0 { 0.0 } else { n_edges as f64 / n as f64 },
+        density: if n < 2 {
+            0.0
+        } else {
+            n_edges as f64 / (n as f64 * (n as f64 - 1.0))
+        },
+        n_components,
+        largest_component,
+    }
+}
+
+/// Weakly connected components: `(count, largest size)`.
+fn weak_components(graph: &CitationGraph) -> (usize, usize) {
+    let n = graph.n_nodes() as usize;
+    if n == 0 {
+        return (0, 0);
+    }
+    let mut seen = vec![false; n];
+    let mut count = 0usize;
+    let mut largest = 0usize;
+    let mut stack = Vec::new();
+    for start in 0..n as u32 {
+        if seen[start as usize] {
+            continue;
+        }
+        count += 1;
+        let mut size = 0usize;
+        stack.push(start);
+        seen[start as usize] = true;
+        while let Some(u) = stack.pop() {
+            size += 1;
+            for &v in graph.references(u).iter().chain(graph.citations(u)) {
+                if !seen[v as usize] {
+                    seen[v as usize] = true;
+                    stack.push(v);
+                }
+            }
+        }
+        largest = largest.max(size);
+    }
+    (count, largest)
+}
+
+/// In-degree histogram up to `max_degree` (the last bucket absorbs the
+/// tail): bucket `i` counts nodes with in-degree exactly `i`.
+pub fn in_degree_histogram(graph: &CitationGraph, max_degree: usize) -> Vec<usize> {
+    let mut hist = vec![0usize; max_degree + 1];
+    for u in 0..graph.n_nodes() {
+        let d = graph.in_degree(u).min(max_degree);
+        hist[d] += 1;
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_of_simple_graph() {
+        // 0→1→2, node 3 isolated.
+        let g = CitationGraph::from_edges(4, &[(0, 1), (1, 2)]);
+        let s = graph_stats(&g);
+        assert_eq!(s.n_nodes, 4);
+        assert_eq!(s.n_edges, 2);
+        assert_eq!(s.n_isolated, 1);
+        assert_eq!(s.n_components, 2);
+        assert_eq!(s.largest_component, 3);
+        assert!((s.mean_degree - 0.5).abs() < 1e-12);
+        assert!((s.density - 2.0 / 12.0).abs() < 1e-12);
+        assert!((s.isolated_fraction() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_edgeless_graphs() {
+        let empty = graph_stats(&CitationGraph::from_edges(0, &[]));
+        assert_eq!(empty.n_components, 0);
+        assert_eq!(empty.isolated_fraction(), 0.0);
+        let edgeless = graph_stats(&CitationGraph::from_edges(5, &[]));
+        assert_eq!(edgeless.n_isolated, 5);
+        assert_eq!(edgeless.n_components, 5);
+        assert_eq!(edgeless.largest_component, 1);
+        assert_eq!(edgeless.isolated_fraction(), 1.0);
+    }
+
+    #[test]
+    fn complete_graph_density_is_one() {
+        let mut edges = Vec::new();
+        for u in 0..4u32 {
+            for v in 0..4u32 {
+                if u != v {
+                    edges.push((u, v));
+                }
+            }
+        }
+        let s = graph_stats(&CitationGraph::from_edges(4, &edges));
+        assert!((s.density - 1.0).abs() < 1e-12);
+        assert_eq!(s.n_components, 1);
+        assert_eq!(s.n_isolated, 0);
+    }
+
+    #[test]
+    fn in_degree_histogram_buckets() {
+        // 1,2,3 cite 0: in-degrees [3,0,0,0].
+        let g = CitationGraph::from_edges(4, &[(1, 0), (2, 0), (3, 0)]);
+        let h = in_degree_histogram(&g, 2);
+        assert_eq!(h, vec![3, 0, 1]); // degree 3 clamps into bucket 2
+    }
+
+    #[test]
+    fn components_ignore_edge_direction() {
+        // 0→1, 2→1: all weakly connected.
+        let g = CitationGraph::from_edges(3, &[(0, 1), (2, 1)]);
+        let s = graph_stats(&g);
+        assert_eq!(s.n_components, 1);
+        assert_eq!(s.largest_component, 3);
+    }
+}

@@ -1,0 +1,167 @@
+//! AC(artificially-constructed)-answer sets (paper §2): the automatic
+//! ground truth for precision evaluation.
+//!
+//! 1. **Seed**: a standard keyword search with a high threshold.
+//! 2. **Text expansion**: papers sufficiently similar to the *centroid*
+//!    of the seed set join.
+//! 3. **Citation expansion**: papers on citation paths of length ≤ 2
+//!    from the seed set join *if* they have high citation scores
+//!    (global PageRank above a quantile) — longer paths "lose
+//!    context". Because the synthetic citation graph is denser and
+//!    smaller than PubMed's (2 hops cover much of the corpus), the
+//!    "loses context" principle is operationalized by additionally
+//!    requiring a minimal text similarity to the seed centroid; see
+//!    DESIGN.md.
+
+use crate::config::AcAnswerConfig;
+use crate::indexes::CorpusIndex;
+use citegraph::paths::expansion_candidates;
+use corpus::PaperId;
+use std::collections::HashSet;
+use textproc::SparseVector;
+
+/// Build the AC-answer set for a query vector.
+pub fn ac_answer_set(
+    index: &CorpusIndex,
+    config: &AcAnswerConfig,
+    query: &SparseVector,
+) -> HashSet<PaperId> {
+    // 1. Seed set via high-threshold keyword search; if the threshold
+    // yields nothing, fall back to the top 3 hits above half of it so
+    // rare-vocabulary queries still get a ground truth.
+    let mut seeds: Vec<PaperId> = index
+        .keyword_search(query, config.seed_threshold)
+        .into_iter()
+        .map(|(p, _)| p)
+        .collect();
+    if seeds.is_empty() {
+        seeds = index
+            .keyword_search(query, config.seed_threshold / 2.0)
+            .into_iter()
+            .take(3)
+            .map(|(p, _)| p)
+            .collect();
+    }
+    let mut answer: HashSet<PaperId> = seeds.iter().copied().collect();
+    if seeds.is_empty() {
+        return answer;
+    }
+
+    // 2. Text-based expansion around the seed centroid.
+    let centroid = SparseVector::centroid(seeds.iter().map(|p| &index.doc_vectors[p.index()]))
+        .normalized();
+    for (i, v) in index.doc_vectors.iter().enumerate() {
+        if v.cosine(&centroid) >= config.text_expansion_threshold {
+            answer.insert(PaperId(i as u32));
+        }
+    }
+
+    // 3. Citation expansion: ≤ depth hops from seeds, high global
+    // PageRank, and not textually off-context.
+    let pr_cut = pagerank_quantile(&index.global_pagerank, config.citation_score_quantile);
+    let context_floor = config.text_expansion_threshold;
+    let seed_nodes: Vec<u32> = seeds.iter().map(|p| p.0).collect();
+    for node in expansion_candidates(&index.graph, &seed_nodes, config.max_citation_depth) {
+        if index.global_pagerank[node as usize] >= pr_cut
+            && index.doc_vectors[node as usize].cosine(&centroid) >= context_floor
+        {
+            answer.insert(PaperId(node));
+        }
+    }
+    answer
+}
+
+/// The `q`-quantile of the PageRank distribution (0 for empty input).
+fn pagerank_quantile(scores: &[f64], q: f64) -> f64 {
+    if scores.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = scores.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let idx = ((sorted.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+    sorted[idx]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EngineConfig;
+    use citegraph::PageRankConfig;
+    use corpus::{generate_corpus, Corpus, CorpusConfig};
+    use ontology::{generate_ontology, GeneratorConfig};
+
+    fn setup() -> (Corpus, CorpusIndex, AcAnswerConfig) {
+        let onto = generate_ontology(&GeneratorConfig {
+            n_terms: 80,
+            seed: 3,
+            ..Default::default()
+        });
+        let corpus = generate_corpus(
+            &onto,
+            &CorpusConfig {
+                n_papers: 200,
+                seed: 5,
+                body_len: (40, 60),
+                abstract_len: (20, 30),
+                ..Default::default()
+            },
+        );
+        let index = CorpusIndex::build(&onto, &corpus, &PageRankConfig::default());
+        let ac = EngineConfig::default().ac;
+        (corpus, index, ac)
+    }
+
+    #[test]
+    fn answer_contains_obvious_hits() {
+        let (corpus, index, ac) = setup();
+        // Query with a paper's own title: that paper must be in the set.
+        let title = corpus.paper(PaperId(7)).title.clone();
+        let q = index.query_vector(&corpus, &title);
+        let answer = ac_answer_set(&index, &ac, &q);
+        assert!(answer.contains(&PaperId(7)), "seed paper in AC set");
+        assert!(!answer.is_empty());
+    }
+
+    #[test]
+    fn expansion_grows_the_seed_set() {
+        let (corpus, index, ac) = setup();
+        let title = corpus.paper(PaperId(7)).title.clone();
+        let q = index.query_vector(&corpus, &title);
+        let seeds: HashSet<PaperId> = index
+            .keyword_search(&q, ac.seed_threshold)
+            .into_iter()
+            .map(|(p, _)| p)
+            .collect();
+        let answer = ac_answer_set(&index, &ac, &q);
+        assert!(answer.len() >= seeds.len(), "expansion never shrinks");
+        assert!(seeds.is_subset(&answer));
+    }
+
+    #[test]
+    fn empty_query_gives_empty_answer() {
+        let (_, index, ac) = setup();
+        let answer = ac_answer_set(&index, &ac, &SparseVector::new());
+        assert!(answer.is_empty());
+    }
+
+    #[test]
+    fn citation_expansion_respects_quantile() {
+        let (corpus, index, mut ac) = setup();
+        let title = corpus.paper(PaperId(7)).title.clone();
+        let q = index.query_vector(&corpus, &title);
+        ac.citation_score_quantile = 1.0; // only the very best papers
+        let strict = ac_answer_set(&index, &ac, &q);
+        ac.citation_score_quantile = 0.0; // everyone within 2 hops
+        let loose = ac_answer_set(&index, &ac, &q);
+        assert!(loose.len() >= strict.len());
+    }
+
+    #[test]
+    fn quantile_helper() {
+        let xs = [0.1, 0.2, 0.3, 0.4, 0.5];
+        assert_eq!(pagerank_quantile(&xs, 0.0), 0.1);
+        assert_eq!(pagerank_quantile(&xs, 1.0), 0.5);
+        assert_eq!(pagerank_quantile(&xs, 0.5), 0.3);
+        assert_eq!(pagerank_quantile(&[], 0.5), 0.0);
+    }
+}

@@ -1,0 +1,150 @@
+//! Context paper sets: which papers belong to which ontology-term
+//! context, plus the per-context metadata the prestige functions need.
+
+use corpus::PaperId;
+use std::collections::HashMap;
+
+/// A context is an ontology term (the paper's definition).
+pub type ContextId = ontology::TermId;
+
+/// Which §4 construction produced a context paper set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ContextSetKind {
+    /// Text-based: similarity to a representative paper.
+    TextBased,
+    /// Simplified-pattern-based: middle-tuple matching with descendant
+    /// aggregation and ancestor fallback.
+    PatternBased,
+}
+
+/// The assignment of papers to contexts.
+#[derive(Debug, Clone)]
+pub struct ContextPaperSets {
+    /// Members per context, sorted by paper id, deduplicated.
+    members: HashMap<ContextId, Vec<PaperId>>,
+    /// Representative paper per context (text-based sets only).
+    pub representatives: HashMap<ContextId, PaperId>,
+    /// For pattern-based sets: contexts that were empty and inherited
+    /// their paper set from this (closest) ancestor — their scores get
+    /// decayed by `RateOfDecay` (§4).
+    pub inherited_from: HashMap<ContextId, ContextId>,
+    /// Which construction built this.
+    pub kind: ContextSetKind,
+}
+
+impl ContextPaperSets {
+    /// Create from raw member lists (sorted + deduped internally).
+    pub fn new(members: HashMap<ContextId, Vec<PaperId>>, kind: ContextSetKind) -> Self {
+        let members = members
+            .into_iter()
+            .map(|(c, mut v)| {
+                v.sort_unstable();
+                v.dedup();
+                (c, v)
+            })
+            .filter(|(_, v)| !v.is_empty())
+            .collect();
+        Self {
+            members,
+            representatives: HashMap::new(),
+            inherited_from: HashMap::new(),
+            kind,
+        }
+    }
+
+    /// Papers of one context (empty slice if absent).
+    pub fn members(&self, context: ContextId) -> &[PaperId] {
+        self.members.get(&context).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Does the context have any papers?
+    pub fn contains_context(&self, context: ContextId) -> bool {
+        self.members.contains_key(&context)
+    }
+
+    /// Is the paper a member of the context? (binary search)
+    pub fn is_member(&self, context: ContextId, paper: PaperId) -> bool {
+        self.members(context).binary_search(&paper).is_ok()
+    }
+
+    /// All non-empty contexts.
+    pub fn contexts(&self) -> impl Iterator<Item = ContextId> + '_ {
+        self.members.keys().copied()
+    }
+
+    /// Number of non-empty contexts.
+    pub fn n_contexts(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Contexts with at least `min_size` members — the experiment
+    /// population (the paper excludes small contexts whose prestige
+    /// scores are "potentially misleading").
+    pub fn contexts_with_min_size(&self, min_size: usize) -> Vec<ContextId> {
+        let mut out: Vec<ContextId> = self
+            .members
+            .iter()
+            .filter(|(_, v)| v.len() >= min_size)
+            .map(|(&c, _)| c)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Mean context size over non-empty contexts.
+    pub fn mean_size(&self) -> f64 {
+        if self.members.is_empty() {
+            return 0.0;
+        }
+        self.members.values().map(Vec::len).sum::<usize>() as f64 / self.members.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ontology::TermId;
+
+    fn sets() -> ContextPaperSets {
+        let mut m = HashMap::new();
+        m.insert(TermId(0), vec![PaperId(3), PaperId(1), PaperId(3)]);
+        m.insert(TermId(1), vec![PaperId(0)]);
+        m.insert(TermId(2), vec![]);
+        ContextPaperSets::new(m, ContextSetKind::TextBased)
+    }
+
+    #[test]
+    fn members_are_sorted_and_deduped() {
+        let s = sets();
+        assert_eq!(s.members(TermId(0)), &[PaperId(1), PaperId(3)]);
+    }
+
+    #[test]
+    fn empty_contexts_are_dropped() {
+        let s = sets();
+        assert!(!s.contains_context(TermId(2)));
+        assert_eq!(s.n_contexts(), 2);
+    }
+
+    #[test]
+    fn membership_queries() {
+        let s = sets();
+        assert!(s.is_member(TermId(0), PaperId(3)));
+        assert!(!s.is_member(TermId(0), PaperId(0)));
+        assert!(s.members(TermId(9)).is_empty());
+    }
+
+    #[test]
+    fn min_size_filter() {
+        let s = sets();
+        assert_eq!(s.contexts_with_min_size(2), vec![TermId(0)]);
+        assert_eq!(s.contexts_with_min_size(1).len(), 2);
+        assert!(s.contexts_with_min_size(10).is_empty());
+    }
+
+    #[test]
+    fn mean_size() {
+        let s = sets();
+        assert!((s.mean_size() - 1.5).abs() < 1e-12);
+    }
+}

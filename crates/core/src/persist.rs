@@ -1,0 +1,238 @@
+//! Persistence of the offline-computed state.
+//!
+//! The paradigm's whole point is that context assignment and prestige
+//! computation happen *before* query time (paper §1: "two query
+//! independent pre-processing steps"). This module serializes the two
+//! artifacts — [`ContextPaperSets`] and [`PrestigeScores`] — to a
+//! stable JSON representation so a deployment can compute them once
+//! and load them at search-service startup.
+
+use crate::context::{ContextId, ContextPaperSets, ContextSetKind};
+use crate::prestige::{PrestigeScores, ScoreFunction};
+use corpus::PaperId;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Stable on-disk form of [`ContextPaperSets`].
+#[derive(Debug, Serialize, Deserialize)]
+pub struct ContextSetsFile {
+    /// "text" or "pattern".
+    pub kind: String,
+    /// `(context, members)` pairs, sorted by context id.
+    pub members: Vec<(u32, Vec<u32>)>,
+    /// `(context, representative)` pairs.
+    pub representatives: Vec<(u32, u32)>,
+    /// `(context, ancestor-it-inherited-from)` pairs.
+    pub inherited_from: Vec<(u32, u32)>,
+}
+
+/// Stable on-disk form of [`PrestigeScores`].
+#[derive(Debug, Serialize, Deserialize)]
+pub struct PrestigeFile {
+    /// "citation", "text", or "pattern".
+    pub function: String,
+    /// `(context, [(paper, score)])` entries, sorted by context id.
+    pub scores: Vec<(u32, Vec<(u32, f64)>)>,
+}
+
+/// Errors raised when loading persisted state.
+#[derive(Debug)]
+pub enum PersistError {
+    /// The JSON was malformed.
+    Json(serde_json::Error),
+    /// An enum discriminant string was unknown.
+    UnknownTag(String),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Json(e) => write!(f, "malformed persisted state: {e}"),
+            Self::UnknownTag(t) => write!(f, "unknown tag {t:?}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<serde_json::Error> for PersistError {
+    fn from(e: serde_json::Error) -> Self {
+        Self::Json(e)
+    }
+}
+
+/// Serialize context paper sets to JSON.
+pub fn context_sets_to_json(sets: &ContextPaperSets) -> String {
+    let mut members: Vec<(u32, Vec<u32>)> = sets
+        .contexts()
+        .map(|c| (c.0, sets.members(c).iter().map(|p| p.0).collect()))
+        .collect();
+    members.sort_unstable_by_key(|&(c, _)| c);
+    let mut representatives: Vec<(u32, u32)> = sets
+        .representatives
+        .iter()
+        .map(|(&c, &p)| (c.0, p.0))
+        .collect();
+    representatives.sort_unstable();
+    let mut inherited_from: Vec<(u32, u32)> = sets
+        .inherited_from
+        .iter()
+        .map(|(&c, &a)| (c.0, a.0))
+        .collect();
+    inherited_from.sort_unstable();
+    let file = ContextSetsFile {
+        kind: match sets.kind {
+            ContextSetKind::TextBased => "text".to_string(),
+            ContextSetKind::PatternBased => "pattern".to_string(),
+        },
+        members,
+        representatives,
+        inherited_from,
+    };
+    serde_json::to_string(&file).expect("serializable")
+}
+
+/// Load context paper sets from JSON produced by
+/// [`context_sets_to_json`].
+pub fn context_sets_from_json(json: &str) -> Result<ContextPaperSets, PersistError> {
+    let file: ContextSetsFile = serde_json::from_str(json)?;
+    let kind = match file.kind.as_str() {
+        "text" => ContextSetKind::TextBased,
+        "pattern" => ContextSetKind::PatternBased,
+        other => return Err(PersistError::UnknownTag(other.to_string())),
+    };
+    let members: HashMap<ContextId, Vec<PaperId>> = file
+        .members
+        .into_iter()
+        .map(|(c, ps)| {
+            (
+                ontology::TermId(c),
+                ps.into_iter().map(PaperId).collect(),
+            )
+        })
+        .collect();
+    let mut sets = ContextPaperSets::new(members, kind);
+    sets.representatives = file
+        .representatives
+        .into_iter()
+        .map(|(c, p)| (ontology::TermId(c), PaperId(p)))
+        .collect();
+    sets.inherited_from = file
+        .inherited_from
+        .into_iter()
+        .map(|(c, a)| (ontology::TermId(c), ontology::TermId(a)))
+        .collect();
+    Ok(sets)
+}
+
+/// Serialize prestige scores to JSON.
+pub fn prestige_to_json(prestige: &PrestigeScores) -> String {
+    let mut scores: Vec<(u32, Vec<(u32, f64)>)> = prestige
+        .contexts()
+        .map(|c| {
+            (
+                c.0,
+                prestige
+                    .scores(c)
+                    .iter()
+                    .map(|&(p, s)| (p.0, s))
+                    .collect(),
+            )
+        })
+        .collect();
+    scores.sort_unstable_by_key(|&(c, _)| c);
+    let file = PrestigeFile {
+        function: prestige.function.name().to_string(),
+        scores,
+    };
+    serde_json::to_string(&file).expect("serializable")
+}
+
+/// Load prestige scores from JSON produced by [`prestige_to_json`].
+pub fn prestige_from_json(json: &str) -> Result<PrestigeScores, PersistError> {
+    let file: PrestigeFile = serde_json::from_str(json)?;
+    let function = match file.function.as_str() {
+        "citation" => ScoreFunction::Citation,
+        "text" => ScoreFunction::Text,
+        "pattern" => ScoreFunction::Pattern,
+        other => return Err(PersistError::UnknownTag(other.to_string())),
+    };
+    let by_context: HashMap<ContextId, Vec<(PaperId, f64)>> = file
+        .scores
+        .into_iter()
+        .map(|(c, ps)| {
+            (
+                ontology::TermId(c),
+                ps.into_iter().map(|(p, s)| (PaperId(p), s)).collect(),
+            )
+        })
+        .collect();
+    Ok(PrestigeScores::new(by_context, function))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ontology::TermId;
+
+    fn sample_sets() -> ContextPaperSets {
+        let mut members = HashMap::new();
+        members.insert(TermId(3), vec![PaperId(5), PaperId(1)]);
+        members.insert(TermId(7), vec![PaperId(2)]);
+        let mut sets = ContextPaperSets::new(members, ContextSetKind::PatternBased);
+        sets.representatives.insert(TermId(3), PaperId(1));
+        sets.inherited_from.insert(TermId(7), TermId(3));
+        sets
+    }
+
+    #[test]
+    fn context_sets_round_trip() {
+        let sets = sample_sets();
+        let json = context_sets_to_json(&sets);
+        let loaded = context_sets_from_json(&json).unwrap();
+        assert_eq!(loaded.kind, sets.kind);
+        assert_eq!(loaded.members(TermId(3)), sets.members(TermId(3)));
+        assert_eq!(loaded.members(TermId(7)), sets.members(TermId(7)));
+        assert_eq!(loaded.representatives, sets.representatives);
+        assert_eq!(loaded.inherited_from, sets.inherited_from);
+    }
+
+    #[test]
+    fn prestige_round_trips() {
+        let mut scores = HashMap::new();
+        scores.insert(TermId(3), vec![(PaperId(1), 0.25), (PaperId(5), 1.0)]);
+        let prestige = PrestigeScores::new(scores, ScoreFunction::Text);
+        let json = prestige_to_json(&prestige);
+        let loaded = prestige_from_json(&json).unwrap();
+        assert_eq!(loaded.function, ScoreFunction::Text);
+        assert_eq!(loaded.scores(TermId(3)), prestige.scores(TermId(3)));
+    }
+
+    #[test]
+    fn malformed_json_is_an_error() {
+        assert!(matches!(
+            context_sets_from_json("{"),
+            Err(PersistError::Json(_))
+        ));
+        assert!(matches!(
+            prestige_from_json(r#"{"function":"voodoo","scores":[]}"#),
+            Err(PersistError::UnknownTag(_))
+        ));
+        assert!(matches!(
+            context_sets_from_json(
+                r#"{"kind":"voodoo","members":[],"representatives":[],"inherited_from":[]}"#
+            ),
+            Err(PersistError::UnknownTag(_))
+        ));
+    }
+
+    #[test]
+    fn json_is_stable_and_sorted() {
+        let sets = sample_sets();
+        let a = context_sets_to_json(&sets);
+        let b = context_sets_to_json(&sets);
+        assert_eq!(a, b, "serialization must be deterministic");
+        // Context 3 precedes context 7 in the output.
+        assert!(a.find("[3,").unwrap() < a.find("[7,").unwrap());
+    }
+}

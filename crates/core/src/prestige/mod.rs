@@ -1,0 +1,222 @@
+//! Prestige scores: the paper's three §3 score functions and the
+//! hierarchy max-propagation rule.
+
+pub mod citation;
+pub mod citation_weighted;
+pub mod pattern;
+pub mod text;
+
+use crate::context::{ContextId, ContextPaperSets};
+use corpus::PaperId;
+use ontology::Ontology;
+use std::collections::HashMap;
+
+/// Which prestige score function produced a score set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScoreFunction {
+    /// §3.1 — per-context PageRank on the citation subgraph.
+    Citation,
+    /// §3.2 — similarity to the context's representative paper.
+    Text,
+    /// §3.3 — textual-pattern matching.
+    Pattern,
+}
+
+impl ScoreFunction {
+    /// Display name used in harness tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Citation => "citation",
+            Self::Text => "text",
+            Self::Pattern => "pattern",
+        }
+    }
+}
+
+/// Per-context prestige scores in [0, 1] (max-normalized per context).
+#[derive(Debug, Clone)]
+pub struct PrestigeScores {
+    by_context: HashMap<ContextId, Vec<(PaperId, f64)>>,
+    /// The function that produced these scores.
+    pub function: ScoreFunction,
+}
+
+impl PrestigeScores {
+    /// Wrap raw per-context score lists (sorted by paper id internally).
+    pub fn new(
+        mut by_context: HashMap<ContextId, Vec<(PaperId, f64)>>,
+        function: ScoreFunction,
+    ) -> Self {
+        for v in by_context.values_mut() {
+            v.sort_unstable_by_key(|&(p, _)| p);
+        }
+        Self {
+            by_context,
+            function,
+        }
+    }
+
+    /// Scores of one context, sorted by paper id.
+    pub fn scores(&self, context: ContextId) -> &[(PaperId, f64)] {
+        self.by_context
+            .get(&context)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// The score of one paper in one context.
+    pub fn get(&self, context: ContextId, paper: PaperId) -> Option<f64> {
+        let v = self.scores(context);
+        v.binary_search_by_key(&paper, |&(p, _)| p)
+            .ok()
+            .map(|i| v[i].1)
+    }
+
+    /// Contexts that have scores.
+    pub fn contexts(&self) -> impl Iterator<Item = ContextId> + '_ {
+        self.by_context.keys().copied()
+    }
+
+    /// Just the score values of one context (for separability).
+    pub fn score_values(&self, context: ContextId) -> Vec<f64> {
+        self.scores(context).iter().map(|&(_, s)| s).collect()
+    }
+
+    /// The paper's hierarchy rule (§3): a paper residing in context `c`
+    /// and in descendants of `c` takes the *maximum* of its scores
+    /// there, because high prestige in a more specific context implies
+    /// high relevance to the ancestor.
+    ///
+    /// Processes contexts in reverse topological order so each child is
+    /// final before its parents look at it.
+    pub fn propagate_hierarchy_max(&mut self, ontology: &Ontology, sets: &ContextPaperSets) {
+        let topo: Vec<ContextId> = ontology.topological_order().to_vec();
+        for &c in topo.iter().rev() {
+            if !sets.contains_context(c) {
+                continue;
+            }
+            // Collect child maxima for papers that also reside in c.
+            let mut updates: Vec<(PaperId, f64)> = Vec::new();
+            for &child in ontology.children(c) {
+                for &(p, s) in self.scores(child) {
+                    if sets.is_member(c, p) {
+                        updates.push((p, s));
+                    }
+                }
+            }
+            if updates.is_empty() {
+                continue;
+            }
+            let v = self.by_context.entry(c).or_default();
+            for (p, s) in updates {
+                match v.binary_search_by_key(&p, |&(q, _)| q) {
+                    Ok(i) => {
+                        if s > v[i].1 {
+                            v[i].1 = s;
+                        }
+                    }
+                    Err(i) => v.insert(i, (p, s)),
+                }
+            }
+        }
+    }
+}
+
+/// Max-normalize a score list so the best paper gets 1.0 (no-op when
+/// everything is 0 — e.g. an edgeless citation context, whose uniform
+/// zero scores are exactly the tie pathology the paper reports).
+pub(crate) fn max_normalize(scores: &mut [(PaperId, f64)]) {
+    let max = scores.iter().map(|&(_, s)| s).fold(0.0f64, f64::max);
+    if max > 0.0 {
+        for (_, s) in scores.iter_mut() {
+            *s /= max;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::ContextSetKind;
+    use ontology::{Term, TermId};
+
+    fn chain_ontology() -> Ontology {
+        let t = |acc: &str, parents: Vec<u32>| Term {
+            accession: acc.into(),
+            name: acc.into(),
+            namespace: "t".into(),
+            parents: parents.into_iter().map(TermId).collect(),
+        };
+        // 0 <- 1 <- 2
+        Ontology::new(vec![t("a", vec![]), t("b", vec![0]), t("c", vec![1])]).unwrap()
+    }
+
+    fn sets_and_scores() -> (ContextPaperSets, PrestigeScores) {
+        let mut members = HashMap::new();
+        members.insert(TermId(0), vec![PaperId(1), PaperId(2)]);
+        members.insert(TermId(1), vec![PaperId(1), PaperId(2)]);
+        members.insert(TermId(2), vec![PaperId(1)]);
+        let sets = ContextPaperSets::new(members, ContextSetKind::PatternBased);
+        let mut scores = HashMap::new();
+        scores.insert(TermId(0), vec![(PaperId(1), 0.1), (PaperId(2), 0.9)]);
+        scores.insert(TermId(1), vec![(PaperId(1), 0.4), (PaperId(2), 0.2)]);
+        scores.insert(TermId(2), vec![(PaperId(1), 1.0)]);
+        (
+            sets,
+            PrestigeScores::new(scores, ScoreFunction::Pattern),
+        )
+    }
+
+    #[test]
+    fn get_and_scores() {
+        let (_, s) = sets_and_scores();
+        assert_eq!(s.get(TermId(0), PaperId(2)), Some(0.9));
+        assert_eq!(s.get(TermId(0), PaperId(7)), None);
+        assert_eq!(s.scores(TermId(9)), &[]);
+    }
+
+    #[test]
+    fn hierarchy_max_propagates_up_the_chain() {
+        let onto = chain_ontology();
+        let (sets, mut s) = sets_and_scores();
+        s.propagate_hierarchy_max(&onto, &sets);
+        // Paper 1: leaf score 1.0 lifts its score in 1 and 0.
+        assert_eq!(s.get(TermId(2), PaperId(1)), Some(1.0));
+        assert_eq!(s.get(TermId(1), PaperId(1)), Some(1.0));
+        assert_eq!(s.get(TermId(0), PaperId(1)), Some(1.0));
+        // Paper 2: 0.9 in root stays (child has only 0.2).
+        assert_eq!(s.get(TermId(0), PaperId(2)), Some(0.9));
+        assert_eq!(s.get(TermId(1), PaperId(2)), Some(0.2));
+    }
+
+    #[test]
+    fn propagation_respects_membership() {
+        let onto = chain_ontology();
+        let mut members = HashMap::new();
+        // Paper 3 lives only in the leaf.
+        members.insert(TermId(0), vec![PaperId(1)]);
+        members.insert(TermId(2), vec![PaperId(3)]);
+        let sets = ContextPaperSets::new(members, ContextSetKind::PatternBased);
+        let mut scores = HashMap::new();
+        scores.insert(TermId(0), vec![(PaperId(1), 0.5)]);
+        scores.insert(TermId(2), vec![(PaperId(3), 1.0)]);
+        let mut s = PrestigeScores::new(scores, ScoreFunction::Text);
+        s.propagate_hierarchy_max(&onto, &sets);
+        assert_eq!(
+            s.get(TermId(0), PaperId(3)),
+            None,
+            "non-members don't gain scores"
+        );
+    }
+
+    #[test]
+    fn max_normalize_works() {
+        let mut v = vec![(PaperId(0), 2.0), (PaperId(1), 4.0)];
+        max_normalize(&mut v);
+        assert_eq!(v[0].1, 0.5);
+        assert_eq!(v[1].1, 1.0);
+        let mut zeros = vec![(PaperId(0), 0.0)];
+        max_normalize(&mut zeros);
+        assert_eq!(zeros[0].1, 0.0);
+    }
+}

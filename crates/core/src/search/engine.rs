@@ -1,0 +1,465 @@
+//! The end-to-end context-based search engine: owns the ontology, the
+//! corpus, and all prepared state; exposes the five tasks of the
+//! paradigm plus the evaluation hooks the experiment harness needs.
+
+use crate::ac_answer::ac_answer_set;
+use crate::assign::{build_pattern_sets, build_text_sets, patterns_by_context, ContextPatterns};
+use crate::config::EngineConfig;
+use crate::context::{ContextId, ContextPaperSets};
+use crate::indexes::CorpusIndex;
+use crate::prestige::{
+    citation::citation_prestige, pattern::pattern_prestige, text::text_prestige, PrestigeScores,
+    ScoreFunction,
+};
+use crate::search::relevancy::relevancy;
+use crate::search::select::select_contexts;
+use corpus::{Corpus, PaperId};
+use ontology::Ontology;
+use parking_lot::RwLock;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+/// One ranked context-based search result.
+#[derive(Debug, Clone, Copy)]
+pub struct SearchResult {
+    /// The paper.
+    pub paper: PaperId,
+    /// Combined relevancy `R(p, q, c)` (the ranking key).
+    pub relevancy: f64,
+    /// The text-matching component.
+    pub matching: f64,
+    /// The prestige component (in the winning context).
+    pub prestige: f64,
+    /// The context that produced this paper's best relevancy.
+    pub context: ContextId,
+}
+
+/// The engine. Build once per (ontology, corpus); everything else is
+/// derived.
+pub struct ContextSearchEngine {
+    ontology: Ontology,
+    corpus: Corpus,
+    config: EngineConfig,
+    index: CorpusIndex,
+    patterns: RwLock<Option<Arc<ContextPatterns>>>,
+}
+
+impl ContextSearchEngine {
+    /// Build all prepared state (the expensive step).
+    pub fn build(ontology: Ontology, corpus: Corpus, config: EngineConfig) -> Self {
+        let index = CorpusIndex::build(&ontology, &corpus, &config.pagerank);
+        Self {
+            ontology,
+            corpus,
+            config,
+            index,
+            patterns: RwLock::new(None),
+        }
+    }
+
+    /// The ontology.
+    pub fn ontology(&self) -> &Ontology {
+        &self.ontology
+    }
+
+    /// The corpus.
+    pub fn corpus(&self) -> &Corpus {
+        &self.corpus
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The prepared index state.
+    pub fn index(&self) -> &CorpusIndex {
+        &self.index
+    }
+
+    /// Per-context pattern sets, built lazily once and shared.
+    pub fn context_patterns(&self) -> Arc<ContextPatterns> {
+        if let Some(p) = self.patterns.read().as_ref() {
+            return Arc::clone(p);
+        }
+        let built = Arc::new(patterns_by_context(
+            &self.ontology,
+            &self.corpus,
+            &self.index,
+            &self.config,
+        ));
+        let mut guard = self.patterns.write();
+        // Another thread may have beaten us; keep the first.
+        if guard.is_none() {
+            *guard = Some(Arc::clone(&built));
+        }
+        Arc::clone(guard.as_ref().expect("just set"))
+    }
+
+    /// Task 1a: the §4 text-based context paper set.
+    pub fn text_context_sets(&self) -> ContextPaperSets {
+        build_text_sets(&self.ontology, &self.corpus, &self.index, &self.config)
+    }
+
+    /// Task 1b: the §4 (simplified-)pattern-based context paper set.
+    pub fn pattern_context_sets(&self) -> ContextPaperSets {
+        let patterns = self.context_patterns();
+        build_pattern_sets(
+            &self.ontology,
+            &self.corpus,
+            &self.index,
+            &patterns,
+            &self.config,
+        )
+    }
+
+    /// Task 2: prestige scores with one of the three §3 functions, with
+    /// the hierarchy max-propagation applied (§3's `max(s_j)` rule).
+    pub fn prestige(&self, sets: &ContextPaperSets, function: ScoreFunction) -> PrestigeScores {
+        self.prestige_with_options(sets, function, true, true)
+    }
+
+    /// Task 2 with explicit options: `simplified` picks the §4
+    /// middle-only pattern matching (ignored for other functions);
+    /// `propagate` toggles the hierarchy max rule (ablation hook).
+    pub fn prestige_with_options(
+        &self,
+        sets: &ContextPaperSets,
+        function: ScoreFunction,
+        simplified: bool,
+        propagate: bool,
+    ) -> PrestigeScores {
+        let mut scores = match function {
+            ScoreFunction::Citation => citation_prestige(sets, &self.index.graph, &self.config),
+            ScoreFunction::Text => text_prestige(sets, &self.corpus, &self.index, &self.config),
+            ScoreFunction::Pattern => {
+                let patterns = self.context_patterns();
+                pattern_prestige(
+                    &self.ontology,
+                    sets,
+                    &self.corpus,
+                    &self.index,
+                    &patterns,
+                    &self.config,
+                    simplified,
+                )
+            }
+        };
+        if propagate {
+            scores.propagate_hierarchy_max(&self.ontology, sets);
+        }
+        scores
+    }
+
+    /// Task 3: select the contexts a query should search.
+    pub fn select_contexts(
+        &self,
+        query: &str,
+        sets: &ContextPaperSets,
+    ) -> Vec<(ContextId, f64)> {
+        let tokens = self.corpus.analyze_known(query);
+        select_contexts(&tokens, &self.index, sets, &self.config.selection)
+    }
+
+    /// Tasks 4 + 5: search within the selected contexts and rank by
+    /// relevancy; results from different contexts are merged by keeping
+    /// each paper's best relevancy. `limit = 0` means unlimited.
+    pub fn search(
+        &self,
+        query: &str,
+        sets: &ContextPaperSets,
+        prestige: &PrestigeScores,
+        limit: usize,
+    ) -> Vec<SearchResult> {
+        let qvec = self.index.query_vector(&self.corpus, query);
+        let contexts = self.select_contexts(query, sets);
+        let matching: HashMap<PaperId, f64> = self
+            .index
+            .keyword_search(&qvec, 0.0)
+            .into_iter()
+            .collect();
+
+        let mut best: HashMap<PaperId, SearchResult> = HashMap::new();
+        for (context, _ctx_score) in contexts {
+            for &(paper, pscore) in prestige.scores(context) {
+                let Some(&m) = matching.get(&paper) else {
+                    continue; // no text match at all → not in the output
+                };
+                let r = relevancy(pscore, m, &self.config.relevancy);
+                let candidate = SearchResult {
+                    paper,
+                    relevancy: r,
+                    matching: m,
+                    prestige: pscore,
+                    context,
+                };
+                best.entry(paper)
+                    .and_modify(|cur| {
+                        if r > cur.relevancy {
+                            *cur = candidate;
+                        }
+                    })
+                    .or_insert(candidate);
+            }
+        }
+        let mut out: Vec<SearchResult> = best.into_values().collect();
+        out.sort_by(|a, b| {
+            b.relevancy
+                .partial_cmp(&a.relevancy)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.paper.cmp(&b.paper))
+        });
+        if limit > 0 {
+            out.truncate(limit);
+        }
+        out
+    }
+
+    /// The PubMed-style keyword-search baseline over the whole corpus.
+    pub fn keyword_search(&self, query: &str, min_score: f64) -> Vec<(PaperId, f64)> {
+        let qvec = self.index.query_vector(&self.corpus, query);
+        self.index.keyword_search(&qvec, min_score)
+    }
+
+    /// The paper's §7 future-work score function: citation prestige
+    /// with weighted cross-context relationships (see
+    /// [`crate::prestige::citation_weighted`]).
+    pub fn weighted_citation_prestige(
+        &self,
+        sets: &ContextPaperSets,
+        weights: &crate::prestige::citation_weighted::CrossContextWeights,
+    ) -> PrestigeScores {
+        let mut scores = crate::prestige::citation_weighted::weighted_citation_prestige(
+            &self.ontology,
+            sets,
+            &self.index.graph,
+            &self.config,
+            weights,
+        );
+        scores.propagate_hierarchy_max(&self.ontology, sets);
+        scores
+    }
+
+    /// Display snippet for a hit: the abstract window best covering the
+    /// query (falls back to the title when nothing matches there).
+    pub fn snippet(&self, paper: PaperId, query: &str) -> String {
+        let terms = self.corpus.analyze_known(query);
+        let p = self.corpus.paper(paper);
+        textproc::snippet::best_snippet(
+            &p.abstract_text,
+            &terms,
+            self.corpus.vocab(),
+            &self.index.model,
+            &textproc::snippet::SnippetConfig::default(),
+        )
+        .unwrap_or_else(|| p.title.clone())
+    }
+
+    /// "More like this": papers related to `source` through shared
+    /// contexts, ranked by the §3.2 combined similarity.
+    pub fn more_like_this(
+        &self,
+        sets: &ContextPaperSets,
+        source: PaperId,
+        limit: usize,
+    ) -> Vec<crate::search::related::RelatedPaper> {
+        crate::search::related::more_like_this(
+            &self.corpus,
+            &self.index,
+            &self.config,
+            sets,
+            source,
+            limit,
+        )
+    }
+
+    /// The §2 AC-answer ground-truth set for a query.
+    pub fn ac_answer_set(&self, query: &str) -> HashSet<PaperId> {
+        let qvec = self.index.query_vector(&self.corpus, query);
+        ac_answer_set(&self.index, &self.config.ac, &qvec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use corpus::{generate_corpus, CorpusConfig};
+    use ontology::{generate_ontology, GeneratorConfig};
+
+    fn engine() -> ContextSearchEngine {
+        let onto = generate_ontology(&GeneratorConfig {
+            n_terms: 80,
+            seed: 3,
+            ..Default::default()
+        });
+        let corpus = generate_corpus(
+            &onto,
+            &CorpusConfig {
+                n_papers: 200,
+                seed: 5,
+                body_len: (40, 60),
+                abstract_len: (20, 30),
+                ..Default::default()
+            },
+        );
+        ContextSearchEngine::build(onto, corpus, EngineConfig::default())
+    }
+
+    fn a_query(e: &ContextSearchEngine) -> (String, ContextId) {
+        // Query the deepest available mid-level term's name; it maps to
+        // that term.
+        let target = e.ontology().max_level().clamp(3, 4);
+        let term = e
+            .ontology()
+            .term_ids()
+            .find(|&t| e.ontology().level(t) == target)
+            .expect("mid-level term");
+        (e.ontology().term(term).name.clone(), term)
+    }
+
+    #[test]
+    fn end_to_end_search_returns_ranked_results() {
+        let e = engine();
+        let sets = e.pattern_context_sets();
+        let prestige = e.prestige(&sets, ScoreFunction::Pattern);
+        let (q, _) = a_query(&e);
+        let hits = e.search(&q, &sets, &prestige, 20);
+        assert!(!hits.is_empty(), "query {q:?} found nothing");
+        for w in hits.windows(2) {
+            assert!(w[0].relevancy >= w[1].relevancy);
+        }
+        for h in &hits {
+            assert!((0.0..=1.0 + 1e-9).contains(&h.relevancy));
+            assert!(sets.is_member(h.context, h.paper));
+        }
+    }
+
+    #[test]
+    fn search_results_are_topically_relevant() {
+        let e = engine();
+        let sets = e.pattern_context_sets();
+        let prestige = e.prestige(&sets, ScoreFunction::Pattern);
+        let (q, term) = a_query(&e);
+        let hits = e.search(&q, &sets, &prestige, 10);
+        // At least one top hit's true topics relate to the query term
+        // (itself, an ancestor, or a descendant).
+        let related = hits.iter().take(10).any(|h| {
+            e.corpus().paper(h.paper).true_topics.iter().any(|&t| {
+                t == term
+                    || e.ontology().is_descendant(t, term)
+                    || e.ontology().is_descendant(term, t)
+            })
+        });
+        assert!(related, "no topically related paper in top hits for {q:?}");
+    }
+
+    #[test]
+    fn context_search_output_is_smaller_than_keyword_search() {
+        // The paper's headline: context-based search reduces output size.
+        let e = engine();
+        let sets = e.pattern_context_sets();
+        let prestige = e.prestige(&sets, ScoreFunction::Pattern);
+        let (q, _) = a_query(&e);
+        let keyword = e.keyword_search(&q, 0.0);
+        let context = e.search(&q, &sets, &prestige, 0);
+        assert!(
+            context.len() <= keyword.len(),
+            "context {} vs keyword {}",
+            context.len(),
+            keyword.len()
+        );
+    }
+
+    #[test]
+    fn limit_zero_means_unlimited() {
+        let e = engine();
+        let sets = e.pattern_context_sets();
+        let prestige = e.prestige(&sets, ScoreFunction::Pattern);
+        let (q, _) = a_query(&e);
+        let all = e.search(&q, &sets, &prestige, 0);
+        let limited = e.search(&q, &sets, &prestige, 3);
+        assert!(limited.len() <= 3);
+        assert!(all.len() >= limited.len());
+    }
+
+    #[test]
+    fn patterns_are_cached() {
+        let e = engine();
+        let a = e.context_patterns();
+        let b = e.context_patterns();
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn prestige_functions_cover_expected_contexts() {
+        let e = engine();
+        let psets = e.pattern_context_sets();
+        let cit = e.prestige(&psets, ScoreFunction::Citation);
+        let pat = e.prestige(&psets, ScoreFunction::Pattern);
+        // Citation and pattern scores exist for all pattern contexts.
+        assert_eq!(cit.contexts().count(), psets.n_contexts());
+        assert_eq!(pat.contexts().count(), psets.n_contexts());
+        // Text scores only where representatives exist.
+        let tsets = e.text_context_sets();
+        let txt = e.prestige(&tsets, ScoreFunction::Text);
+        assert_eq!(txt.contexts().count(), tsets.representatives.len());
+    }
+
+    #[test]
+    fn snippets_cover_query_or_fall_back_to_title() {
+        let e = engine();
+        let sets = e.pattern_context_sets();
+        let prestige = e.prestige(&sets, ScoreFunction::Pattern);
+        let (q, _) = a_query(&e);
+        let hits = e.search(&q, &sets, &prestige, 5);
+        for h in &hits {
+            let s = e.snippet(h.paper, &q);
+            assert!(!s.is_empty());
+        }
+        // Nonsense query → title fallback.
+        let s = e.snippet(PaperId(0), "zzznonsense");
+        assert_eq!(s, e.corpus().paper(PaperId(0)).title);
+    }
+
+    #[test]
+    fn weighted_citation_prestige_reduces_ties() {
+        let e = engine();
+        let sets = e.pattern_context_sets();
+        let plain = e.prestige(&sets, ScoreFunction::Citation);
+        let weighted = e.weighted_citation_prestige(
+            &sets,
+            &crate::prestige::citation_weighted::CrossContextWeights::default(),
+        );
+        let tie_fraction = |p: &PrestigeScores| {
+            let (mut total, mut distinct) = (0usize, 0usize);
+            for c in sets.contexts_with_min_size(5) {
+                let values: Vec<u64> = p
+                    .scores(c)
+                    .iter()
+                    .map(|&(_, s)| s.to_bits())
+                    .collect();
+                total += values.len();
+                distinct += values
+                    .iter()
+                    .collect::<std::collections::HashSet<_>>()
+                    .len();
+            }
+            1.0 - distinct as f64 / total.max(1) as f64
+        };
+        assert!(
+            tie_fraction(&weighted) <= tie_fraction(&plain) + 1e-9,
+            "weighted variant must not add ties"
+        );
+        // Coverage identical.
+        assert_eq!(plain.contexts().count(), weighted.contexts().count());
+    }
+
+    #[test]
+    fn nonsense_query_returns_empty() {
+        let e = engine();
+        let sets = e.pattern_context_sets();
+        let prestige = e.prestige(&sets, ScoreFunction::Citation);
+        let hits = e.search("zzz qqq xxx", &sets, &prestige, 10);
+        assert!(hits.is_empty());
+    }
+}

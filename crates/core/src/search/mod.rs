@@ -1,0 +1,13 @@
+//! Query-time machinery: context selection, relevancy scoring, and the
+//! end-to-end engine.
+
+pub mod engine;
+pub mod explain;
+pub mod gopubmed;
+pub mod related;
+pub mod relevancy;
+pub mod select;
+
+pub use engine::{ContextSearchEngine, SearchResult};
+pub use relevancy::relevancy;
+pub use select::select_contexts;

@@ -1,0 +1,49 @@
+//! The relevancy score (paper §3):
+//! `R(p, q, c) = w_prestige · Prestige(p, c) + w_matching · Match(p, q)`.
+
+use crate::config::RelevancyWeights;
+
+/// Combine a prestige score and a text-matching score, both in [0, 1].
+pub fn relevancy(prestige: f64, matching: f64, weights: &RelevancyWeights) -> f64 {
+    weights.prestige * prestige + weights.matching * matching
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_weights_average() {
+        let w = RelevancyWeights {
+            prestige: 0.5,
+            matching: 0.5,
+        };
+        assert!((relevancy(1.0, 0.0, &w) - 0.5).abs() < 1e-12);
+        assert!((relevancy(0.4, 0.8, &w) - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prestige_only_and_matching_only() {
+        let p_only = RelevancyWeights {
+            prestige: 1.0,
+            matching: 0.0,
+        };
+        let m_only = RelevancyWeights {
+            prestige: 0.0,
+            matching: 1.0,
+        };
+        assert_eq!(relevancy(0.7, 0.2, &p_only), 0.7);
+        assert_eq!(relevancy(0.7, 0.2, &m_only), 0.2);
+    }
+
+    #[test]
+    fn result_bounded_when_weights_sum_to_one() {
+        let w = RelevancyWeights::default();
+        for p in [0.0, 0.5, 1.0] {
+            for m in [0.0, 0.5, 1.0] {
+                let r = relevancy(p, m, &w);
+                assert!((0.0..=1.0).contains(&r));
+            }
+        }
+    }
+}

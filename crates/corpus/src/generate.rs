@@ -1,0 +1,834 @@
+//! Synthetic PubMed-like corpus generation.
+//!
+//! The stand-in for the 72,027 full-text genomics papers of the paper's
+//! experiments. Each paper is *about* one to three ontology terms (its
+//! topics); its text mixes a Zipf background vocabulary with the topic
+//! terms' language models; its authors come from per-branch author
+//! communities; its references prefer same-topic papers with a
+//! configurable locality (the cross-context leak that makes in-context
+//! citation graphs sparse — the mechanism behind the paper's headline
+//! finding, see DESIGN.md).
+//!
+//! Every ontology term's language model consists of its (raw) name
+//! words — compositional with its ancestors', thanks to the ontology
+//! generator — plus a few rare gene-symbol-like *signature words* of
+//! its own, plus diluted ancestor signature words. Deeper terms thus
+//! have more specific vocabularies, exactly the property the paper's
+//! per-level observations hinge on.
+//!
+//! Crucially, each paper uses only a random *subset* of its topics'
+//! signature words — the synthetic analogue of synonymy/vocabulary
+//! mismatch in real literature. Without it, every topical paper would
+//! contain every topical keyword, keyword search would be a
+//! near-perfect ranker, and prestige scores could only add noise.
+
+use crate::paper::{AuthorId, Paper, PaperId};
+use crate::store::Corpus;
+use crate::words::{synth_signature, synth_word, ZipfVocabulary};
+use ontology::{Ontology, TermId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{HashMap, HashSet};
+
+/// Configuration for [`generate_corpus`].
+#[derive(Debug, Clone)]
+pub struct CorpusConfig {
+    /// Number of papers to generate.
+    pub n_papers: usize,
+    /// RNG seed (full determinism given config + ontology).
+    pub seed: u64,
+    /// Background vocabulary size.
+    pub background_vocab: usize,
+    /// Zipf exponent for background word frequencies.
+    pub zipf_exponent: f64,
+    /// Title length range (tokens).
+    pub title_len: (usize, usize),
+    /// Abstract length range (tokens).
+    pub abstract_len: (usize, usize),
+    /// Body length range (tokens).
+    pub body_len: (usize, usize),
+    /// Number of index-term entries per paper.
+    pub n_index_terms: (usize, usize),
+    /// Fraction of abstract/body tokens drawn from topic models (titles
+    /// use a higher, fixed ratio).
+    pub topic_token_ratio: f64,
+    /// Additional topic-token ratio per level of the primary topic
+    /// below the minimum topic level: papers on deeper (more
+    /// specialized) topics use denser shared terminology, so their
+    /// within-topic text similarity is higher — the property behind the
+    /// paper's Fig 5.5 (text separability improves with depth).
+    pub depth_ratio_boost: f64,
+    /// Probability that a topic draw emits the full term-name phrase
+    /// contiguously (what pattern mining later finds).
+    pub phrase_prob: f64,
+    /// Mean reference-list length.
+    pub mean_references: f64,
+    /// Probability a reference targets a same-topic earlier paper; the
+    /// remainder goes to random earlier papers (cross-context noise).
+    pub citation_locality: f64,
+    /// Strength of preferential attachment (rich-get-richer): the
+    /// probability that a reference choice is a "fame tournament"
+    /// between candidates, won by the most-cited one. Real citation
+    /// graphs are fame-driven — citation counts reflect prominence, not
+    /// relevance to any particular query — which is what makes
+    /// citation-based prestige a noisy relevance signal (the paper's
+    /// central finding).
+    pub preferential_attachment: f64,
+    /// Number of authors (0 ⇒ `n_papers / 4`, min 8).
+    pub n_authors: usize,
+    /// Authors per paper range.
+    pub authors_per_paper: (usize, usize),
+    /// Probability an author slot is filled from the paper's topic
+    /// community rather than at random.
+    pub author_community_locality: f64,
+    /// Evidence (training) papers recorded per term, taken from papers
+    /// whose *primary* topic is the term.
+    pub evidence_per_term: usize,
+    /// Signature words per ontology term.
+    pub signature_words_per_term: usize,
+    /// Topics are sampled from terms at this level or deeper.
+    pub min_topic_level: u32,
+}
+
+impl Default for CorpusConfig {
+    fn default() -> Self {
+        Self {
+            n_papers: 4000,
+            seed: 7,
+            background_vocab: 4000,
+            zipf_exponent: 1.05,
+            title_len: (6, 12),
+            abstract_len: (60, 110),
+            body_len: (180, 340),
+            n_index_terms: (4, 8),
+            topic_token_ratio: 0.38,
+            depth_ratio_boost: 0.05,
+            phrase_prob: 0.28,
+            mean_references: 12.0,
+            citation_locality: 0.55,
+            preferential_attachment: 0.7,
+            n_authors: 0,
+            authors_per_paper: (2, 6),
+            author_community_locality: 0.7,
+            evidence_per_term: 5,
+            signature_words_per_term: 4,
+            min_topic_level: 2,
+        }
+    }
+}
+
+/// Per-term language model.
+struct TopicModel {
+    /// Weighted non-signature word pool (name words + diluted ancestor
+    /// signatures; raw surface forms, analysis stems later).
+    words: Vec<String>,
+    cumulative: Vec<f64>,
+    /// The raw term name split into words, emitted contiguously on
+    /// phrase draws.
+    name_phrase: Vec<String>,
+    /// This term's own signature words (papers use a per-paper subset).
+    signatures: Vec<String>,
+}
+
+impl TopicModel {
+    fn sample_nonsig<'a, R: Rng>(&'a self, rng: &mut R) -> &'a str {
+        let total = *self.cumulative.last().expect("non-empty topic model");
+        let x = rng.gen_range(0.0..total);
+        let i = self.cumulative.partition_point(|&c| c < x);
+        &self.words[i.min(self.words.len() - 1)]
+    }
+}
+
+/// The signature words of one topic that one particular paper uses.
+struct PaperTopicView {
+    topic: TermId,
+    sig_subset: Vec<usize>,
+}
+
+fn choose_signature_subsets<R: Rng>(
+    rng: &mut R,
+    topics: &[TermId],
+    models: &[TopicModel],
+) -> Vec<PaperTopicView> {
+    topics
+        .iter()
+        .map(|&t| {
+            let n = models[t.index()].signatures.len();
+            let keep = n.div_ceil(2).max(1).min(n.max(1));
+            let mut idx: Vec<usize> = (0..n).collect();
+            for i in (1..idx.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                idx.swap(i, j);
+            }
+            idx.truncate(keep);
+            PaperTopicView {
+                topic: t,
+                sig_subset: idx,
+            }
+        })
+        .collect()
+}
+
+/// Generate a corpus over `ontology` per `config`.
+///
+/// # Panics
+/// Panics if the ontology is empty.
+pub fn generate_corpus(ontology: &Ontology, config: &CorpusConfig) -> Corpus {
+    assert!(!ontology.is_empty(), "cannot generate over empty ontology");
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let background = ZipfVocabulary::generate(
+        &mut rng,
+        config.background_vocab.max(100),
+        config.zipf_exponent,
+    );
+
+    // Per-term signature words, in topo order so ancestors exist first.
+    let n_terms = ontology.len();
+    let mut signatures: Vec<Vec<String>> = vec![Vec::new(); n_terms];
+    for &t in ontology.topological_order() {
+        signatures[t.index()] = (0..config.signature_words_per_term)
+            .map(|_| synth_signature(&mut rng))
+            .collect();
+    }
+
+    // Topic models.
+    let topics: Vec<TopicModel> = ontology
+        .term_ids()
+        .map(|t| build_topic_model(ontology, t, &signatures))
+        .collect();
+
+    // Eligible topic terms.
+    let mut eligible: Vec<TermId> = ontology
+        .term_ids()
+        .filter(|&t| ontology.level(t) >= config.min_topic_level)
+        .collect();
+    if eligible.is_empty() {
+        eligible = ontology.term_ids().collect();
+    }
+
+    // Author communities: one community per level-2 branch.
+    let branches = branch_of_terms(ontology);
+    let n_branches = branches.iter().copied().max().map_or(1, |m| m + 1);
+    let n_authors = if config.n_authors > 0 {
+        config.n_authors
+    } else {
+        (config.n_papers / 4).max(8)
+    };
+    let author_names: Vec<String> = (0..n_authors)
+        .map(|_| {
+            let mut last = synth_word(&mut rng, 2);
+            if let Some(c) = last.get_mut(0..1) {
+                c.make_ascii_uppercase();
+            }
+            let initial = (b'A' + rng.gen_range(0..26u8)) as char;
+            format!("{last} {initial}")
+        })
+        .collect();
+    let mut community_authors: Vec<Vec<u32>> = vec![Vec::new(); n_branches];
+    for a in 0..n_authors as u32 {
+        community_authors[a as usize % n_branches].push(a);
+    }
+
+    // Papers.
+    let mut papers: Vec<Paper> = Vec::with_capacity(config.n_papers);
+    let mut papers_by_topic: HashMap<TermId, Vec<u32>> = HashMap::new();
+    let mut papers_by_branch: Vec<Vec<u32>> = vec![Vec::new(); n_branches];
+    let mut indegree: Vec<u32> = vec![0; config.n_papers];
+    for i in 0..config.n_papers {
+        let topic_ids = sample_topics(&mut rng, ontology, &eligible, config.min_topic_level);
+        let primary = topic_ids[0];
+        let views = choose_signature_subsets(&mut rng, &topic_ids, &topics);
+
+        let title_len = rng.gen_range(config.title_len.0..=config.title_len.1);
+        let abstract_len = rng.gen_range(config.abstract_len.0..=config.abstract_len.1);
+        let body_len = rng.gen_range(config.body_len.0..=config.body_len.1);
+        let depth = ontology
+            .level(primary)
+            .saturating_sub(config.min_topic_level) as f64;
+        let ratio = (config.topic_token_ratio + config.depth_ratio_boost * depth).min(0.72);
+        let title = emit_text(
+            &mut rng,
+            &topics,
+            &views,
+            &background,
+            title_len,
+            0.8,
+            config.phrase_prob,
+            Some(primary),
+            false,
+        );
+        let abstract_text = emit_text(
+            &mut rng,
+            &topics,
+            &views,
+            &background,
+            abstract_len,
+            (ratio + 0.08).min(0.78),
+            config.phrase_prob,
+            None,
+            true,
+        );
+        let body = emit_text(
+            &mut rng,
+            &topics,
+            &views,
+            &background,
+            body_len,
+            ratio,
+            config.phrase_prob,
+            None,
+            true,
+        );
+        let index_terms = emit_index_terms(&mut rng, &topics, &views, &background, config);
+        let authors = sample_authors(
+            &mut rng,
+            &community_authors,
+            branches[primary.index()],
+            n_authors,
+            config,
+        );
+        let references = sample_references(
+            &mut rng,
+            i as u32,
+            &topic_ids,
+            &papers_by_topic,
+            &papers_by_branch[branches[primary.index()]],
+            &indegree,
+            config,
+        );
+        let year = 1990 + ((i * 17) / config.n_papers.max(1)) as u16;
+
+        for &t in &topic_ids {
+            papers_by_topic.entry(t).or_default().push(i as u32);
+        }
+        papers_by_branch[branches[primary.index()]].push(i as u32);
+        for &r in &references {
+            indegree[r.index()] += 1;
+        }
+        papers.push(Paper {
+            id: PaperId(i as u32),
+            title,
+            abstract_text,
+            body,
+            index_terms,
+            authors,
+            references,
+            year,
+            true_topics: topic_ids,
+        });
+    }
+
+    // Evidence sets: earliest papers whose primary topic is the term.
+    let mut evidence: HashMap<TermId, Vec<PaperId>> = HashMap::new();
+    for p in &papers {
+        if let Some(&primary) = p.true_topics.first() {
+            let e = evidence.entry(primary).or_default();
+            if e.len() < config.evidence_per_term {
+                e.push(p.id);
+            }
+        }
+    }
+
+    let term_names: Vec<String> = ontology
+        .term_ids()
+        .map(|t| ontology.term(t).name.clone())
+        .collect();
+    Corpus::new(papers, author_names, evidence, &term_names)
+}
+
+fn build_topic_model(
+    ontology: &Ontology,
+    term: TermId,
+    signatures: &[Vec<String>],
+) -> TopicModel {
+    let name = &ontology.term(term).name;
+    let name_phrase: Vec<String> = name.split_whitespace().map(str::to_string).collect();
+    let mut words: Vec<(String, f64)> = Vec::new();
+    for w in &name_phrase {
+        if w.len() >= 3 && !textproc::stopwords::is_stopword(w) {
+            words.push((w.clone(), 3.0));
+        }
+    }
+    // Own signatures live outside this pool: papers draw them from
+    // their per-paper subset (vocabulary mismatch).
+    // Ancestor signatures via the primary-parent chain, decaying.
+    let mut cur = term;
+    let mut weight = 1.5;
+    for _ in 0..3 {
+        let Some(&parent) = ontology.parents(cur).first() else {
+            break;
+        };
+        for s in &signatures[parent.index()] {
+            words.push((s.clone(), weight));
+        }
+        weight *= 0.5;
+        cur = parent;
+    }
+    if words.is_empty() {
+        // Degenerate all-stopword name: fall back to the raw name words.
+        for w in &name_phrase {
+            words.push((w.clone(), 1.0));
+        }
+    }
+    let mut cumulative = Vec::with_capacity(words.len());
+    let mut acc = 0.0;
+    for (_, w) in &words {
+        acc += w;
+        cumulative.push(acc);
+    }
+    TopicModel {
+        words: words.into_iter().map(|(w, _)| w).collect(),
+        cumulative,
+        name_phrase,
+        signatures: signatures[term.index()].clone(),
+    }
+}
+
+fn branch_of_terms(ontology: &Ontology) -> Vec<usize> {
+    // Map each term to its level-2 ancestor (itself if level ≤ 2),
+    // walking primary parents; then compact branch ids.
+    let mut branch_term: Vec<TermId> = Vec::with_capacity(ontology.len());
+    for t in ontology.term_ids() {
+        let mut cur = t;
+        while ontology.level(cur) > 2 {
+            match ontology.parents(cur).first() {
+                Some(&p) => cur = p,
+                None => break,
+            }
+        }
+        branch_term.push(cur);
+    }
+    let mut ids: HashMap<TermId, usize> = HashMap::new();
+    branch_term
+        .into_iter()
+        .map(|b| {
+            let next = ids.len();
+            *ids.entry(b).or_insert(next)
+        })
+        .collect()
+}
+
+fn sample_topics<R: Rng>(
+    rng: &mut R,
+    ontology: &Ontology,
+    eligible: &[TermId],
+    min_level: u32,
+) -> Vec<TermId> {
+    let primary = eligible[rng.gen_range(0..eligible.len())];
+    let mut topics = vec![primary];
+    if rng.gen_bool(0.45) {
+        let second = related_term(rng, ontology, primary)
+            .filter(|&t| ontology.level(t) >= min_level && rng.gen_bool(0.6))
+            .unwrap_or_else(|| eligible[rng.gen_range(0..eligible.len())]);
+        if !topics.contains(&second) {
+            topics.push(second);
+        }
+        if rng.gen_bool(0.25) {
+            let third = eligible[rng.gen_range(0..eligible.len())];
+            if !topics.contains(&third) {
+                topics.push(third);
+            }
+        }
+    }
+    topics
+}
+
+/// Which pool a citation target is drawn from.
+#[derive(Clone, Copy)]
+enum PoolChoice<'a> {
+    /// A specific (topic or branch) pool of earlier papers.
+    Pool(&'a [u32]),
+    /// Any earlier paper.
+    AnyEarlier,
+}
+
+/// A topically related term: a random member of the primary's parent's
+/// subtree (i.e. a sibling-or-cousin), else a parent.
+fn related_term<R: Rng>(rng: &mut R, ontology: &Ontology, term: TermId) -> Option<TermId> {
+    let &parent = ontology.parents(term).first()?;
+    let family = ontology.descendants(parent);
+    if family.is_empty() {
+        return Some(parent);
+    }
+    let pick = family[rng.gen_range(0..family.len())];
+    if pick == term {
+        Some(parent)
+    } else {
+        Some(pick)
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn emit_text<R: Rng>(
+    rng: &mut R,
+    topics: &[TopicModel],
+    views: &[PaperTopicView],
+    background: &ZipfVocabulary,
+    target_len: usize,
+    topic_ratio: f64,
+    phrase_prob: f64,
+    force_phrase_of: Option<TermId>,
+    sentences: bool,
+) -> String {
+    let mut tokens: Vec<&str> = Vec::with_capacity(target_len + 8);
+    if let Some(t) = force_phrase_of {
+        tokens.extend(topics[t.index()].name_phrase.iter().map(String::as_str));
+    }
+    while tokens.len() < target_len {
+        if rng.gen_bool(topic_ratio) {
+            // Primary topic carries 60% of topical mass.
+            let view = if views.len() == 1 || rng.gen_bool(0.6) {
+                &views[0]
+            } else {
+                &views[1 + rng.gen_range(0..views.len() - 1)]
+            };
+            let model = &topics[view.topic.index()];
+            if rng.gen_bool(phrase_prob) {
+                tokens.extend(model.name_phrase.iter().map(String::as_str));
+            } else if !view.sig_subset.is_empty() && rng.gen_bool(0.45) {
+                // Signature draw, restricted to this paper's subset —
+                // the vocabulary-mismatch mechanism.
+                let i = view.sig_subset[rng.gen_range(0..view.sig_subset.len())];
+                tokens.push(&model.signatures[i]);
+            } else {
+                tokens.push(model.sample_nonsig(rng));
+            }
+        } else {
+            tokens.push(background.sample(rng));
+        }
+    }
+    if sentences {
+        join_sentences(rng, &tokens)
+    } else {
+        tokens.join(" ")
+    }
+}
+
+fn join_sentences<R: Rng>(rng: &mut R, tokens: &[&str]) -> String {
+    let mut out = String::with_capacity(tokens.len() * 8);
+    let mut since_period = 0usize;
+    for (i, tok) in tokens.iter().enumerate() {
+        if i > 0 {
+            if since_period >= 8 && rng.gen_bool(0.18) {
+                out.push_str(". ");
+                since_period = 0;
+            } else {
+                out.push(' ');
+            }
+        }
+        out.push_str(tok);
+        since_period += 1;
+    }
+    out.push('.');
+    out
+}
+
+fn emit_index_terms<R: Rng>(
+    rng: &mut R,
+    topics: &[TopicModel],
+    views: &[PaperTopicView],
+    background: &ZipfVocabulary,
+    config: &CorpusConfig,
+) -> Vec<String> {
+    let n = rng.gen_range(config.n_index_terms.0..=config.n_index_terms.1);
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let view = &views[i % views.len()];
+        let model = &topics[view.topic.index()];
+        let entry = match i % 3 {
+            0 => model.name_phrase.join(" "),
+            1 if !view.sig_subset.is_empty() => {
+                let j = view.sig_subset[rng.gen_range(0..view.sig_subset.len())];
+                model.signatures[j].clone()
+            }
+            _ => {
+                if rng.gen_bool(0.5) {
+                    model.sample_nonsig(rng).to_string()
+                } else {
+                    background.sample(rng).to_string()
+                }
+            }
+        };
+        out.push(entry);
+    }
+    out
+}
+
+fn sample_authors<R: Rng>(
+    rng: &mut R,
+    community_authors: &[Vec<u32>],
+    branch: usize,
+    n_authors: usize,
+    config: &CorpusConfig,
+) -> Vec<AuthorId> {
+    let k = rng.gen_range(config.authors_per_paper.0..=config.authors_per_paper.1);
+    let community = &community_authors[branch.min(community_authors.len() - 1)];
+    let mut chosen: Vec<AuthorId> = Vec::with_capacity(k);
+    let mut seen = HashSet::with_capacity(k);
+    for _ in 0..k * 3 {
+        if chosen.len() >= k {
+            break;
+        }
+        let a = if !community.is_empty() && rng.gen_bool(config.author_community_locality) {
+            community[rng.gen_range(0..community.len())]
+        } else {
+            rng.gen_range(0..n_authors as u32)
+        };
+        if seen.insert(a) {
+            chosen.push(AuthorId(a));
+        }
+    }
+    chosen
+}
+
+#[allow(clippy::too_many_arguments)]
+fn sample_references<R: Rng>(
+    rng: &mut R,
+    paper_index: u32,
+    paper_topics: &[TermId],
+    papers_by_topic: &HashMap<TermId, Vec<u32>>,
+    branch_pool: &[u32],
+    indegree: &[u32],
+    config: &CorpusConfig,
+) -> Vec<PaperId> {
+    if paper_index == 0 {
+        return Vec::new();
+    }
+    let mut n_refs = 0usize;
+    {
+        // Geometric with the configured mean.
+        let p = config.mean_references / (1.0 + config.mean_references);
+        while n_refs < 80 && rng.gen_bool(p) {
+            n_refs += 1;
+        }
+    }
+    let mut refs: HashSet<u32> = HashSet::with_capacity(n_refs);
+    // Tournament-style preferential attachment: sample a few candidates
+    // from the pool and cite the most-cited one.
+    let pick = |rng: &mut R, pool_choice: PoolChoice<'_>| -> u32 {
+        let uniform = |rng: &mut R| match pool_choice {
+            PoolChoice::Pool(pool) => pool[rng.gen_range(0..pool.len())],
+            PoolChoice::AnyEarlier => rng.gen_range(0..paper_index),
+        };
+        if rng.gen_bool(config.preferential_attachment) {
+            let mut best = uniform(rng);
+            for _ in 0..3 {
+                let cand = uniform(rng);
+                if indegree[cand as usize] > indegree[best as usize] {
+                    best = cand;
+                }
+            }
+            best
+        } else {
+            uniform(rng)
+        }
+    };
+    for _ in 0..n_refs {
+        let target = if rng.gen_bool(config.citation_locality) {
+            let t = paper_topics[rng.gen_range(0..paper_topics.len())];
+            match papers_by_topic.get(&t) {
+                Some(pool) if !pool.is_empty() => pick(rng, PoolChoice::Pool(pool)),
+                // No earlier paper on this exact topic yet: stay in the
+                // same research community (level-2 branch) if possible.
+                _ if !branch_pool.is_empty() => pick(rng, PoolChoice::Pool(branch_pool)),
+                _ => pick(rng, PoolChoice::AnyEarlier),
+            }
+        } else {
+            pick(rng, PoolChoice::AnyEarlier)
+        };
+        if target != paper_index {
+            refs.insert(target);
+        }
+    }
+    let mut out: Vec<PaperId> = refs.into_iter().map(PaperId).collect();
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ontology::{generate_ontology, GeneratorConfig};
+
+    fn small_setup() -> (Ontology, Corpus) {
+        let onto = generate_ontology(&GeneratorConfig {
+            n_terms: 120,
+            seed: 3,
+            ..Default::default()
+        });
+        let corpus = generate_corpus(
+            &onto,
+            &CorpusConfig {
+                n_papers: 200,
+                seed: 9,
+                body_len: (60, 100),
+                abstract_len: (30, 50),
+                ..Default::default()
+            },
+        );
+        (onto, corpus)
+    }
+
+    #[test]
+    fn generates_requested_papers() {
+        let (_, c) = small_setup();
+        assert_eq!(c.len(), 200);
+    }
+
+    #[test]
+    fn is_deterministic() {
+        let onto = generate_ontology(&GeneratorConfig {
+            n_terms: 60,
+            seed: 3,
+            ..Default::default()
+        });
+        let cfg = CorpusConfig {
+            n_papers: 50,
+            seed: 4,
+            body_len: (40, 60),
+            abstract_len: (20, 30),
+            ..Default::default()
+        };
+        let a = generate_corpus(&onto, &cfg);
+        let b = generate_corpus(&onto, &cfg);
+        for (pa, pb) in a.papers().iter().zip(b.papers()) {
+            assert_eq!(pa.title, pb.title);
+            assert_eq!(pa.references, pb.references);
+            assert_eq!(pa.authors, pb.authors);
+        }
+    }
+
+    #[test]
+    fn titles_contain_primary_topic_phrase() {
+        let (onto, c) = small_setup();
+        for p in c.papers().iter().take(30) {
+            let primary = p.true_topics[0];
+            let name = &onto.term(primary).name;
+            assert!(
+                p.title.starts_with(name.as_str()),
+                "title {:?} should start with topic {:?}",
+                p.title,
+                name
+            );
+        }
+    }
+
+    #[test]
+    fn references_point_backwards_only() {
+        let (_, c) = small_setup();
+        for p in c.papers() {
+            for &r in &p.references {
+                assert!(r.0 < p.id.0, "paper {} cites future paper {}", p.id.0, r.0);
+            }
+        }
+    }
+
+    #[test]
+    fn topical_citations_dominate_random_ones() {
+        let (onto, c) = small_setup();
+        let branch = |t: TermId| {
+            let mut cur = t;
+            while onto.level(cur) > 2 {
+                match onto.parents(cur).first() {
+                    Some(&p) => cur = p,
+                    None => break,
+                }
+            }
+            cur
+        };
+        let (mut related, mut total) = (0usize, 0usize);
+        for p in c.papers() {
+            for &r in &p.references {
+                total += 1;
+                let cited = c.paper(r);
+                let shares_topic = p
+                    .true_topics
+                    .iter()
+                    .any(|t| cited.true_topics.contains(t));
+                let shares_branch =
+                    branch(p.true_topics[0]) == branch(cited.true_topics[0]);
+                if shares_topic || shares_branch {
+                    related += 1;
+                }
+            }
+        }
+        assert!(total > 100, "expected a reasonable number of citations");
+        let frac = related as f64 / total as f64;
+        assert!(frac > 0.3, "topical citation fraction too low: {frac:.2}");
+        assert!(
+            frac < 0.98,
+            "need cross-topic noise for sparse in-context graphs: {frac:.2}"
+        );
+    }
+
+    #[test]
+    fn evidence_papers_have_matching_primary_topic() {
+        let (onto, c) = small_setup();
+        let mut n_terms_with_evidence = 0;
+        for t in onto.term_ids() {
+            let ev = c.evidence_for(t);
+            if !ev.is_empty() {
+                n_terms_with_evidence += 1;
+            }
+            for &pid in ev {
+                assert_eq!(c.paper(pid).true_topics[0], t);
+            }
+        }
+        assert!(n_terms_with_evidence > 10);
+    }
+
+    #[test]
+    fn authors_are_in_range_and_distinct_per_paper() {
+        let (_, c) = small_setup();
+        for p in c.papers() {
+            let set: HashSet<AuthorId> = p.authors.iter().copied().collect();
+            assert_eq!(set.len(), p.authors.len(), "duplicate authors");
+            for a in &p.authors {
+                assert!(a.index() < c.n_authors());
+            }
+        }
+    }
+
+    #[test]
+    fn coauthors_cluster_by_community() {
+        let (_, c) = small_setup();
+        // Two papers sharing a primary-topic branch should share authors
+        // far more often than random pairs; sanity-check author reuse.
+        let by_author = c.papers_by_author();
+        let multi = by_author.values().filter(|v| v.len() > 1).count();
+        assert!(multi > 0, "some authors should write multiple papers");
+    }
+
+    #[test]
+    fn signature_words_survive_analysis() {
+        let (_, c) = small_setup();
+        // Signature words end in a digit so stemming leaves them; they
+        // must appear in the analyzed body of their papers.
+        let p = &c.papers()[10];
+        let analyzed = c.analyzed(p.id);
+        assert!(!analyzed.body.is_empty());
+        let has_digit_token = analyzed
+            .body
+            .iter()
+            .any(|&t| c.vocab().term(t).is_some_and(|s| s.ends_with(|ch: char| ch.is_ascii_digit())));
+        assert!(has_digit_token, "expected signature tokens in body");
+    }
+
+    #[test]
+    fn year_is_monotonic_in_id() {
+        let (_, c) = small_setup();
+        for w in c.papers().windows(2) {
+            assert!(w[0].year <= w[1].year);
+        }
+    }
+
+    #[test]
+    fn topics_are_at_or_below_min_level() {
+        let (onto, c) = small_setup();
+        for p in c.papers() {
+            for &t in &p.true_topics {
+                assert!(onto.level(t) >= 2);
+            }
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! Paper-corpus substrate: the stand-in for the paper's 72,027 full-text
+//! PubMed genomics papers (see DESIGN.md for the substitution argument).
+//!
+//! * [`paper`] — the paper record: title / abstract / body / index
+//!   terms sections, authors, references, plus generator ground truth,
+//! * [`words`] — deterministic pseudo-word synthesis and Zipf sampling
+//!   for background vocabulary,
+//! * [`generate`] — the synthetic corpus generator: per-ontology-term
+//!   topic language models, author communities per ontology branch,
+//!   citation wiring with configurable topical locality,
+//! * [`store`] — the [`store::Corpus`] container: papers, authors,
+//!   annotation-evidence sets, cached analyzed token streams,
+//! * [`medline`] — MEDLINE-style flat-file import/export (the PubMed
+//!   exchange format, for loading real collections),
+//! * [`queries`] — evaluation query synthesis (the stand-in for the
+//!   paper's ~120 external-classification search terms),
+//! * [`stats`] — corpus descriptive statistics for diagnostics.
+
+pub mod generate;
+pub mod medline;
+pub mod paper;
+pub mod queries;
+pub mod stats;
+pub mod store;
+pub mod words;
+
+pub use generate::{generate_corpus, CorpusConfig};
+pub use paper::{AuthorId, Paper, PaperId, Section};
+pub use store::Corpus;

@@ -1,0 +1,438 @@
+//! MEDLINE-style flat-file import/export.
+//!
+//! The paper's testbed was built by downloading and parsing PubMed
+//! papers; PubMed's exchange format is the tagged MEDLINE flat file.
+//! This module reads and writes that shape so real (non-synthetic)
+//! collections can be loaded:
+//!
+//! ```text
+//! PMID- 7
+//! TI  - Histone binding in chromatin assembly
+//! AB  - We study histone binding and
+//!       its role in assembly.
+//! FT  - Full body text (non-standard tag: MEDLINE has no full text).
+//! AU  - Smith J
+//! AU  - Doe A
+//! MH  - histone
+//! MH  - chromatin
+//! CR  - 3
+//! DP  - 2003
+//! ```
+//!
+//! Records are separated by blank lines; continuation lines are
+//! indented six spaces. `CR` (cited reference, by PMID) and `FT` (full
+//! text) are our extensions — standard MEDLINE carries neither
+//! reference lists nor bodies. Unknown tags are ignored. References to
+//! unknown PMIDs are dropped with a warning count (PubMed exports
+//! routinely cite outside the downloaded subset — the paper's 72k
+//! papers did too).
+
+use crate::paper::{AuthorId, Paper, PaperId};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Parse error with a 1-based line number.
+#[derive(Debug)]
+pub struct MedlineError {
+    /// 1-based line of the offence.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for MedlineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for MedlineError {}
+
+/// Result of a MEDLINE import.
+#[derive(Debug)]
+pub struct MedlineImport {
+    /// Parsed papers with dense ids (in file order).
+    pub papers: Vec<Paper>,
+    /// Author display names by [`AuthorId`].
+    pub author_names: Vec<String>,
+    /// Original PMID per paper (papers get dense ids; this maps back).
+    pub pmids: Vec<u64>,
+    /// Count of `CR` references pointing outside the file (dropped).
+    pub dangling_references: usize,
+}
+
+#[derive(Default)]
+struct Record {
+    pmid: Option<u64>,
+    title: String,
+    abstract_text: String,
+    body: String,
+    authors: Vec<String>,
+    index_terms: Vec<String>,
+    references: Vec<u64>,
+    year: u16,
+}
+
+/// Parse MEDLINE-style text into papers.
+pub fn parse_medline(text: &str) -> Result<MedlineImport, MedlineError> {
+    let mut records: Vec<Record> = Vec::new();
+    let mut current: Option<Record> = None;
+    let mut last_field: Option<&'static str> = None;
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line_no = lineno + 1;
+        if raw.trim().is_empty() {
+            if let Some(r) = current.take() {
+                records.push(r);
+            }
+            last_field = None;
+            continue;
+        }
+        // Continuation line: six leading spaces.
+        if let Some(cont) = raw.strip_prefix("      ") {
+            let rec = current.as_mut().ok_or_else(|| MedlineError {
+                line: line_no,
+                message: "continuation line outside a record".into(),
+            })?;
+            let field = last_field.ok_or_else(|| MedlineError {
+                line: line_no,
+                message: "continuation line without a preceding tag".into(),
+            })?;
+            append_continuation(rec, field, cont.trim());
+            continue;
+        }
+        let (tag, value) = split_tag(raw).ok_or_else(|| MedlineError {
+            line: line_no,
+            message: format!("expected `TAG - value`, got {raw:?}"),
+        })?;
+        let rec = current.get_or_insert_with(Record::default);
+        last_field = match tag {
+            "PMID" => {
+                rec.pmid = Some(value.parse().map_err(|_| MedlineError {
+                    line: line_no,
+                    message: format!("bad PMID {value:?}"),
+                })?);
+                None
+            }
+            "TI" => {
+                rec.title = value.to_string();
+                Some("TI")
+            }
+            "AB" => {
+                rec.abstract_text = value.to_string();
+                Some("AB")
+            }
+            "FT" => {
+                rec.body = value.to_string();
+                Some("FT")
+            }
+            "AU" => {
+                rec.authors.push(value.to_string());
+                None
+            }
+            "MH" => {
+                rec.index_terms.push(value.to_string());
+                None
+            }
+            "CR" => {
+                rec.references.push(value.parse().map_err(|_| MedlineError {
+                    line: line_no,
+                    message: format!("bad CR pmid {value:?}"),
+                })?);
+                None
+            }
+            "DP" => {
+                // MEDLINE DP can be "2003 Jan"; take the leading year.
+                let year_token = value.split_whitespace().next().unwrap_or("");
+                rec.year = year_token.parse().map_err(|_| MedlineError {
+                    line: line_no,
+                    message: format!("bad DP year {value:?}"),
+                })?;
+                None
+            }
+            _ => None, // unknown tags ignored, no continuation capture
+        };
+    }
+    if let Some(r) = current.take() {
+        records.push(r);
+    }
+
+    // Assign dense ids; intern authors; resolve references.
+    let mut pmid_to_id: HashMap<u64, PaperId> = HashMap::with_capacity(records.len());
+    let mut pmids = Vec::with_capacity(records.len());
+    for (i, r) in records.iter().enumerate() {
+        let pmid = r.pmid.ok_or_else(|| MedlineError {
+            line: 0,
+            message: format!("record #{i} has no PMID"),
+        })?;
+        if pmid_to_id.insert(pmid, PaperId(i as u32)).is_some() {
+            return Err(MedlineError {
+                line: 0,
+                message: format!("duplicate PMID {pmid}"),
+            });
+        }
+        pmids.push(pmid);
+    }
+    let mut author_ids: HashMap<String, AuthorId> = HashMap::new();
+    let mut author_names: Vec<String> = Vec::new();
+    let mut dangling = 0usize;
+    let papers: Vec<Paper> = records
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| {
+            let authors = r
+                .authors
+                .iter()
+                .map(|name| {
+                    *author_ids.entry(name.clone()).or_insert_with(|| {
+                        author_names.push(name.clone());
+                        AuthorId(author_names.len() as u32 - 1)
+                    })
+                })
+                .collect();
+            let mut references: Vec<PaperId> = r
+                .references
+                .iter()
+                .filter_map(|pmid| {
+                    let id = pmid_to_id.get(pmid).copied();
+                    if id.is_none() {
+                        dangling += 1;
+                    }
+                    id
+                })
+                .collect();
+            references.sort_unstable();
+            references.dedup();
+            Paper {
+                id: PaperId(i as u32),
+                title: r.title,
+                abstract_text: r.abstract_text,
+                body: r.body,
+                index_terms: r.index_terms,
+                authors,
+                references,
+                year: r.year,
+                true_topics: Vec::new(), // unknown for imported data
+            }
+        })
+        .collect();
+    Ok(MedlineImport {
+        papers,
+        author_names,
+        pmids,
+        dangling_references: dangling,
+    })
+}
+
+fn split_tag(line: &str) -> Option<(&str, &str)> {
+    // Format: `TAG- value` with the tag padded to four chars: "PMID- ",
+    // "TI  - ", "AB  - " …
+    let dash = line.find('-')?;
+    let tag = line[..dash].trim();
+    if tag.is_empty() || tag.len() > 4 {
+        return None;
+    }
+    Some((tag, line[dash + 1..].trim()))
+}
+
+fn append_continuation(rec: &mut Record, field: &str, text: &str) {
+    let target = match field {
+        "TI" => &mut rec.title,
+        "AB" => &mut rec.abstract_text,
+        "FT" => &mut rec.body,
+        _ => return,
+    };
+    if !target.is_empty() {
+        target.push(' ');
+    }
+    target.push_str(text);
+}
+
+/// Serialize papers to MEDLINE-style text (round-trippable by
+/// [`parse_medline`]). `author_name` maps ids to display names; paper
+/// ids are written as PMIDs directly.
+pub fn write_medline<'a>(
+    papers: impl IntoIterator<Item = &'a Paper>,
+    author_name: impl Fn(AuthorId) -> String,
+) -> String {
+    let mut out = String::new();
+    for p in papers {
+        out.push_str(&format!("PMID- {}\n", p.id.0));
+        out.push_str(&format!("TI  - {}\n", p.title));
+        if !p.abstract_text.is_empty() {
+            out.push_str(&format!("AB  - {}\n", p.abstract_text));
+        }
+        if !p.body.is_empty() {
+            out.push_str(&format!("FT  - {}\n", p.body));
+        }
+        for &a in &p.authors {
+            out.push_str(&format!("AU  - {}\n", author_name(a)));
+        }
+        for t in &p.index_terms {
+            out.push_str(&format!("MH  - {t}\n"));
+        }
+        for &r in &p.references {
+            out.push_str(&format!("CR  - {}\n", r.0));
+        }
+        out.push_str(&format!("DP  - {}\n\n", p.year));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+PMID- 100
+TI  - Histone binding in chromatin
+      assembly pathways
+AB  - We study histone binding.
+FT  - Long body text here.
+AU  - Smith J
+AU  - Doe A
+MH  - histone
+MH  - chromatin assembly
+DP  - 2003 Jan
+
+PMID- 200
+TI  - Kinase signaling
+AB  - Signaling cascades.
+AU  - Doe A
+CR  - 100
+CR  - 999
+DP  - 2005
+";
+
+    #[test]
+    fn parses_records_and_fields() {
+        let imp = parse_medline(SAMPLE).unwrap();
+        assert_eq!(imp.papers.len(), 2);
+        let p0 = &imp.papers[0];
+        assert_eq!(p0.title, "Histone binding in chromatin assembly pathways");
+        assert_eq!(p0.abstract_text, "We study histone binding.");
+        assert_eq!(p0.body, "Long body text here.");
+        assert_eq!(p0.index_terms, vec!["histone", "chromatin assembly"]);
+        assert_eq!(p0.year, 2003);
+        assert_eq!(imp.pmids, vec![100, 200]);
+    }
+
+    #[test]
+    fn authors_are_interned_across_records() {
+        let imp = parse_medline(SAMPLE).unwrap();
+        // "Doe A" appears in both papers with the same id.
+        let doe0 = imp.papers[0].authors[1];
+        let doe1 = imp.papers[1].authors[0];
+        assert_eq!(doe0, doe1);
+        assert_eq!(imp.author_names.len(), 2);
+        assert_eq!(imp.author_names[doe0.index()], "Doe A");
+    }
+
+    #[test]
+    fn references_resolve_by_pmid_and_dangling_are_counted() {
+        let imp = parse_medline(SAMPLE).unwrap();
+        assert_eq!(imp.papers[1].references, vec![PaperId(0)]);
+        assert_eq!(imp.dangling_references, 1); // CR 999
+    }
+
+    #[test]
+    fn round_trip_through_writer() {
+        let imp = parse_medline(SAMPLE).unwrap();
+        let names = imp.author_names.clone();
+        let text = write_medline(&imp.papers, |a| names[a.index()].clone());
+        let again = parse_medline(&text).unwrap();
+        assert_eq!(again.papers.len(), imp.papers.len());
+        for (a, b) in imp.papers.iter().zip(&again.papers) {
+            assert_eq!(a.title, b.title);
+            assert_eq!(a.abstract_text, b.abstract_text);
+            assert_eq!(a.index_terms, b.index_terms);
+            assert_eq!(a.year, b.year);
+        }
+        assert_eq!(again.dangling_references, 0);
+    }
+
+    #[test]
+    fn duplicate_pmid_is_an_error() {
+        let text = "PMID- 1\nTI  - a\n\nPMID- 1\nTI  - b\n";
+        let err = parse_medline(text).unwrap_err();
+        assert!(err.message.contains("duplicate"));
+    }
+
+    #[test]
+    fn missing_pmid_is_an_error() {
+        let text = "TI  - no id here\n";
+        assert!(parse_medline(text).is_err());
+    }
+
+    #[test]
+    fn malformed_lines_error_with_line_numbers() {
+        let text = "PMID- 1\nthis is not a tagged line\n";
+        let err = parse_medline(text).unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn continuation_outside_record_is_an_error() {
+        let text = "      dangling continuation\n";
+        assert!(parse_medline(text).is_err());
+    }
+
+    #[test]
+    fn unknown_tags_are_ignored() {
+        let text = "PMID- 1\nTI  - t\nXX  - ignored\nDP  - 1999\n";
+        let imp = parse_medline(text).unwrap();
+        assert_eq!(imp.papers[0].year, 1999);
+    }
+
+    proptest::proptest! {
+        /// The parser never panics on arbitrary input.
+        #[test]
+        fn parser_never_panics(input in "[\x20-\x7e\n]{0,400}") {
+            let _ = parse_medline(&input);
+        }
+
+        /// Random simple records round-trip.
+        #[test]
+        fn random_records_round_trip(
+            titles in proptest::collection::vec("[a-z ]{1,30}", 1..8),
+        ) {
+            let papers: Vec<Paper> = titles
+                .iter()
+                .enumerate()
+                .map(|(i, t)| Paper {
+                    id: PaperId(i as u32),
+                    title: t.trim().to_string(),
+                    abstract_text: String::new(),
+                    body: String::new(),
+                    index_terms: vec![],
+                    authors: vec![],
+                    references: if i > 0 { vec![PaperId(0)] } else { vec![] },
+                    year: 2000,
+                    true_topics: vec![],
+                })
+                .collect();
+            let text = write_medline(&papers, |_| "A".to_string());
+            let imported = parse_medline(&text).expect("round-trip");
+            proptest::prop_assert_eq!(imported.papers.len(), papers.len());
+            for (a, b) in papers.iter().zip(&imported.papers) {
+                // Writer emits trimmed titles; empty stays empty.
+                proptest::prop_assert_eq!(a.title.trim(), b.title.as_str());
+                proptest::prop_assert_eq!(&a.references, &b.references);
+            }
+        }
+    }
+
+    #[test]
+    fn imported_papers_build_a_corpus() {
+        let imp = parse_medline(SAMPLE).unwrap();
+        let corpus = crate::Corpus::new(
+            imp.papers,
+            imp.author_names,
+            Default::default(),
+            &[],
+        );
+        assert_eq!(corpus.len(), 2);
+        assert!(corpus.vocab().get("histon").is_some());
+        assert_eq!(corpus.citation_edges(), vec![(1, 0)]);
+    }
+}

@@ -1,0 +1,147 @@
+//! The paper record and its sections.
+
+use ontology::TermId;
+use serde::{Deserialize, Serialize};
+
+/// Dense identifier of a paper within a [`crate::Corpus`]. Doubles as
+/// the node index in the corpus citation graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PaperId(pub u32);
+
+impl PaperId {
+    /// The id as a usize index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Dense identifier of an author.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct AuthorId(pub u32);
+
+impl AuthorId {
+    /// The id as a usize index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The text sections of a full-text paper the paper's similarity
+/// functions distinguish (§3.2: title, abstract, body, index terms —
+/// authors and references are handled as non-text components).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Section {
+    /// Paper title.
+    Title,
+    /// Abstract.
+    Abstract,
+    /// Full body text.
+    Body,
+    /// Index terms / keywords.
+    IndexTerms,
+}
+
+impl Section {
+    /// All sections, in conventional order.
+    pub const ALL: [Section; 4] = [
+        Section::Title,
+        Section::Abstract,
+        Section::Body,
+        Section::IndexTerms,
+    ];
+}
+
+/// One full-text paper.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Paper {
+    /// This paper's id (== its position in the corpus).
+    pub id: PaperId,
+    /// Title text.
+    pub title: String,
+    /// Abstract text.
+    pub abstract_text: String,
+    /// Body text.
+    pub body: String,
+    /// Index terms (keywords), already phrase-separated.
+    pub index_terms: Vec<String>,
+    /// Authors, in byline order.
+    pub authors: Vec<AuthorId>,
+    /// Reference list: papers this paper cites.
+    pub references: Vec<PaperId>,
+    /// Publication year.
+    pub year: u16,
+    /// Generator ground truth: the ontology terms this paper is about
+    /// (first = primary topic). Used only for evidence-set construction
+    /// and diagnostics — score functions never see it.
+    pub true_topics: Vec<TermId>,
+}
+
+impl Paper {
+    /// Raw text of one section (index terms joined by "; ").
+    pub fn section_text(&self, section: Section) -> String {
+        match section {
+            Section::Title => self.title.clone(),
+            Section::Abstract => self.abstract_text.clone(),
+            Section::Body => self.body.clone(),
+            Section::IndexTerms => self.index_terms.join("; "),
+        }
+    }
+
+    /// All text concatenated (for whole-paper indexing).
+    pub fn full_text(&self) -> String {
+        let mut s = String::with_capacity(
+            self.title.len() + self.abstract_text.len() + self.body.len() + 64,
+        );
+        s.push_str(&self.title);
+        s.push_str(". ");
+        s.push_str(&self.abstract_text);
+        s.push(' ');
+        s.push_str(&self.body);
+        s.push(' ');
+        s.push_str(&self.index_terms.join(" "));
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Paper {
+        Paper {
+            id: PaperId(7),
+            title: "histone binding".into(),
+            abstract_text: "we study histone binding".into(),
+            body: "long body text".into(),
+            index_terms: vec!["histone".into(), "chromatin".into()],
+            authors: vec![AuthorId(1), AuthorId(2)],
+            references: vec![PaperId(3)],
+            year: 2001,
+            true_topics: vec![],
+        }
+    }
+
+    #[test]
+    fn section_text_selects_sections() {
+        let p = sample();
+        assert_eq!(p.section_text(Section::Title), "histone binding");
+        assert_eq!(p.section_text(Section::IndexTerms), "histone; chromatin");
+    }
+
+    #[test]
+    fn full_text_contains_all_sections() {
+        let p = sample();
+        let t = p.full_text();
+        for part in ["histone binding", "we study", "long body", "chromatin"] {
+            assert!(t.contains(part), "missing {part}");
+        }
+    }
+
+    #[test]
+    fn ids_index() {
+        assert_eq!(PaperId(5).index(), 5);
+        assert_eq!(AuthorId(9).index(), 9);
+    }
+}

@@ -1,0 +1,205 @@
+//! Evaluation-query synthesis.
+//!
+//! The paper evaluated precision with ~120 search terms taken from
+//! external life-science classification systems (e.g. TIGR roles) that
+//! had been manually mapped to GO terms — i.e. queries that are *about*
+//! a context without literally being its name. This module synthesizes
+//! the equivalent: for a sampled ontology term, a query built from a
+//! subset of the term's name words plus topic signature words drawn
+//! from the term's evidence papers, with the generating term recorded
+//! as the ground-truth mapping.
+
+use crate::store::Corpus;
+use ontology::{Ontology, TermId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// One synthesized evaluation query.
+#[derive(Debug, Clone)]
+pub struct EvalQuery {
+    /// The raw query text a user would type.
+    pub text: String,
+    /// The ontology term the external classification maps this query to.
+    pub mapped_term: TermId,
+}
+
+/// Configuration for query synthesis.
+#[derive(Debug, Clone)]
+pub struct QueryConfig {
+    /// Number of queries to generate.
+    pub n_queries: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Only terms at this level or deeper are query targets (roots are
+    /// not meaningful search terms).
+    pub min_level: u32,
+    /// Only terms with at least this many evidence papers (so the
+    /// ground truth is well defined).
+    pub min_evidence: usize,
+}
+
+impl Default for QueryConfig {
+    fn default() -> Self {
+        Self {
+            n_queries: 120,
+            seed: 2007,
+            min_level: 3,
+            min_evidence: 1,
+        }
+    }
+}
+
+/// Synthesize evaluation queries over a generated corpus.
+///
+/// Returns fewer than `n_queries` queries only if the ontology has
+/// fewer eligible terms than requested (each term is used at most once).
+pub fn generate_queries(
+    ontology: &Ontology,
+    corpus: &Corpus,
+    config: &QueryConfig,
+) -> Vec<EvalQuery> {
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let mut eligible: Vec<TermId> = ontology
+        .term_ids()
+        .filter(|&t| {
+            ontology.level(t) >= config.min_level
+                && corpus.evidence_for(t).len() >= config.min_evidence
+        })
+        .collect();
+    // Deterministic shuffle.
+    for i in (1..eligible.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        eligible.swap(i, j);
+    }
+    eligible.truncate(config.n_queries);
+
+    eligible
+        .into_iter()
+        .map(|term| {
+            let text = paraphrase_term(&mut rng, ontology, corpus, term);
+            EvalQuery {
+                text,
+                mapped_term: term,
+            }
+        })
+        .collect()
+}
+
+/// Build a query "about" `term`: a sample of its name's content words
+/// (never all of them — external classification labels paraphrase, not
+/// quote) plus, usually, one signature word found in its evidence
+/// papers' index terms.
+fn paraphrase_term<R: Rng>(
+    rng: &mut R,
+    ontology: &Ontology,
+    corpus: &Corpus,
+    term: TermId,
+) -> String {
+    let name = &ontology.term(term).name;
+    let content: Vec<&str> = name
+        .split_whitespace()
+        .filter(|w| w.len() >= 3 && !textproc::stopwords::is_stopword(w))
+        .collect();
+    let mut words: Vec<String> = Vec::new();
+    if !content.is_empty() {
+        // Keep roughly 2/3 of the content words, at least one.
+        let keep = ((content.len() * 2) / 3).max(1);
+        let start = rng.gen_range(0..=(content.len() - keep));
+        for w in &content[start..start + keep] {
+            words.push((*w).to_string());
+        }
+    }
+    // Add a signature-like token from an evidence paper's index terms.
+    let evidence = corpus.evidence_for(term);
+    if !evidence.is_empty() && rng.gen_bool(0.7) {
+        let p = corpus.paper(evidence[rng.gen_range(0..evidence.len())]);
+        let sigs: Vec<&String> = p
+            .index_terms
+            .iter()
+            .filter(|t| !t.contains(' ') && t.ends_with(|c: char| c.is_ascii_digit()))
+            .collect();
+        if !sigs.is_empty() {
+            words.push(sigs[rng.gen_range(0..sigs.len())].clone());
+        }
+    }
+    if words.is_empty() {
+        words.push(name.clone());
+    }
+    words.join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{generate_corpus, CorpusConfig};
+    use ontology::{generate_ontology, GeneratorConfig};
+
+    fn setup() -> (Ontology, Corpus) {
+        let onto = generate_ontology(&GeneratorConfig {
+            n_terms: 150,
+            seed: 3,
+            ..Default::default()
+        });
+        let corpus = generate_corpus(
+            &onto,
+            &CorpusConfig {
+                n_papers: 300,
+                seed: 9,
+                body_len: (40, 80),
+                abstract_len: (20, 40),
+                ..Default::default()
+            },
+        );
+        (onto, corpus)
+    }
+
+    #[test]
+    fn generates_queries_with_valid_targets() {
+        let (onto, corpus) = setup();
+        let qs = generate_queries(&onto, &corpus, &QueryConfig::default());
+        assert!(qs.len() >= 20, "got {} queries", qs.len());
+        for q in &qs {
+            assert!(!q.text.is_empty());
+            assert!(onto.level(q.mapped_term) >= 3);
+            assert!(!corpus.evidence_for(q.mapped_term).is_empty());
+        }
+    }
+
+    #[test]
+    fn queries_are_deterministic() {
+        let (onto, corpus) = setup();
+        let a = generate_queries(&onto, &corpus, &QueryConfig::default());
+        let b = generate_queries(&onto, &corpus, &QueryConfig::default());
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.text, y.text);
+            assert_eq!(x.mapped_term, y.mapped_term);
+        }
+    }
+
+    #[test]
+    fn queries_target_distinct_terms() {
+        let (onto, corpus) = setup();
+        let qs = generate_queries(&onto, &corpus, &QueryConfig::default());
+        let set: std::collections::HashSet<TermId> =
+            qs.iter().map(|q| q.mapped_term).collect();
+        assert_eq!(set.len(), qs.len());
+    }
+
+    #[test]
+    fn query_words_relate_to_term_name() {
+        let (onto, corpus) = setup();
+        let qs = generate_queries(&onto, &corpus, &QueryConfig::default());
+        let mut with_name_word = 0;
+        for q in &qs {
+            let name = &onto.term(q.mapped_term).name;
+            if q.text.split(' ').any(|w| name.contains(w)) {
+                with_name_word += 1;
+            }
+        }
+        assert!(
+            with_name_word * 10 >= qs.len() * 9,
+            "most queries should share words with their term"
+        );
+    }
+}

@@ -1,0 +1,98 @@
+//! Descriptive corpus statistics, for diagnostics and the experiment
+//! harness's provenance output.
+
+use crate::store::Corpus;
+use serde::Serialize;
+
+/// Summary statistics of a corpus.
+#[derive(Debug, Clone, Serialize)]
+pub struct CorpusStats {
+    /// Number of papers.
+    pub n_papers: usize,
+    /// Number of distinct authors.
+    pub n_authors: usize,
+    /// Total citation edges.
+    pub n_citations: usize,
+    /// Mean reference-list length.
+    pub mean_references: f64,
+    /// Mean authors per paper.
+    pub mean_authors: f64,
+    /// Distinct vocabulary size after analysis.
+    pub vocab_size: usize,
+    /// Mean analyzed body length in tokens.
+    pub mean_body_tokens: f64,
+    /// Number of ontology terms with at least one evidence paper.
+    pub terms_with_evidence: usize,
+}
+
+impl CorpusStats {
+    /// Compute statistics over `corpus`.
+    pub fn compute(corpus: &Corpus) -> Self {
+        let n = corpus.len();
+        let n_citations: usize = corpus.papers().iter().map(|p| p.references.len()).sum();
+        let total_authors: usize = corpus.papers().iter().map(|p| p.authors.len()).sum();
+        let total_body: usize = corpus
+            .paper_ids()
+            .map(|id| corpus.analyzed(id).body.len())
+            .sum();
+        Self {
+            n_papers: n,
+            n_authors: corpus.n_authors(),
+            n_citations,
+            mean_references: ratio(n_citations, n),
+            mean_authors: ratio(total_authors, n),
+            vocab_size: corpus.vocab().len(),
+            mean_body_tokens: ratio(total_body, n),
+            terms_with_evidence: corpus.terms_with_evidence().count(),
+        }
+    }
+}
+
+fn ratio(num: usize, den: usize) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{generate_corpus, CorpusConfig};
+    use ontology::{generate_ontology, GeneratorConfig};
+
+    #[test]
+    fn stats_are_plausible() {
+        let onto = generate_ontology(&GeneratorConfig {
+            n_terms: 100,
+            seed: 3,
+            ..Default::default()
+        });
+        let corpus = generate_corpus(
+            &onto,
+            &CorpusConfig {
+                n_papers: 150,
+                seed: 9,
+                body_len: (40, 80),
+                abstract_len: (20, 40),
+                ..Default::default()
+            },
+        );
+        let s = CorpusStats::compute(&corpus);
+        assert_eq!(s.n_papers, 150);
+        assert!(s.mean_references > 2.0, "{}", s.mean_references);
+        assert!(s.mean_authors >= 2.0);
+        assert!(s.vocab_size > 500);
+        assert!(s.mean_body_tokens > 20.0);
+        assert!(s.terms_with_evidence > 5);
+    }
+
+    #[test]
+    fn empty_corpus_stats_are_zero() {
+        let c = Corpus::new(vec![], vec![], Default::default(), &[]);
+        let s = CorpusStats::compute(&c);
+        assert_eq!(s.n_papers, 0);
+        assert_eq!(s.mean_references, 0.0);
+    }
+}

@@ -1,0 +1,171 @@
+//! Deterministic pseudo-word synthesis and Zipf-distributed background
+//! vocabulary.
+//!
+//! The synthetic corpus needs two kinds of non-English words:
+//!
+//! * **background words** — generic filler tokens whose frequencies
+//!   follow a Zipf law, like real text (this is what makes TF-IDF
+//!   weighting behave realistically),
+//! * **signature words** — rare, topic-specific tokens (think gene
+//!   symbols like "brca2") that make each ontology term's papers
+//!   textually identifiable.
+//!
+//! Both are built from pronounceable consonant-vowel syllables so
+//! generated text looks plausible and tokenizes cleanly.
+
+use rand::Rng;
+
+const ONSETS: &[&str] = &[
+    "b", "br", "c", "cr", "d", "dr", "f", "fl", "g", "gl", "h", "k", "l", "m", "n", "p", "pr",
+    "r", "s", "st", "t", "tr", "v", "z", "th", "ph", "ch",
+];
+const NUCLEI: &[&str] = &["a", "e", "i", "o", "u", "ae", "io", "ou"];
+const CODAS: &[&str] = &["", "n", "m", "r", "s", "x", "l", "t", "d", "k"];
+
+/// Generate one pronounceable pseudo-word with `syllables` syllables.
+pub fn synth_word<R: Rng>(rng: &mut R, syllables: usize) -> String {
+    let mut w = String::new();
+    for _ in 0..syllables.max(1) {
+        w.push_str(ONSETS[rng.gen_range(0..ONSETS.len())]);
+        w.push_str(NUCLEI[rng.gen_range(0..NUCLEI.len())]);
+        if rng.gen_bool(0.4) {
+            w.push_str(CODAS[rng.gen_range(0..CODAS.len())]);
+        }
+    }
+    w
+}
+
+/// Generate a gene-symbol-like signature word, e.g. "brax4".
+///
+/// Always ends in a digit: digit-bearing tokens bypass Porter stemming,
+/// so a signature word reads back from generated text exactly as
+/// written — the property topic matching relies on.
+pub fn synth_signature<R: Rng>(rng: &mut R) -> String {
+    let mut w = synth_word(rng, 2);
+    w.truncate(5);
+    w.push(char::from_digit(rng.gen_range(1..10), 10).expect("digit"));
+    w
+}
+
+/// A fixed vocabulary with Zipf-distributed sampling.
+#[derive(Debug, Clone)]
+pub struct ZipfVocabulary {
+    words: Vec<String>,
+    /// Cumulative (unnormalized) weights for binary-search sampling.
+    cumulative: Vec<f64>,
+}
+
+impl ZipfVocabulary {
+    /// Build `size` distinct pseudo-words with Zipf(`exponent`) weights
+    /// (rank 1 is most frequent).
+    pub fn generate<R: Rng>(rng: &mut R, size: usize, exponent: f64) -> Self {
+        let mut words = Vec::with_capacity(size);
+        let mut seen = std::collections::HashSet::with_capacity(size);
+        while words.len() < size {
+            let syll = 2 + (words.len() % 3); // mix of 2-4 syllable words
+            let w = synth_word(rng, syll);
+            if w.len() >= 3 && seen.insert(w.clone()) {
+                words.push(w);
+            }
+        }
+        let mut cumulative = Vec::with_capacity(size);
+        let mut acc = 0.0;
+        for rank in 1..=size {
+            acc += 1.0 / (rank as f64).powf(exponent);
+            cumulative.push(acc);
+        }
+        Self { words, cumulative }
+    }
+
+    /// Number of words.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Sample one word according to the Zipf weights.
+    pub fn sample<'a, R: Rng>(&'a self, rng: &mut R) -> &'a str {
+        let total = *self.cumulative.last().expect("non-empty vocabulary");
+        let x = rng.gen_range(0.0..total);
+        let i = self.cumulative.partition_point(|&c| c < x);
+        &self.words[i.min(self.words.len() - 1)]
+    }
+
+    /// The word at `rank` (0 = most frequent).
+    pub fn word(&self, rank: usize) -> &str {
+        &self.words[rank]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn synth_words_are_lowercase_alpha() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let w = synth_word(&mut rng, 3);
+            assert!(w.bytes().all(|b| b.is_ascii_lowercase()), "{w}");
+            assert!(w.len() >= 3);
+        }
+    }
+
+    #[test]
+    fn signatures_look_like_gene_symbols() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        for _ in 0..100 {
+            let s = synth_signature(&mut rng);
+            assert!(s.len() >= 3 && s.len() <= 6, "{s}");
+            assert!(s.ends_with(|c: char| c.is_ascii_digit()), "{s}");
+            assert!(s
+                .bytes()
+                .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit()));
+        }
+    }
+
+    #[test]
+    fn vocabulary_has_requested_distinct_size() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let v = ZipfVocabulary::generate(&mut rng, 500, 1.1);
+        assert_eq!(v.len(), 500);
+        let set: std::collections::HashSet<&str> =
+            (0..500).map(|i| v.word(i)).collect();
+        assert_eq!(set.len(), 500);
+    }
+
+    #[test]
+    fn sampling_is_zipf_skewed() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let v = ZipfVocabulary::generate(&mut rng, 200, 1.1);
+        let mut head = 0usize;
+        let n = 20_000;
+        let top: std::collections::HashSet<String> =
+            (0..20).map(|i| v.word(i).to_string()).collect();
+        for _ in 0..n {
+            if top.contains(v.sample(&mut rng)) {
+                head += 1;
+            }
+        }
+        // Top-10% of ranks should carry much more than 10% of mass.
+        assert!(
+            head as f64 / n as f64 > 0.3,
+            "zipf head mass too small: {head}/{n}"
+        );
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = ZipfVocabulary::generate(&mut SmallRng::seed_from_u64(9), 50, 1.0);
+        let b = ZipfVocabulary::generate(&mut SmallRng::seed_from_u64(9), 50, 1.0);
+        for i in 0..50 {
+            assert_eq!(a.word(i), b.word(i));
+        }
+    }
+}

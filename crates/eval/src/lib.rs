@@ -1,0 +1,23 @@
+//! Evaluation methodology of the paper (§2, §5): accuracy and
+//! separability of prestige score functions.
+//!
+//! * [`mod@precision`] — precision of thresholded result sets against a
+//!   ground-truth answer set, with average/median curves over queries
+//!   and thresholds (Figs 5.1, 5.2),
+//! * [`overlap`] — the top-k(%) overlapping ratio between two score
+//!   functions, with the paper's tie-handling rule (Fig 5.3),
+//! * [`separability`] — the score-distribution standard-deviation
+//!   statistic and SD histograms (Figs 5.4–5.7),
+//! * [`stats`] — small numeric helpers (mean, median),
+//! * [`report`] — table rendering for harness output (markdown + JSON).
+
+pub mod overlap;
+pub mod precision;
+pub mod report;
+pub mod separability;
+pub mod stats;
+
+pub use overlap::{top_k_overlap, top_k_percent_overlap};
+pub use precision::{f1, precision, precision_curve, recall, PrecisionCurves};
+pub use separability::{sd_histogram, separability_sd};
+pub use stats::{mean, median};

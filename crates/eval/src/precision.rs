@@ -1,0 +1,183 @@
+//! Precision of thresholded search results (paper §2, Figs 5.1–5.2).
+//!
+//! `Precision_t = |S_t ∩ R_t| / |S_t|` where `S_t` is the result set of
+//! papers whose relevancy score exceeds threshold `t` and `R_t` the
+//! true answer (AC-answer) set. The paper plots average *and* median
+//! precision across queries per threshold, noting that queries with
+//! empty result sets at high `t` contribute precision 0 to the average
+//! (which is why the median curves look better at high thresholds).
+
+use crate::stats::{mean, median};
+use serde::Serialize;
+use std::collections::HashSet;
+
+/// Plain set precision; 1.0 for an empty result set is *not* granted —
+/// the paper counts empty results as precision 0.
+pub fn precision(results: &HashSet<u32>, truth: &HashSet<u32>) -> f64 {
+    if results.is_empty() {
+        return 0.0;
+    }
+    let hits = results.intersection(truth).count();
+    hits as f64 / results.len() as f64
+}
+
+/// Set recall. The paper argues (§2) that recall matters less than
+/// precision for large digital libraries — users never scan far — and
+/// evaluates only precision; recall is provided for completeness and
+/// for the harness's baseline comparison.
+pub fn recall(results: &HashSet<u32>, truth: &HashSet<u32>) -> f64 {
+    if truth.is_empty() {
+        return 0.0;
+    }
+    results.intersection(truth).count() as f64 / truth.len() as f64
+}
+
+/// Balanced F1 of [`precision`] and [`recall`]; 0.0 when both are 0.
+pub fn f1(results: &HashSet<u32>, truth: &HashSet<u32>) -> f64 {
+    let p = precision(results, truth);
+    let r = recall(results, truth);
+    if p + r == 0.0 {
+        0.0
+    } else {
+        2.0 * p * r / (p + r)
+    }
+}
+
+/// Precision of score-thresholded results at each threshold: for each
+/// `t` in `thresholds`, keep results with `score > t` and measure
+/// against `truth`.
+pub fn precision_curve(
+    scored_results: &[(u32, f64)],
+    truth: &HashSet<u32>,
+    thresholds: &[f64],
+) -> Vec<f64> {
+    thresholds
+        .iter()
+        .map(|&t| {
+            let s_t: HashSet<u32> = scored_results
+                .iter()
+                .filter(|&&(_, s)| s > t)
+                .map(|&(id, _)| id)
+                .collect();
+            precision(&s_t, truth)
+        })
+        .collect()
+}
+
+/// Average and median precision curves over a set of queries.
+#[derive(Debug, Clone, Serialize)]
+pub struct PrecisionCurves {
+    /// The thresholds (x-axis).
+    pub thresholds: Vec<f64>,
+    /// Mean precision per threshold.
+    pub average: Vec<f64>,
+    /// Median precision per threshold.
+    pub median: Vec<f64>,
+    /// Number of queries aggregated.
+    pub n_queries: usize,
+}
+
+impl PrecisionCurves {
+    /// Aggregate per-query precision curves (all computed on the same
+    /// thresholds).
+    pub fn aggregate(thresholds: &[f64], per_query: &[Vec<f64>]) -> Self {
+        let n_t = thresholds.len();
+        let mut average = Vec::with_capacity(n_t);
+        let mut med = Vec::with_capacity(n_t);
+        for i in 0..n_t {
+            let col: Vec<f64> = per_query.iter().map(|q| q[i]).collect();
+            average.push(mean(&col));
+            med.push(median(&col));
+        }
+        Self {
+            thresholds: thresholds.to_vec(),
+            average,
+            median: med,
+            n_queries: per_query.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(xs: &[u32]) -> HashSet<u32> {
+        xs.iter().copied().collect()
+    }
+
+    #[test]
+    fn precision_basics() {
+        assert_eq!(precision(&set(&[1, 2, 3, 4]), &set(&[1, 2])), 0.5);
+        assert_eq!(precision(&set(&[1]), &set(&[1])), 1.0);
+        assert_eq!(precision(&set(&[9]), &set(&[1])), 0.0);
+    }
+
+    #[test]
+    fn empty_results_count_zero() {
+        assert_eq!(precision(&set(&[]), &set(&[1])), 0.0);
+    }
+
+    #[test]
+    fn recall_basics() {
+        assert_eq!(recall(&set(&[1, 2]), &set(&[1, 2, 3, 4])), 0.5);
+        assert_eq!(recall(&set(&[9]), &set(&[1])), 0.0);
+        assert_eq!(recall(&set(&[1]), &set(&[])), 0.0);
+    }
+
+    #[test]
+    fn f1_is_harmonic_mean() {
+        // precision 1.0, recall 0.5 → F1 = 2/3.
+        let f = f1(&set(&[1]), &set(&[1, 2]));
+        assert!((f - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(f1(&set(&[]), &set(&[])), 0.0);
+    }
+
+    #[test]
+    fn perfect_retrieval_scores_one_everywhere() {
+        let s = set(&[1, 2, 3]);
+        assert_eq!(precision(&s, &s), 1.0);
+        assert_eq!(recall(&s, &s), 1.0);
+        assert_eq!(f1(&s, &s), 1.0);
+    }
+
+    #[test]
+    fn thresholding_filters_scores() {
+        let scored = vec![(1, 0.9), (2, 0.5), (3, 0.1)];
+        let truth = set(&[1]);
+        let c = precision_curve(&scored, &truth, &[0.0, 0.4, 0.8]);
+        // t=0: {1,2,3} → 1/3; t=0.4: {1,2} → 1/2; t=0.8: {1} → 1.
+        assert!((c[0] - 1.0 / 3.0).abs() < 1e-12);
+        assert!((c[1] - 0.5).abs() < 1e-12);
+        assert!((c[2] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn threshold_is_strict() {
+        let scored = vec![(1, 0.5)];
+        let c = precision_curve(&scored, &set(&[1]), &[0.5]);
+        assert_eq!(c[0], 0.0, "score == t is excluded, set empty → 0");
+    }
+
+    #[test]
+    fn aggregation_means_and_medians() {
+        let thresholds = [0.0, 0.5];
+        let per_query = vec![vec![1.0, 0.0], vec![0.0, 0.0], vec![0.5, 1.0]];
+        let c = PrecisionCurves::aggregate(&thresholds, &per_query);
+        assert!((c.average[0] - 0.5).abs() < 1e-12);
+        assert!((c.median[0] - 0.5).abs() < 1e-12);
+        assert!((c.average[1] - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(c.median[1], 0.0);
+        assert_eq!(c.n_queries, 3);
+    }
+
+    #[test]
+    fn median_resists_empty_result_queries() {
+        // The paper's observation: zeros from empty result sets pull the
+        // average down but not the median.
+        let thresholds = [0.4];
+        let per_query = vec![vec![0.9], vec![0.95], vec![1.0], vec![0.0], vec![0.0]];
+        let c = PrecisionCurves::aggregate(&thresholds, &per_query);
+        assert!(c.median[0] > c.average[0]);
+    }
+}

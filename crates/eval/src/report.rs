@@ -1,0 +1,96 @@
+//! Result-table rendering for the experiment harness: every figure
+//! binary prints a markdown table (for EXPERIMENTS.md) and can dump the
+//! same data as JSON (for downstream plotting).
+
+use serde::Serialize;
+
+/// A simple column-oriented results table.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table {
+    /// Table title (e.g. "Fig 5.1 — precision, text-based paper set").
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Rows of cells, already formatted.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start an empty table.
+    pub fn new(title: impl Into<String>, columns: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the column count).
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.columns.len(),
+            "row width must match columns"
+        );
+        self.rows.push(cells);
+    }
+
+    /// Append a row of numbers formatted to 3 decimals, after a label.
+    pub fn push_numeric_row(&mut self, label: impl Into<String>, values: &[f64]) {
+        let mut cells = Vec::with_capacity(values.len() + 1);
+        cells.push(label.into());
+        cells.extend(values.iter().map(|v| format!("{v:.3}")));
+        self.push_row(cells);
+    }
+
+    /// Render as a GitHub-flavored markdown table.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("### {}\n\n", self.title));
+        out.push_str(&format!("| {} |\n", self.columns.join(" | ")));
+        out.push_str(&format!(
+            "|{}\n",
+            self.columns.iter().map(|_| "---|").collect::<String>()
+        ));
+        for row in &self.rows {
+            out.push_str(&format!("| {} |\n", row.join(" | ")));
+        }
+        out
+    }
+
+    /// Render as pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("table serializes")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_rendering() {
+        let mut t = Table::new("Demo", &["t", "text", "citation"]);
+        t.push_numeric_row("avg", &[0.5, 0.25]);
+        let md = t.to_markdown();
+        assert!(md.contains("### Demo"));
+        assert!(md.contains("| t | text | citation |"));
+        assert!(md.contains("| avg | 0.500 | 0.250 |"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_mismatch_panics() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.push_row(vec!["only one".into()]);
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let mut t = Table::new("J", &["a"]);
+        t.push_row(vec!["1".into()]);
+        let v: serde_json::Value = serde_json::from_str(&t.to_json()).unwrap();
+        assert_eq!(v["title"], "J");
+        assert_eq!(v["rows"][0][0], "1");
+    }
+}

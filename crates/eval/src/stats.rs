@@ -1,0 +1,131 @@
+//! Small numeric helpers shared by the metrics.
+
+/// Arithmetic mean; 0.0 for empty input.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Median (average of the two central values for even lengths); 0.0 for
+/// empty input.
+pub fn median(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let n = v.len();
+    if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        (v[n / 2 - 1] + v[n / 2]) / 2.0
+    }
+}
+
+/// Population standard deviation; 0.0 for empty input.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+/// Pearson correlation of two equal-length series; 0.0 when undefined.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "series must be equal length");
+    let n = xs.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let (mx, my) = (mean(xs), mean(ys));
+    let mut cov = 0.0;
+    let (mut vx, mut vy) = (0.0, 0.0);
+    for i in 0..n {
+        let (dx, dy) = (xs[i] - mx, ys[i] - my);
+        cov += dx * dy;
+        vx += dx * dx;
+        vy += dy * dy;
+    }
+    if vx == 0.0 || vy == 0.0 {
+        return 0.0;
+    }
+    cov / (vx.sqrt() * vy.sqrt())
+}
+
+/// Spearman rank correlation; 0.0 when undefined.
+pub fn spearman(xs: &[f64], ys: &[f64]) -> f64 {
+    let rank = |v: &[f64]| -> Vec<f64> {
+        let mut idx: Vec<usize> = (0..v.len()).collect();
+        idx.sort_by(|&a, &b| v[a].partial_cmp(&v[b]).unwrap_or(std::cmp::Ordering::Equal));
+        let mut ranks = vec![0.0f64; v.len()];
+        let mut i = 0;
+        while i < idx.len() {
+            // Average ranks over ties.
+            let mut j = i;
+            while j + 1 < idx.len() && v[idx[j + 1]] == v[idx[i]] {
+                j += 1;
+            }
+            let avg = (i + j) as f64 / 2.0;
+            for k in i..=j {
+                ranks[idx[k]] = avg;
+            }
+            i = j + 1;
+        }
+        ranks
+    };
+    pearson(&rank(xs), &rank(ys))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_median_basics() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(median(&[]), 0.0);
+    }
+
+    #[test]
+    fn std_dev_of_constant_is_zero() {
+        assert_eq!(std_dev(&[5.0, 5.0, 5.0]), 0.0);
+        assert!((std_dev(&[1.0, 3.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_of_linear_is_one() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&xs, &ys) - 1.0).abs() < 1e-12);
+        let neg = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&xs, &neg) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_of_constant_is_zero() {
+        assert_eq!(pearson(&[1.0, 1.0], &[2.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn spearman_is_rank_based() {
+        // Monotone but nonlinear: spearman 1, pearson < 1.
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [1.0, 10.0, 100.0, 1000.0];
+        assert!((spearman(&xs, &ys) - 1.0).abs() < 1e-12);
+        assert!(pearson(&xs, &ys) < 1.0);
+    }
+
+    #[test]
+    fn spearman_handles_ties() {
+        let xs = [1.0, 1.0, 2.0];
+        let ys = [1.0, 1.0, 2.0];
+        assert!((spearman(&xs, &ys) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,470 @@
+//! The ontology term DAG.
+//!
+//! Terms are related by is-a edges pointing from child (more specific)
+//! to parent (more general). Multiple parents are allowed, as in GO.
+//! The paper's experiments slice contexts by *level*; following the
+//! paper ("Level 1 = root level"), a term's level is 1 + the length of
+//! the shortest is-a path to a root.
+
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Identifier of a term within one [`Ontology`] (dense, 0-based).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TermId(pub u32);
+
+impl TermId {
+    /// The id as a usize index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for TermId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// One ontology term (a *context* in the paper's terminology).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Term {
+    /// Stable accession string, e.g. `GO:0003700`.
+    pub accession: String,
+    /// Human-readable term name, e.g. `transcription factor activity`.
+    pub name: String,
+    /// Namespace / sub-ontology, e.g. `molecular_function`.
+    pub namespace: String,
+    /// Parent terms (is-a edges toward the root).
+    pub parents: Vec<TermId>,
+}
+
+/// Errors raised while assembling an ontology.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OntologyError {
+    /// A parent reference points outside the term table.
+    DanglingParent {
+        /// The term holding the bad reference.
+        term: usize,
+        /// The out-of-range parent id.
+        parent: u32,
+    },
+    /// The is-a relation has a cycle (ontologies must be DAGs).
+    CycleDetected,
+    /// Two terms share an accession string.
+    DuplicateAccession(String),
+}
+
+impl fmt::Display for OntologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::DanglingParent { term, parent } => {
+                write!(f, "term #{term} references nonexistent parent #{parent}")
+            }
+            Self::CycleDetected => write!(f, "is-a relation contains a cycle"),
+            Self::DuplicateAccession(a) => write!(f, "duplicate accession {a}"),
+        }
+    }
+}
+
+impl std::error::Error for OntologyError {}
+
+/// An immutable, validated ontology DAG with precomputed levels.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Ontology {
+    terms: Vec<Term>,
+    children: Vec<Vec<TermId>>,
+    roots: Vec<TermId>,
+    /// 1-based level: roots are level 1 (paper convention).
+    levels: Vec<u32>,
+    /// Topological order, parents before children.
+    topo: Vec<TermId>,
+}
+
+impl Ontology {
+    /// Validate and index a term table.
+    pub fn new(terms: Vec<Term>) -> Result<Self, OntologyError> {
+        let n = terms.len();
+        // Accession uniqueness.
+        {
+            let mut seen = std::collections::HashSet::with_capacity(n);
+            for t in &terms {
+                if !seen.insert(t.accession.as_str()) {
+                    return Err(OntologyError::DuplicateAccession(t.accession.clone()));
+                }
+            }
+        }
+        let mut children: Vec<Vec<TermId>> = vec![Vec::new(); n];
+        let mut indegree = vec![0u32; n]; // number of parents
+        for (i, t) in terms.iter().enumerate() {
+            for &p in &t.parents {
+                if p.index() >= n {
+                    return Err(OntologyError::DanglingParent {
+                        term: i,
+                        parent: p.0,
+                    });
+                }
+                children[p.index()].push(TermId(i as u32));
+                indegree[i] += 1;
+            }
+        }
+        let roots: Vec<TermId> = (0..n)
+            .filter(|&i| indegree[i] == 0)
+            .map(|i| TermId(i as u32))
+            .collect();
+
+        // Kahn's algorithm from roots; also computes shortest-path levels.
+        let mut levels = vec![0u32; n];
+        let mut remaining = indegree.clone();
+        let mut queue: VecDeque<TermId> = roots.iter().copied().collect();
+        for &r in &roots {
+            levels[r.index()] = 1;
+        }
+        let mut topo = Vec::with_capacity(n);
+        // BFS for levels first (shortest path from any root).
+        {
+            let mut dist = vec![u32::MAX; n];
+            let mut bfs: VecDeque<TermId> = roots.iter().copied().collect();
+            for &r in &roots {
+                dist[r.index()] = 1;
+            }
+            while let Some(t) = bfs.pop_front() {
+                let d = dist[t.index()];
+                for &c in &children[t.index()] {
+                    if dist[c.index()] == u32::MAX {
+                        dist[c.index()] = d + 1;
+                        bfs.push_back(c);
+                    }
+                }
+            }
+            for i in 0..n {
+                // Unreachable terms (only possible with cycles) keep 0 and
+                // are caught by the topo check below.
+                levels[i] = if dist[i] == u32::MAX { 0 } else { dist[i] };
+            }
+        }
+        while let Some(t) = queue.pop_front() {
+            topo.push(t);
+            for &c in &children[t.index()] {
+                remaining[c.index()] -= 1;
+                if remaining[c.index()] == 0 {
+                    queue.push_back(c);
+                }
+            }
+        }
+        if topo.len() != n {
+            return Err(OntologyError::CycleDetected);
+        }
+        Ok(Self {
+            terms,
+            children,
+            roots,
+            levels,
+            topo,
+        })
+    }
+
+    /// Number of terms.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// True if the ontology has no terms.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// The term record for `id`.
+    pub fn term(&self, id: TermId) -> &Term {
+        &self.terms[id.index()]
+    }
+
+    /// All term ids in id order.
+    pub fn term_ids(&self) -> impl Iterator<Item = TermId> + '_ {
+        (0..self.terms.len() as u32).map(TermId)
+    }
+
+    /// Look up a term by accession (linear scan; build a map for bulk use).
+    pub fn find_by_accession(&self, accession: &str) -> Option<TermId> {
+        self.terms
+            .iter()
+            .position(|t| t.accession == accession)
+            .map(|i| TermId(i as u32))
+    }
+
+    /// Root terms (no parents).
+    pub fn roots(&self) -> &[TermId] {
+        &self.roots
+    }
+
+    /// Direct parents of `id`.
+    pub fn parents(&self, id: TermId) -> &[TermId] {
+        &self.terms[id.index()].parents
+    }
+
+    /// Direct children of `id`.
+    pub fn children(&self, id: TermId) -> &[TermId] {
+        &self.children[id.index()]
+    }
+
+    /// 1-based level (root = 1, paper convention); shortest distance when
+    /// a term has multiple paths to a root.
+    pub fn level(&self, id: TermId) -> u32 {
+        self.levels[id.index()]
+    }
+
+    /// Maximum level present in the ontology.
+    pub fn max_level(&self) -> u32 {
+        self.levels.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Topological order (every parent precedes its children).
+    pub fn topological_order(&self) -> &[TermId] {
+        &self.topo
+    }
+
+    /// All strict descendants of `id` (excluding `id` itself).
+    pub fn descendants(&self, id: TermId) -> Vec<TermId> {
+        let mut seen = vec![false; self.terms.len()];
+        let mut stack = vec![id];
+        let mut out = Vec::new();
+        seen[id.index()] = true;
+        while let Some(t) = stack.pop() {
+            for &c in self.children(t) {
+                if !seen[c.index()] {
+                    seen[c.index()] = true;
+                    out.push(c);
+                    stack.push(c);
+                }
+            }
+        }
+        out
+    }
+
+    /// All strict ancestors of `id` (excluding `id` itself).
+    pub fn ancestors(&self, id: TermId) -> Vec<TermId> {
+        let mut seen = vec![false; self.terms.len()];
+        let mut stack = vec![id];
+        let mut out = Vec::new();
+        seen[id.index()] = true;
+        while let Some(t) = stack.pop() {
+            for &p in self.parents(t) {
+                if !seen[p.index()] {
+                    seen[p.index()] = true;
+                    out.push(p);
+                    stack.push(p);
+                }
+            }
+        }
+        out
+    }
+
+    /// Is `descendant` a strict descendant of `ancestor`?
+    pub fn is_descendant(&self, descendant: TermId, ancestor: TermId) -> bool {
+        if descendant == ancestor {
+            return false;
+        }
+        let mut seen = vec![false; self.terms.len()];
+        let mut stack = vec![descendant];
+        seen[descendant.index()] = true;
+        while let Some(t) = stack.pop() {
+            for &p in self.parents(t) {
+                if p == ancestor {
+                    return true;
+                }
+                if !seen[p.index()] {
+                    seen[p.index()] = true;
+                    stack.push(p);
+                }
+            }
+        }
+        false
+    }
+
+    /// Number of strict descendants of every term, computed in one pass
+    /// (reverse-topological bitset union would be exact but quadratic in
+    /// memory; this uses per-term DFS counts, fine at GO scale).
+    pub fn descendant_counts(&self) -> Vec<u32> {
+        (0..self.terms.len())
+            .map(|i| self.descendants(TermId(i as u32)).len() as u32)
+            .collect()
+    }
+
+    /// Terms at exactly `level`.
+    pub fn terms_at_level(&self, level: u32) -> Vec<TermId> {
+        self.term_ids()
+            .filter(|&t| self.level(t) == level)
+            .collect()
+    }
+
+    /// The closest strict ancestor according to level (deepest ancestor);
+    /// ties broken by smallest id. `None` for roots. Used by the
+    /// pattern-based context paper set's empty-context fallback (§4).
+    pub fn closest_ancestor(&self, id: TermId) -> Option<TermId> {
+        self.ancestors(id)
+            .into_iter()
+            .max_by(|a, b| {
+                self.level(*a)
+                    .cmp(&self.level(*b))
+                    .then(b.0.cmp(&a.0))
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A small diamond:
+    ///        0 (root)
+    ///       / \
+    ///      1   2
+    ///       \ / \
+    ///        3   4
+    ///        |
+    ///        5
+    pub(crate) fn diamond() -> Ontology {
+        let t = |acc: &str, name: &str, parents: Vec<u32>| Term {
+            accession: acc.to_string(),
+            name: name.to_string(),
+            namespace: "test".to_string(),
+            parents: parents.into_iter().map(TermId).collect(),
+        };
+        Ontology::new(vec![
+            t("GO:0", "root", vec![]),
+            t("GO:1", "left", vec![0]),
+            t("GO:2", "right", vec![0]),
+            t("GO:3", "join", vec![1, 2]),
+            t("GO:4", "leaf4", vec![2]),
+            t("GO:5", "leaf5", vec![3]),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn levels_follow_paper_convention() {
+        let o = diamond();
+        assert_eq!(o.level(TermId(0)), 1); // root = level 1
+        assert_eq!(o.level(TermId(1)), 2);
+        assert_eq!(o.level(TermId(2)), 2);
+        assert_eq!(o.level(TermId(3)), 3);
+        assert_eq!(o.level(TermId(5)), 4);
+        assert_eq!(o.max_level(), 4);
+    }
+
+    #[test]
+    fn roots_and_children() {
+        let o = diamond();
+        assert_eq!(o.roots(), &[TermId(0)]);
+        assert_eq!(o.children(TermId(2)), &[TermId(3), TermId(4)]);
+        assert_eq!(o.parents(TermId(3)), &[TermId(1), TermId(2)]);
+    }
+
+    #[test]
+    fn descendants_and_ancestors() {
+        let o = diamond();
+        let mut d = o.descendants(TermId(2));
+        d.sort();
+        assert_eq!(d, vec![TermId(3), TermId(4), TermId(5)]);
+        let mut a = o.ancestors(TermId(5));
+        a.sort();
+        assert_eq!(a, vec![TermId(0), TermId(1), TermId(2), TermId(3)]);
+        assert!(o.descendants(TermId(5)).is_empty());
+    }
+
+    #[test]
+    fn is_descendant_queries() {
+        let o = diamond();
+        assert!(o.is_descendant(TermId(5), TermId(0)));
+        assert!(o.is_descendant(TermId(3), TermId(2)));
+        assert!(!o.is_descendant(TermId(2), TermId(3)));
+        assert!(!o.is_descendant(TermId(4), TermId(1)));
+        assert!(!o.is_descendant(TermId(3), TermId(3)));
+    }
+
+    #[test]
+    fn topological_order_respects_edges() {
+        let o = diamond();
+        let pos: std::collections::HashMap<TermId, usize> = o
+            .topological_order()
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| (t, i))
+            .collect();
+        for t in o.term_ids() {
+            for &p in o.parents(t) {
+                assert!(pos[&p] < pos[&t], "{p} must precede {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn closest_ancestor_prefers_deepest() {
+        let o = diamond();
+        assert_eq!(o.closest_ancestor(TermId(5)), Some(TermId(3)));
+        assert_eq!(o.closest_ancestor(TermId(0)), None);
+        // Term 3 has parents at level 2 both; tie → smaller id.
+        assert_eq!(o.closest_ancestor(TermId(3)), Some(TermId(1)));
+    }
+
+    #[test]
+    fn cycle_is_rejected() {
+        let t = |acc: &str, parents: Vec<u32>| Term {
+            accession: acc.to_string(),
+            name: acc.to_string(),
+            namespace: "test".to_string(),
+            parents: parents.into_iter().map(TermId).collect(),
+        };
+        let err = Ontology::new(vec![t("a", vec![1]), t("b", vec![0])]).unwrap_err();
+        assert_eq!(err, OntologyError::CycleDetected);
+    }
+
+    #[test]
+    fn dangling_parent_is_rejected() {
+        let err = Ontology::new(vec![Term {
+            accession: "a".into(),
+            name: "a".into(),
+            namespace: "t".into(),
+            parents: vec![TermId(7)],
+        }])
+        .unwrap_err();
+        assert!(matches!(err, OntologyError::DanglingParent { .. }));
+    }
+
+    #[test]
+    fn duplicate_accession_is_rejected() {
+        let t = |acc: &str| Term {
+            accession: acc.to_string(),
+            name: acc.to_string(),
+            namespace: "t".to_string(),
+            parents: vec![],
+        };
+        let err = Ontology::new(vec![t("same"), t("same")]).unwrap_err();
+        assert_eq!(err, OntologyError::DuplicateAccession("same".into()));
+    }
+
+    #[test]
+    fn empty_ontology_is_fine() {
+        let o = Ontology::new(vec![]).unwrap();
+        assert!(o.is_empty());
+        assert_eq!(o.max_level(), 0);
+    }
+
+    #[test]
+    fn descendant_counts_match_descendants() {
+        let o = diamond();
+        let counts = o.descendant_counts();
+        for t in o.term_ids() {
+            assert_eq!(counts[t.index()] as usize, o.descendants(t).len());
+        }
+    }
+
+    #[test]
+    fn find_by_accession_works() {
+        let o = diamond();
+        assert_eq!(o.find_by_accession("GO:3"), Some(TermId(3)));
+        assert_eq!(o.find_by_accession("GO:99"), None);
+    }
+}

@@ -1,0 +1,166 @@
+//! Ontology export utilities: Graphviz DOT rendering and sub-ontology
+//! extraction (restricting to one term's descendant closure — handy
+//! for working with a single GO branch, which is also how the paper's
+//! "genomics area" subset relates to full PubMed).
+
+use crate::dag::{Ontology, Term, TermId};
+
+/// Render the ontology (optionally only terms up to `max_level`) as a
+/// Graphviz DOT digraph, edges pointing child → parent (is-a).
+pub fn to_dot(ontology: &Ontology, max_level: Option<u32>) -> String {
+    let keep = |t: TermId| max_level.is_none_or(|m| ontology.level(t) <= m);
+    let mut out = String::from("digraph ontology {\n  rankdir=BT;\n  node [shape=box];\n");
+    for t in ontology.term_ids() {
+        if !keep(t) {
+            continue;
+        }
+        let term = ontology.term(t);
+        out.push_str(&format!(
+            "  n{} [label=\"{}\\n{}\"];\n",
+            t.0,
+            escape(&term.accession),
+            escape(&term.name)
+        ));
+    }
+    for t in ontology.term_ids() {
+        if !keep(t) {
+            continue;
+        }
+        for &p in ontology.parents(t) {
+            if keep(p) {
+                out.push_str(&format!("  n{} -> n{};\n", t.0, p.0));
+            }
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Extract the sub-ontology rooted at `root`: the term itself plus all
+/// its descendants, with edges re-indexed. Returns the new ontology and
+/// the mapping `new id → old id`. Parents outside the subtree are
+/// dropped (the root becomes a root).
+pub fn subontology(ontology: &Ontology, root: TermId) -> (Ontology, Vec<TermId>) {
+    let mut keep: Vec<TermId> = vec![root];
+    keep.extend(ontology.descendants(root));
+    keep.sort_unstable();
+    let mut old_to_new = vec![u32::MAX; ontology.len()];
+    for (new, &old) in keep.iter().enumerate() {
+        old_to_new[old.index()] = new as u32;
+    }
+    let terms: Vec<Term> = keep
+        .iter()
+        .map(|&old| {
+            let t = ontology.term(old);
+            Term {
+                accession: t.accession.clone(),
+                name: t.name.clone(),
+                namespace: t.namespace.clone(),
+                parents: t
+                    .parents
+                    .iter()
+                    .filter(|p| old_to_new[p.index()] != u32::MAX)
+                    .map(|p| TermId(old_to_new[p.index()]))
+                    .collect(),
+            }
+        })
+        .collect();
+    (
+        Ontology::new(terms).expect("subtree of a DAG is a DAG"),
+        keep,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Ontology {
+        let t = |acc: &str, parents: Vec<u32>| Term {
+            accession: acc.to_string(),
+            name: format!("name of {acc}"),
+            namespace: "test".to_string(),
+            parents: parents.into_iter().map(TermId).collect(),
+        };
+        Ontology::new(vec![
+            t("A", vec![]),
+            t("B", vec![0]),
+            t("C", vec![0]),
+            t("D", vec![1, 2]),
+            t("E", vec![3]),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn dot_contains_all_nodes_and_edges() {
+        let o = diamond();
+        let dot = to_dot(&o, None);
+        assert!(dot.starts_with("digraph"));
+        for i in 0..5 {
+            assert!(dot.contains(&format!("n{i} [label=")));
+        }
+        assert!(dot.contains("n3 -> n1;"));
+        assert!(dot.contains("n3 -> n2;"));
+        assert!(dot.contains("n4 -> n3;"));
+    }
+
+    #[test]
+    fn dot_respects_max_level() {
+        let o = diamond();
+        let dot = to_dot(&o, Some(2));
+        assert!(dot.contains("n0 [label="));
+        assert!(dot.contains("n1 [label="));
+        assert!(!dot.contains("n3 [label="), "level-3 term excluded");
+        assert!(!dot.contains("n4 ->"));
+    }
+
+    #[test]
+    fn dot_escapes_quotes() {
+        let o = Ontology::new(vec![Term {
+            accession: "X".into(),
+            name: "a \"quoted\" name".into(),
+            namespace: "t".into(),
+            parents: vec![],
+        }])
+        .unwrap();
+        let dot = to_dot(&o, None);
+        assert!(dot.contains("a \\\"quoted\\\" name"));
+    }
+
+    #[test]
+    fn subontology_keeps_descendants_only() {
+        let o = diamond();
+        // Subtree at B: B, D, E.
+        let (sub, map) = subontology(&o, TermId(1));
+        assert_eq!(sub.len(), 3);
+        assert_eq!(map, vec![TermId(1), TermId(3), TermId(4)]);
+        // B becomes a root; D keeps only the B-parent (C is outside).
+        assert_eq!(sub.roots(), &[TermId(0)]);
+        let d_new = TermId(1);
+        assert_eq!(sub.parents(d_new), &[TermId(0)]);
+        assert_eq!(sub.term(d_new).accession, "D");
+        assert_eq!(sub.level(TermId(2)), 3); // E
+    }
+
+    #[test]
+    fn subontology_of_leaf_is_single_term() {
+        let o = diamond();
+        let (sub, map) = subontology(&o, TermId(4));
+        assert_eq!(sub.len(), 1);
+        assert_eq!(map, vec![TermId(4)]);
+        assert!(sub.parents(TermId(0)).is_empty());
+    }
+
+    #[test]
+    fn subontology_of_root_is_whole_namespace() {
+        let o = diamond();
+        let (sub, _) = subontology(&o, TermId(0));
+        assert_eq!(sub.len(), 5);
+        assert_eq!(sub.max_level(), o.max_level());
+    }
+}

@@ -1,0 +1,337 @@
+//! Synthetic GO-like ontology generation.
+//!
+//! The substitute for the real Gene Ontology (see DESIGN.md): a rooted
+//! multi-namespace is-a DAG with configurable size, depth, branching,
+//! and multi-parent rate, and GO-style compositional term names from
+//! [`crate::namegen`]. Generation is fully deterministic given the seed.
+
+use crate::dag::{Ontology, Term, TermId};
+use crate::namegen;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+use std::collections::VecDeque;
+
+/// Configuration for [`generate_ontology`].
+#[derive(Debug, Clone)]
+pub struct GeneratorConfig {
+    /// Total number of terms to generate (across all namespaces).
+    pub n_terms: usize,
+    /// Number of namespaces (GO has 3). Each gets its own root.
+    pub n_namespaces: usize,
+    /// Maximum term level (root = 1), i.e. the hierarchy depth.
+    pub max_depth: u32,
+    /// Mean number of children per non-leaf term at level 2; branching
+    /// shrinks geometrically with depth, as in GO.
+    pub mean_children: f64,
+    /// Probability that a term receives a second parent (GO is a DAG,
+    /// not a tree).
+    pub multi_parent_prob: f64,
+    /// RNG seed; identical configs generate identical ontologies.
+    pub seed: u64,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        Self {
+            n_terms: 1200,
+            n_namespaces: 3,
+            max_depth: 9,
+            mean_children: 4.0,
+            multi_parent_prob: 0.08,
+            seed: 42,
+        }
+    }
+}
+
+/// Generate a synthetic ontology per `config`.
+///
+/// # Panics
+/// Panics if `n_namespaces == 0` or `n_terms < n_namespaces`.
+pub fn generate_ontology(config: &GeneratorConfig) -> Ontology {
+    assert!(config.n_namespaces > 0, "need at least one namespace");
+    assert!(
+        config.n_terms >= config.n_namespaces,
+        "need at least one term per namespace"
+    );
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let mut terms: Vec<Term> = Vec::with_capacity(config.n_terms);
+    let mut levels: Vec<u32> = Vec::with_capacity(config.n_terms);
+    let mut used_names: HashSet<String> = HashSet::new();
+    // Terms by level, per namespace, for multi-parent sampling.
+    let mut by_level_ns: Vec<Vec<Vec<TermId>>> =
+        vec![vec![Vec::new(); (config.max_depth + 1) as usize]; config.n_namespaces];
+
+    let namespace_name = |ns: usize| format!("namespace_{ns}");
+
+    // Roots.
+    let mut frontier: VecDeque<(TermId, usize)> = VecDeque::new(); // (term, namespace)
+    #[allow(clippy::needless_range_loop)] // ns is a namespace id, not just an index
+    for ns in 0..config.n_namespaces {
+        let id = TermId(terms.len() as u32);
+        let name = namegen::root_name(ns);
+        used_names.insert(name.clone());
+        terms.push(Term {
+            accession: format!("SGO:{:07}", terms.len()),
+            name,
+            namespace: namespace_name(ns),
+            parents: vec![],
+        });
+        levels.push(1);
+        by_level_ns[ns][1].push(id);
+        frontier.push_back((id, ns));
+    }
+
+    // Breadth-first expansion until the term budget is spent.
+    let mut reseed_cursor = 0usize;
+    while terms.len() < config.n_terms {
+        let Some((parent, ns)) = frontier.pop_front() else {
+            // Frontier exhausted before the budget: re-seed from
+            // existing non-max-depth terms (round-robin) so the target
+            // size is always reached.
+            let n = terms.len();
+            let mut found = false;
+            for _ in 0..n {
+                let i = reseed_cursor % n;
+                reseed_cursor += 1;
+                if levels[i] < config.max_depth {
+                    let ns = terms[i]
+                        .namespace
+                        .rsplit('_')
+                        .next()
+                        .and_then(|x| x.parse::<usize>().ok())
+                        .unwrap_or(0);
+                    frontier.push_back((TermId(i as u32), ns));
+                    found = true;
+                    break;
+                }
+            }
+            if !found {
+                break; // every term is at max depth; give up
+            }
+            continue;
+        };
+        let parent_level = levels[parent.index()];
+        if parent_level >= config.max_depth {
+            continue;
+        }
+        // Branching decays with depth: GO gets narrower as it deepens.
+        let decay = 0.82f64.powi(parent_level.saturating_sub(1) as i32);
+        let mean = (config.mean_children * decay).max(0.4);
+        let n_children = sample_poisson_like(&mut rng, mean).max(1);
+        for _ in 0..n_children {
+            if terms.len() >= config.n_terms {
+                break;
+            }
+            let child_level = parent_level + 1;
+            let name = unique_child_name(
+                &mut rng,
+                &terms[parent.index()].name.clone(),
+                child_level,
+                &mut used_names,
+            );
+            let mut parents = vec![parent];
+            // Occasionally add a second parent from the same level pool
+            // (created earlier, so the graph stays acyclic).
+            if rng.gen_bool(config.multi_parent_prob) {
+                let pool = &by_level_ns[ns][parent_level as usize];
+                if pool.len() > 1 {
+                    let extra = pool[rng.gen_range(0..pool.len())];
+                    if extra != parent {
+                        parents.push(extra);
+                    }
+                }
+            }
+            let id = TermId(terms.len() as u32);
+            terms.push(Term {
+                accession: format!("SGO:{:07}", terms.len()),
+                name,
+                namespace: namespace_name(ns),
+                parents,
+            });
+            levels.push(child_level);
+            by_level_ns[ns][child_level as usize].push(id);
+            frontier.push_back((id, ns));
+        }
+    }
+
+    Ontology::new(terms).expect("generator output is a valid DAG by construction")
+}
+
+fn unique_child_name<R: Rng>(
+    rng: &mut R,
+    parent_name: &str,
+    level: u32,
+    used: &mut HashSet<String>,
+) -> String {
+    for _attempt in 0..24 {
+        let name = namegen::child_name(rng, parent_name, level);
+        if used.insert(name.clone()) {
+            return name;
+        }
+    }
+    // Extremely unlikely fallback: disambiguate with a type suffix.
+    for suffix in ["type i", "type ii", "type iii", "type iv", "type v"] {
+        let name = format!("{parent_name} {suffix}");
+        if used.insert(name.clone()) {
+            return name;
+        }
+    }
+    let name = format!("{parent_name} variant {}", used.len());
+    used.insert(name.clone());
+    name
+}
+
+/// Sample a small non-negative count with the given mean (geometric-ish;
+/// avoids pulling in a distributions crate for one knob).
+fn sample_poisson_like<R: Rng>(rng: &mut R, mean: f64) -> usize {
+    let mut n = 0usize;
+    let p = mean / (1.0 + mean); // geometric with matching mean
+    while n < 64 && rng.gen_bool(p) {
+        n += 1;
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> GeneratorConfig {
+        GeneratorConfig {
+            n_terms: 300,
+            n_namespaces: 3,
+            max_depth: 8,
+            mean_children: 4.0,
+            multi_parent_prob: 0.1,
+            seed: 11,
+        }
+    }
+
+    #[test]
+    fn generates_requested_size() {
+        let o = generate_ontology(&small());
+        assert_eq!(o.len(), 300);
+        assert_eq!(o.roots().len(), 3);
+    }
+
+    #[test]
+    fn is_deterministic() {
+        let a = generate_ontology(&small());
+        let b = generate_ontology(&small());
+        for id in a.term_ids() {
+            assert_eq!(a.term(id), b.term(id));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate_ontology(&small());
+        let mut cfg = small();
+        cfg.seed = 999;
+        let b = generate_ontology(&cfg);
+        let same = a
+            .term_ids()
+            .filter(|&id| a.term(id).name == b.term(id).name)
+            .count();
+        assert!(same < a.len(), "seeds must change names");
+    }
+
+    #[test]
+    fn depth_respects_max() {
+        let o = generate_ontology(&small());
+        assert!(o.max_level() <= 8);
+        assert!(o.max_level() >= 4, "should get reasonably deep");
+    }
+
+    #[test]
+    fn names_are_unique_and_compositional() {
+        let o = generate_ontology(&small());
+        let mut names = HashSet::new();
+        for id in o.term_ids() {
+            assert!(names.insert(o.term(id).name.clone()), "dup name");
+            // Child names contain each parent's content words... checked
+            // against the primary (first) parent.
+            if let Some(&p) = o.term(id).parents.first() {
+                let pname = &o.term(p).name;
+                for w in pname.split_whitespace().filter(|w| w.len() > 3) {
+                    assert!(
+                        o.term(id).name.contains(w),
+                        "child {:?} missing parent word {w:?} (parent {:?})",
+                        o.term(id).name,
+                        pname
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn multi_parent_terms_exist() {
+        let o = generate_ontology(&GeneratorConfig {
+            n_terms: 600,
+            multi_parent_prob: 0.3,
+            ..small()
+        });
+        let multi = o.term_ids().filter(|&t| o.parents(t).len() > 1).count();
+        assert!(multi > 0, "expected some multi-parent terms");
+    }
+
+    #[test]
+    fn namespaces_partition_terms() {
+        let o = generate_ontology(&small());
+        for id in o.term_ids() {
+            for &p in o.parents(id) {
+                assert_eq!(
+                    o.term(id).namespace,
+                    o.term(p).namespace,
+                    "is-a edges stay within a namespace"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_config_works() {
+        let o = generate_ontology(&GeneratorConfig {
+            n_terms: 3,
+            n_namespaces: 3,
+            ..small()
+        });
+        assert_eq!(o.len(), 3);
+        assert_eq!(o.max_level(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one term per namespace")]
+    fn undersized_config_panics() {
+        generate_ontology(&GeneratorConfig {
+            n_terms: 2,
+            n_namespaces: 3,
+            ..small()
+        });
+    }
+
+    #[test]
+    fn branching_decays_with_depth() {
+        let o = generate_ontology(&GeneratorConfig {
+            n_terms: 2000,
+            seed: 5,
+            ..small()
+        });
+        let avg_children_at = |lvl: u32| {
+            let terms = o.terms_at_level(lvl);
+            if terms.is_empty() {
+                return 0.0;
+            }
+            terms.iter().map(|&t| o.children(t).len()).sum::<usize>() as f64
+                / terms.len() as f64
+        };
+        let shallow = avg_children_at(2);
+        let deep = avg_children_at(6);
+        assert!(
+            shallow > deep,
+            "branching should decay: level2 {shallow:.2} vs level6 {deep:.2}"
+        );
+    }
+}

@@ -1,0 +1,220 @@
+//! Information content and the paper's RateOfDecay.
+//!
+//! Paper §4: a context term's informativeness is approximated through
+//! its information content `I(C) = log(1 / p(C))` (Resnik, ref \[13\]),
+//! where `p(C) = (# descendants of C) / (# terms in the ontology)`.
+//!
+//! When the pattern-based context paper set assigns an *ancestor's*
+//! papers to an empty descendant context, the scores are decayed by
+//! `RateOfDecay(Cancs, Cdesc) = I(Cancs) / I(Cdesc)` — an ancestor is
+//! more general (lower IC), so the ratio is ≤ 1 and shrinks the scores.
+//!
+//! One refinement over the paper's formula: a leaf has 0 descendants,
+//! making `p = 0` and `I` infinite. We count the term itself along with
+//! its descendants (`p(C) = (1 + #desc) / N`), which keeps IC finite and
+//! preserves the ordering the paper relies on (deeper ⇒ fewer
+//! descendants ⇒ higher IC). DESIGN.md records this substitution.
+
+use crate::dag::{Ontology, TermId};
+use std::collections::HashSet;
+
+/// Information content of `term`: `ln(N / (1 + #descendants))`.
+///
+/// Roots of a single-rooted ontology get IC ≈ 0; leaves get the maximal
+/// IC `ln(N)`. Returns 0.0 for an empty ontology.
+pub fn information_content(ontology: &Ontology, term: TermId) -> f64 {
+    let n = ontology.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let desc = ontology.descendants(term).len();
+    ((n as f64) / (1.0 + desc as f64)).ln().max(0.0)
+}
+
+/// Information content for every term, computed in one pass.
+pub fn information_content_all(ontology: &Ontology) -> Vec<f64> {
+    let n = ontology.len() as f64;
+    ontology
+        .descendant_counts()
+        .into_iter()
+        .map(|d| (n / (1.0 + d as f64)).ln().max(0.0))
+        .collect()
+}
+
+/// The paper's score decay when `descendant` inherits papers from
+/// `ancestor`: `I(ancestor) / I(descendant)`, clamped to [0, 1].
+///
+/// If the descendant's IC is 0 (degenerate single-term ontology), the
+/// decay is defined as 1 (no information to lose).
+pub fn rate_of_decay(ontology: &Ontology, ancestor: TermId, descendant: TermId) -> f64 {
+    let ic_a = information_content(ontology, ancestor);
+    let ic_d = information_content(ontology, descendant);
+    if ic_d <= 0.0 {
+        return 1.0;
+    }
+    (ic_a / ic_d).clamp(0.0, 1.0)
+}
+
+/// Resnik semantic similarity between two terms (the paper's ref
+/// \[13\]): the information content of their most informative common
+/// ancestor (terms count as their own ancestors). 0.0 when the terms
+/// share no ancestor (different namespaces).
+pub fn resnik_similarity(ontology: &Ontology, a: TermId, b: TermId) -> f64 {
+    let mut anc_a: HashSet<TermId> = ontology.ancestors(a).into_iter().collect();
+    anc_a.insert(a);
+    let mut anc_b: HashSet<TermId> = ontology.ancestors(b).into_iter().collect();
+    anc_b.insert(b);
+    anc_a
+        .intersection(&anc_b)
+        .map(|&t| information_content(ontology, t))
+        .fold(0.0, f64::max)
+}
+
+/// The most informative common ancestor itself (ties broken by lowest
+/// term id), if any.
+pub fn most_informative_common_ancestor(
+    ontology: &Ontology,
+    a: TermId,
+    b: TermId,
+) -> Option<TermId> {
+    let mut anc_a: HashSet<TermId> = ontology.ancestors(a).into_iter().collect();
+    anc_a.insert(a);
+    let mut anc_b: HashSet<TermId> = ontology.ancestors(b).into_iter().collect();
+    anc_b.insert(b);
+    let mut common: Vec<TermId> = anc_a.intersection(&anc_b).copied().collect();
+    common.sort_unstable();
+    common
+        .into_iter()
+        .map(|t| (t, information_content(ontology, t)))
+        .max_by(|(ta, ia), (tb, ib)| {
+            ia.partial_cmp(ib)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(tb.cmp(ta))
+        })
+        .map(|(t, _)| t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dag::{Ontology, Term};
+
+    fn chain(n: u32) -> Ontology {
+        // 0 <- 1 <- 2 <- ... <- n-1
+        let terms = (0..n)
+            .map(|i| Term {
+                accession: format!("C:{i}"),
+                name: format!("term {i}"),
+                namespace: "t".into(),
+                parents: if i == 0 { vec![] } else { vec![TermId(i - 1)] },
+            })
+            .collect();
+        Ontology::new(terms).unwrap()
+    }
+
+    #[test]
+    fn deeper_terms_have_higher_ic() {
+        let o = chain(5);
+        let ics: Vec<f64> = (0..5)
+            .map(|i| information_content(&o, TermId(i)))
+            .collect();
+        for w in ics.windows(2) {
+            assert!(w[0] < w[1], "IC must increase with depth: {ics:?}");
+        }
+    }
+
+    #[test]
+    fn root_of_full_tree_has_zero_ic() {
+        let o = chain(4);
+        // root covers all 4 terms: p = 4/4 = 1 → IC = 0.
+        assert_eq!(information_content(&o, TermId(0)), 0.0);
+    }
+
+    #[test]
+    fn leaf_has_maximal_ic() {
+        let o = chain(4);
+        let leaf = information_content(&o, TermId(3));
+        assert!((leaf - (4f64).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ic_all_matches_individual() {
+        let o = chain(6);
+        let all = information_content_all(&o);
+        for i in 0..6 {
+            assert!((all[i as usize] - information_content(&o, TermId(i))).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn decay_is_in_unit_interval_and_decreases_with_distance() {
+        let o = chain(6);
+        let near = rate_of_decay(&o, TermId(4), TermId(5));
+        let far = rate_of_decay(&o, TermId(1), TermId(5));
+        assert!(near > far, "nearer ancestor decays less: {near} vs {far}");
+        assert!((0.0..=1.0).contains(&near));
+        assert!((0.0..=1.0).contains(&far));
+    }
+
+    #[test]
+    fn decay_from_root_is_zero_for_full_tree() {
+        let o = chain(4);
+        assert_eq!(rate_of_decay(&o, TermId(0), TermId(3)), 0.0);
+    }
+
+    #[test]
+    fn resnik_self_similarity_is_own_ic() {
+        let o = chain(5);
+        for i in 0..5 {
+            let t = TermId(i);
+            assert!(
+                (resnik_similarity(&o, t, t) - information_content(&o, t)).abs() < 1e-12
+            );
+        }
+    }
+
+    #[test]
+    fn resnik_of_chain_terms_is_ancestor_ic() {
+        let o = chain(5);
+        // Common ancestor of 2 and 4 on a chain is 2 itself.
+        let sim = resnik_similarity(&o, TermId(2), TermId(4));
+        assert!((sim - information_content(&o, TermId(2))).abs() < 1e-12);
+        assert_eq!(
+            most_informative_common_ancestor(&o, TermId(2), TermId(4)),
+            Some(TermId(2))
+        );
+    }
+
+    #[test]
+    fn resnik_monotone_in_relatedness() {
+        let o = chain(6);
+        // Deeper shared prefix ⇒ higher similarity.
+        let near = resnik_similarity(&o, TermId(4), TermId(5));
+        let far = resnik_similarity(&o, TermId(1), TermId(5));
+        assert!(near > far);
+    }
+
+    #[test]
+    fn resnik_across_namespaces_is_zero() {
+        // Two disjoint roots.
+        let t = |acc: &str, parents: Vec<u32>| Term {
+            accession: acc.to_string(),
+            name: acc.to_string(),
+            namespace: "t".into(),
+            parents: parents.into_iter().map(TermId).collect(),
+        };
+        let o = Ontology::new(vec![t("a", vec![]), t("b", vec![])]).unwrap();
+        assert_eq!(resnik_similarity(&o, TermId(0), TermId(1)), 0.0);
+        assert_eq!(
+            most_informative_common_ancestor(&o, TermId(0), TermId(1)),
+            None
+        );
+    }
+
+    #[test]
+    fn degenerate_single_term() {
+        let o = chain(1);
+        assert_eq!(information_content(&o, TermId(0)), 0.0);
+        assert_eq!(rate_of_decay(&o, TermId(0), TermId(0)), 1.0);
+    }
+}

@@ -1,0 +1,28 @@
+//! Ontology substrate: a Gene-Ontology-like term hierarchy.
+//!
+//! The context-based search paradigm (Ratprasartporn et al., ICDE 2007)
+//! defines *contexts* as terms of a pre-specified ontology — Gene
+//! Ontology in the paper's experiments. This crate provides everything
+//! the paradigm needs from the ontology:
+//!
+//! * [`dag`] — the term DAG itself: is-a edges, levels (root = level 1,
+//!   as in the paper's figures), ancestor/descendant queries,
+//! * [`obo`] — a hand-rolled parser and writer for the OBO flat-file
+//!   format GO is distributed in,
+//! * [`ic`] — Resnik-style information content `I(C) = log(1/p(C))`
+//!   and the paper's `RateOfDecay` used when a descendant context
+//!   inherits papers from an ancestor (paper §4),
+//! * [`generate`] — a synthetic GO-like ontology generator (the
+//!   substitute for the real 20k-term GO; see DESIGN.md), with
+//!   GO-style compositional term names from [`namegen`].
+
+pub mod dag;
+pub mod export;
+pub mod generate;
+pub mod ic;
+pub mod namegen;
+pub mod obo;
+
+pub use dag::{Ontology, OntologyError, Term, TermId};
+pub use generate::{generate_ontology, GeneratorConfig};
+pub use ic::{information_content, rate_of_decay, resnik_similarity};

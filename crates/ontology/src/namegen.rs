@@ -1,0 +1,174 @@
+//! GO-style compositional term-name generation.
+//!
+//! Gene Ontology term names are compositional: child names typically
+//! extend their parent's name with modifiers or objects ("transcription
+//! factor activity" → "RNA polymerase II transcription factor activity",
+//! "general transcription factor activity", ...). The paper's Fig 5.6
+//! discussion depends on exactly this structure: sibling names differ by
+//! a freshly chosen modifier (easy to distinguish), child names share
+//! most words with the parent (hard to distinguish), and words
+//! introduced near the root appear in many descendant names (low
+//! selectivity).
+//!
+//! This module reproduces that structure: a child name is the parent
+//! name plus one or two new words, drawn from pools of biomedical
+//! modifiers, processes, and objects.
+
+use rand::Rng;
+
+/// Biomedical object nouns, used to specialize a name with "… of X".
+pub const OBJECTS: &[&str] = &[
+    "dna", "rna", "mrna", "trna", "protein", "peptide", "kinase", "phosphatase", "polymerase",
+    "helicase", "ligase", "nuclease", "protease", "receptor", "channel", "transporter",
+    "membrane", "ribosome", "chromatin", "histone", "nucleosome", "chromosome", "telomere",
+    "centromere", "spindle", "microtubule", "actin", "tubulin", "cytoskeleton", "mitochondrion",
+    "nucleus", "nucleolus", "cytoplasm", "vesicle", "endosome", "lysosome", "peroxisome",
+    "golgi", "reticulum", "proteasome", "ubiquitin", "calcium", "sodium", "potassium", "zinc",
+    "iron", "glucose", "lipid", "sterol", "fatty", "amino", "nucleotide", "purine", "pyrimidine",
+    "serine", "threonine", "tyrosine", "cysteine", "glycine", "heme", "atp", "gtp", "camp",
+    "cytokine", "chemokine", "hormone", "antigen", "antibody", "collagen", "laminin",
+];
+
+/// Process / function head nouns.
+pub const PROCESSES: &[&str] = &[
+    "regulation", "activation", "inhibition", "biosynthesis", "catabolism", "metabolism",
+    "phosphorylation", "dephosphorylation", "methylation", "acetylation", "ubiquitination",
+    "glycosylation", "transport", "localization", "signaling", "repair", "replication",
+    "transcription", "translation", "folding", "degradation", "assembly", "disassembly",
+    "splicing", "binding", "secretion", "adhesion", "migration", "differentiation",
+    "proliferation", "apoptosis", "autophagy", "recombination", "condensation", "segregation",
+    "elongation", "initiation", "termination", "maturation", "processing", "modification",
+    "recognition", "targeting", "import", "export", "fusion", "fission", "remodeling",
+];
+
+/// Modifier words used to specialize child names.
+pub const MODIFIERS: &[&str] = &[
+    "positive", "negative", "nuclear", "cytoplasmic", "mitochondrial", "membrane", "general",
+    "specific", "nonspecific", "early", "late", "alpha", "beta", "gamma", "delta", "dependent",
+    "independent", "induced", "mediated", "coupled", "associated", "intrinsic", "extrinsic",
+    "canonical", "noncanonical", "direct", "indirect", "primary", "secondary", "rapid", "slow",
+    "transient", "constitutive", "basal", "enhanced", "selective", "cooperative", "allosteric",
+    "competitive", "reversible", "irreversible", "oxidative", "reductive", "anaerobic",
+    "aerobic", "embryonic", "somatic", "germline", "epithelial", "neuronal",
+];
+
+/// Structural head words that end function-style names.
+pub const HEADS: &[&str] = &["activity", "process", "complex", "pathway", "function"];
+
+/// Generate the name of a namespace root.
+pub fn root_name(namespace_index: usize) -> String {
+    const ROOTS: &[&str] = &[
+        "biological process",
+        "molecular function",
+        "cellular component",
+        "metabolic activity",
+        "developmental process",
+        "signaling pathway",
+    ];
+    ROOTS
+        .get(namespace_index)
+        .map(|s| s.to_string())
+        .unwrap_or_else(|| format!("domain {namespace_index} process"))
+}
+
+/// Strategy used to derive a child name from its parent's name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChildNaming {
+    /// `"{modifier} {parent}"` — e.g. "negative regulation of transport".
+    PrefixModifier,
+    /// `"{parent} of {object}"` (or `via` if the parent already has `of`).
+    AppendObject,
+    /// `"{object} {parent}"` — e.g. "histone binding activity".
+    PrefixObject,
+}
+
+/// Derive a child name from `parent_name` using `rng` to pick words.
+///
+/// The result always contains every content word of the parent name (the
+/// GO-like compositionality the experiments rely on).
+pub fn child_name<R: Rng>(rng: &mut R, parent_name: &str, level: u32) -> String {
+    // Near the root, specialize by object (creates topical branches);
+    // deeper, specialize by modifier (creates fine distinctions).
+    let strategy = if level <= 2 {
+        if rng.gen_bool(0.7) {
+            ChildNaming::AppendObject
+        } else {
+            ChildNaming::PrefixObject
+        }
+    } else if rng.gen_bool(0.6) {
+        ChildNaming::PrefixModifier
+    } else if rng.gen_bool(0.5) {
+        ChildNaming::PrefixObject
+    } else {
+        ChildNaming::AppendObject
+    };
+    apply_strategy(rng, parent_name, strategy)
+}
+
+/// Apply a specific naming strategy (exposed for tests).
+pub fn apply_strategy<R: Rng>(rng: &mut R, parent_name: &str, strategy: ChildNaming) -> String {
+    match strategy {
+        ChildNaming::PrefixModifier => {
+            let m = MODIFIERS[rng.gen_range(0..MODIFIERS.len())];
+            format!("{m} {parent_name}")
+        }
+        ChildNaming::AppendObject => {
+            let o = OBJECTS[rng.gen_range(0..OBJECTS.len())];
+            let connector = if parent_name.contains(" of ") { "via" } else { "of" };
+            format!("{parent_name} {connector} {o}")
+        }
+        ChildNaming::PrefixObject => {
+            let o = OBJECTS[rng.gen_range(0..OBJECTS.len())];
+            let p = PROCESSES[rng.gen_range(0..PROCESSES.len())];
+            format!("{o} {p} {parent_name}")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn child_contains_parent_words() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for level in 1..8 {
+            for _ in 0..50 {
+                let parent = "regulation of transcription";
+                let child = child_name(&mut rng, parent, level);
+                for w in ["regulation", "transcription"] {
+                    assert!(child.contains(w), "{child} must contain {w}");
+                }
+                assert!(child.len() > parent.len());
+            }
+        }
+    }
+
+    #[test]
+    fn strategies_produce_expected_shapes() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let pm = apply_strategy(&mut rng, "binding", ChildNaming::PrefixModifier);
+        assert!(pm.ends_with(" binding"));
+        let ao = apply_strategy(&mut rng, "binding", ChildNaming::AppendObject);
+        assert!(ao.starts_with("binding of "));
+        let ao2 = apply_strategy(&mut rng, "binding of dna", ChildNaming::AppendObject);
+        assert!(ao2.contains(" via "), "second object uses via: {ao2}");
+    }
+
+    #[test]
+    fn root_names_are_distinct() {
+        let names: Vec<String> = (0..8).map(root_name).collect();
+        let set: std::collections::HashSet<&String> = names.iter().collect();
+        assert_eq!(set.len(), names.len());
+    }
+
+    #[test]
+    fn word_pools_have_no_duplicates() {
+        for pool in [OBJECTS, PROCESSES, MODIFIERS, HEADS] {
+            let set: std::collections::HashSet<&&str> = pool.iter().collect();
+            assert_eq!(set.len(), pool.len());
+        }
+    }
+}

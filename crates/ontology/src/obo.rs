@@ -1,0 +1,377 @@
+//! Hand-rolled parser and writer for the OBO 1.2 flat-file format, the
+//! distribution format of the Gene Ontology.
+//!
+//! Supports the subset the experiments need: `[Term]` stanzas with `id`,
+//! `name`, `namespace`, `is_a`, `def`, and `is_obsolete` tags. Obsolete
+//! terms are skipped (as GO consumers conventionally do); unknown tags
+//! are ignored; trailing comments (`! ...`) are stripped.
+
+use crate::dag::{Ontology, OntologyError, Term, TermId};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Errors raised while parsing OBO text.
+#[derive(Debug)]
+pub enum OboError {
+    /// A tag line outside any stanza, or a malformed tag line.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// An `is_a` target accession that no `[Term]` stanza defines.
+    UnknownIsA {
+        /// The referencing term's accession.
+        term: String,
+        /// The missing target accession.
+        target: String,
+    },
+    /// The parsed term set fails DAG validation.
+    Invalid(OntologyError),
+}
+
+impl fmt::Display for OboError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Malformed { line, message } => write!(f, "line {line}: {message}"),
+            Self::UnknownIsA { term, target } => {
+                write!(f, "term {term} is_a unknown accession {target}")
+            }
+            Self::Invalid(e) => write!(f, "invalid ontology: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for OboError {}
+
+#[derive(Default)]
+struct Stanza {
+    id: Option<String>,
+    name: Option<String>,
+    namespace: Option<String>,
+    is_a: Vec<String>,
+    obsolete: bool,
+}
+
+/// Parse OBO text into a validated [`Ontology`].
+pub fn parse_obo(text: &str) -> Result<Ontology, OboError> {
+    let mut stanzas: Vec<Stanza> = Vec::new();
+    let mut current: Option<Stanza> = None;
+    let mut in_term_stanza = false;
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with('[') {
+            if let Some(s) = current.take() {
+                stanzas.push(s);
+            }
+            in_term_stanza = line == "[Term]";
+            if in_term_stanza {
+                current = Some(Stanza::default());
+            }
+            continue;
+        }
+        if !in_term_stanza {
+            continue; // header or non-Term stanza tag: ignore
+        }
+        let Some((tag, value)) = line.split_once(':') else {
+            return Err(OboError::Malformed {
+                line: lineno + 1,
+                message: format!("expected `tag: value`, got {line:?}"),
+            });
+        };
+        let value = value.trim();
+        let stanza = current.as_mut().expect("in_term_stanza implies current");
+        match tag.trim() {
+            "id" => stanza.id = Some(value.to_string()),
+            "name" => stanza.name = Some(value.to_string()),
+            "namespace" => stanza.namespace = Some(value.to_string()),
+            "is_a" => {
+                // `is_a: GO:0008150 ! biological_process` — comment already
+                // stripped; take the accession token.
+                let target = value.split_whitespace().next().unwrap_or("");
+                if target.is_empty() {
+                    return Err(OboError::Malformed {
+                        line: lineno + 1,
+                        message: "empty is_a target".to_string(),
+                    });
+                }
+                stanza.is_a.push(target.to_string());
+            }
+            "is_obsolete" => stanza.obsolete = value == "true",
+            _ => {} // def, synonym, xref, ... — not needed
+        }
+    }
+    if let Some(s) = current.take() {
+        stanzas.push(s);
+    }
+
+    // First pass: allocate ids for non-obsolete terms with an accession.
+    let mut accession_to_id: HashMap<String, TermId> = HashMap::new();
+    let mut kept: Vec<&Stanza> = Vec::new();
+    for s in &stanzas {
+        if s.obsolete {
+            continue;
+        }
+        let Some(id) = &s.id else { continue };
+        if accession_to_id.contains_key(id) {
+            return Err(OboError::Invalid(OntologyError::DuplicateAccession(
+                id.clone(),
+            )));
+        }
+        accession_to_id.insert(id.clone(), TermId(kept.len() as u32));
+        kept.push(s);
+    }
+
+    // Second pass: resolve is_a edges. Edges to obsolete/unknown terms
+    // referencing *known obsolete* accessions are dropped silently only if
+    // the target stanza existed but was obsolete; truly unknown targets
+    // are an error.
+    let obsolete_accessions: std::collections::HashSet<&str> = stanzas
+        .iter()
+        .filter(|s| s.obsolete)
+        .filter_map(|s| s.id.as_deref())
+        .collect();
+
+    let mut terms = Vec::with_capacity(kept.len());
+    for s in kept {
+        let accession = s.id.clone().expect("kept stanzas have ids");
+        let mut parents = Vec::with_capacity(s.is_a.len());
+        for target in &s.is_a {
+            match accession_to_id.get(target) {
+                Some(&p) => parents.push(p),
+                None if obsolete_accessions.contains(target.as_str()) => {}
+                None => {
+                    return Err(OboError::UnknownIsA {
+                        term: accession,
+                        target: target.clone(),
+                    });
+                }
+            }
+        }
+        terms.push(Term {
+            name: s.name.clone().unwrap_or_else(|| accession.clone()),
+            namespace: s
+                .namespace
+                .clone()
+                .unwrap_or_else(|| "default".to_string()),
+            accession,
+            parents,
+        });
+    }
+    Ontology::new(terms).map_err(OboError::Invalid)
+}
+
+/// Serialize an ontology to OBO text (round-trippable by [`parse_obo`]).
+pub fn write_obo(ontology: &Ontology) -> String {
+    let mut out = String::new();
+    out.push_str("format-version: 1.2\n");
+    for id in ontology.term_ids() {
+        let t = ontology.term(id);
+        out.push_str("\n[Term]\n");
+        out.push_str(&format!("id: {}\n", t.accession));
+        out.push_str(&format!("name: {}\n", t.name));
+        out.push_str(&format!("namespace: {}\n", t.namespace));
+        for &p in &t.parents {
+            out.push_str(&format!(
+                "is_a: {} ! {}\n",
+                ontology.term(p).accession,
+                ontology.term(p).name
+            ));
+        }
+    }
+    out
+}
+
+fn strip_comment(line: &str) -> &str {
+    match line.find('!') {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+format-version: 1.2
+date: 01:01:2007
+
+[Term]
+id: GO:0008150
+name: biological_process
+namespace: biological_process
+
+[Term]
+id: GO:0065007
+name: biological regulation
+namespace: biological_process
+is_a: GO:0008150 ! biological_process
+
+[Term]
+id: GO:0050789
+name: regulation of biological process
+namespace: biological_process
+is_a: GO:0065007 ! biological regulation
+
+[Term]
+id: GO:0000001
+name: obsolete mitochondrion inheritance
+namespace: biological_process
+is_obsolete: true
+
+[Typedef]
+id: part_of
+name: part of
+";
+
+    #[test]
+    fn parses_terms_and_edges() {
+        let o = parse_obo(SAMPLE).unwrap();
+        assert_eq!(o.len(), 3); // obsolete skipped
+        let root = o.find_by_accession("GO:0008150").unwrap();
+        let reg = o.find_by_accession("GO:0065007").unwrap();
+        let regbio = o.find_by_accession("GO:0050789").unwrap();
+        assert_eq!(o.parents(reg), &[root]);
+        assert_eq!(o.parents(regbio), &[reg]);
+        assert_eq!(o.level(regbio), 3);
+        assert_eq!(o.term(reg).name, "biological regulation");
+    }
+
+    #[test]
+    fn obsolete_terms_are_skipped() {
+        let o = parse_obo(SAMPLE).unwrap();
+        assert_eq!(o.find_by_accession("GO:0000001"), None);
+    }
+
+    #[test]
+    fn typedef_stanzas_are_ignored() {
+        let o = parse_obo(SAMPLE).unwrap();
+        assert_eq!(o.find_by_accession("part_of"), None);
+    }
+
+    #[test]
+    fn is_a_to_obsolete_is_dropped() {
+        let text = "\
+[Term]
+id: A
+name: a
+
+[Term]
+id: OBS
+name: gone
+is_obsolete: true
+
+[Term]
+id: B
+name: b
+is_a: A
+is_a: OBS
+";
+        let o = parse_obo(text).unwrap();
+        let b = o.find_by_accession("B").unwrap();
+        let a = o.find_by_accession("A").unwrap();
+        assert_eq!(o.parents(b), &[a]);
+    }
+
+    #[test]
+    fn unknown_is_a_is_error() {
+        let text = "[Term]\nid: A\nname: a\nis_a: NOPE\n";
+        assert!(matches!(
+            parse_obo(text),
+            Err(OboError::UnknownIsA { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_id_is_error() {
+        let text = "[Term]\nid: A\nname: a\n\n[Term]\nid: A\nname: a2\n";
+        assert!(matches!(parse_obo(text), Err(OboError::Invalid(_))));
+    }
+
+    #[test]
+    fn malformed_tag_line_is_error() {
+        let text = "[Term]\nid: A\nthis line has no colon at all but words\n";
+        // "no colon" — actually `split_once(':')` fails only without ':'
+        assert!(matches!(parse_obo(text), Err(OboError::Malformed { .. })));
+    }
+
+    #[test]
+    fn round_trip_through_writer() {
+        let o = parse_obo(SAMPLE).unwrap();
+        let text = write_obo(&o);
+        let o2 = parse_obo(&text).unwrap();
+        assert_eq!(o2.len(), o.len());
+        for id in o.term_ids() {
+            let t = o.term(id);
+            let id2 = o2.find_by_accession(&t.accession).unwrap();
+            assert_eq!(o2.term(id2).name, t.name);
+            assert_eq!(o2.level(id2), o.level(id));
+        }
+    }
+
+    #[test]
+    fn empty_input_gives_empty_ontology() {
+        let o = parse_obo("").unwrap();
+        assert!(o.is_empty());
+    }
+
+    proptest::proptest! {
+        /// Random DAGs round-trip through the OBO writer/parser.
+        #[test]
+        fn random_ontologies_round_trip(
+            n in 1usize..30,
+            extra_edges in proptest::collection::vec((1u32..30, 0u32..30), 0..20),
+        ) {
+            use crate::dag::Term;
+            // Build a random tree + extra forward edges (parent id < child id
+            // keeps it acyclic).
+            let mut terms: Vec<Term> = (0..n as u32)
+                .map(|i| Term {
+                    accession: format!("T:{i:04}"),
+                    name: format!("term number {i}"),
+                    namespace: "ns".into(),
+                    parents: if i == 0 { vec![] } else { vec![TermId(i / 2)] },
+                })
+                .collect();
+            for (a, b) in extra_edges {
+                let (child, parent) = (a.max(b), a.min(b));
+                if child != parent && (child as usize) < n {
+                    let p = TermId(parent);
+                    if !terms[child as usize].parents.contains(&p) {
+                        terms[child as usize].parents.push(p);
+                    }
+                }
+            }
+            let onto = Ontology::new(terms).expect("acyclic by construction");
+            let text = write_obo(&onto);
+            let again = parse_obo(&text).expect("round-trip parses");
+            proptest::prop_assert_eq!(again.len(), onto.len());
+            for t in onto.term_ids() {
+                let acc = &onto.term(t).accession;
+                let t2 = again.find_by_accession(acc).expect("accession");
+                proptest::prop_assert_eq!(&again.term(t2).name, &onto.term(t).name);
+                proptest::prop_assert_eq!(again.level(t2), onto.level(t));
+            }
+        }
+
+        /// The parser never panics on arbitrary input.
+        #[test]
+        fn parser_never_panics(input in "[\x20-\x7e\n]{0,400}") {
+            let _ = parse_obo(&input);
+        }
+    }
+
+    #[test]
+    fn comments_are_stripped() {
+        let text = "[Term]\nid: A ! the id\nname: a thing ! comment\n";
+        let o = parse_obo(text).unwrap();
+        let a = o.find_by_accession("A").unwrap();
+        assert_eq!(o.term(a).name, "a thing");
+    }
+}

@@ -1,0 +1,199 @@
+//! Extended-pattern construction (paper §3.3, ref \[4\]): "by virtually
+//! walking from one pattern to another".
+//!
+//! * **Side-joined**: pattern 1's *right* tuple overlaps pattern 2's
+//!   *left* tuple. E.g. P1 = ⟨A,B,C⟩, P2 = ⟨C,D,E⟩ ⇒ P3 = ⟨A, B·C·D, E⟩
+//!   — the shared side words become part of a longer middle. Score:
+//!   `(S1 + S2)²`.
+//! * **Middle-joined**: pattern 1's *middle* overlaps pattern 2's left
+//!   or right tuple. The combined pattern keeps P1's middle; its score
+//!   is `DOO1·S1 + DOO2·S2`, where each DegreeOfOverlap is the fraction
+//!   of that pattern's middle covered by the overlap.
+
+use crate::pattern::{Pattern, PatternKind};
+use crate::score::{middle_joined_score, side_joined_score};
+use std::collections::BTreeSet;
+use textproc::TermId;
+
+/// Construct up to `max_extended` extended patterns from `regular`
+/// patterns (best-scored joins kept).
+pub fn extend_patterns(regular: &[Pattern], max_extended: usize) -> Vec<Pattern> {
+    if max_extended == 0 || regular.len() < 2 {
+        return Vec::new();
+    }
+    let mut out: Vec<Pattern> = Vec::new();
+    let mut seen: BTreeSet<Vec<TermId>> = BTreeSet::new();
+    for (i, p1) in regular.iter().enumerate() {
+        for (j, p2) in regular.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            if let Some(p) = side_join(p1, p2) {
+                if seen.insert(p.middle.clone()) {
+                    out.push(p);
+                }
+            }
+            if i < j {
+                if let Some(p) = middle_join(p1, p2) {
+                    if seen.insert(p.middle.clone()) {
+                        out.push(p);
+                    }
+                }
+            }
+        }
+    }
+    crate::pattern::sort_by_score(&mut out);
+    out.truncate(max_extended);
+    out
+}
+
+/// Side-join `p1` and `p2` if `p1.right ∩ p2.left ≠ ∅`: the new middle
+/// is `p1.middle · shared · p2.middle` (shared words in sorted order),
+/// left from `p1`, right from `p2`.
+pub fn side_join(p1: &Pattern, p2: &Pattern) -> Option<Pattern> {
+    if p1.middle == p2.middle {
+        return None;
+    }
+    let shared: Vec<TermId> = p1.right.intersection(&p2.left).copied().collect();
+    if shared.is_empty() {
+        return None;
+    }
+    let mut middle =
+        Vec::with_capacity(p1.middle.len() + shared.len() + p2.middle.len());
+    middle.extend_from_slice(&p1.middle);
+    middle.extend(shared);
+    middle.extend_from_slice(&p2.middle);
+    Some(Pattern {
+        left: p1.left.clone(),
+        middle,
+        right: p2.right.clone(),
+        kind: PatternKind::SideJoined,
+        score: side_joined_score(p1.score, p2.score),
+    })
+}
+
+/// Middle-join `p1` and `p2` if `p1.middle` overlaps `p2.left ∪
+/// p2.right`: keeps the union middle ordered as p1's middle followed by
+/// p2's non-shared middle, sides unioned; score weighted by the degrees
+/// of overlap.
+pub fn middle_join(p1: &Pattern, p2: &Pattern) -> Option<Pattern> {
+    if p1.middle == p2.middle || p1.middle.is_empty() || p2.middle.is_empty() {
+        return None;
+    }
+    let m1: BTreeSet<TermId> = p1.middle.iter().copied().collect();
+    let sides2: BTreeSet<TermId> = p2.left.union(&p2.right).copied().collect();
+    let overlap1: Vec<TermId> = m1.intersection(&sides2).copied().collect();
+    if overlap1.is_empty() {
+        return None;
+    }
+    // Symmetric degree for p2: its middle's overlap with p1's sides.
+    let m2: BTreeSet<TermId> = p2.middle.iter().copied().collect();
+    let sides1: BTreeSet<TermId> = p1.left.union(&p1.right).copied().collect();
+    let overlap2: Vec<TermId> = m2.intersection(&sides1).copied().collect();
+
+    let doo1 = overlap1.len() as f64 / p1.middle.len() as f64;
+    let doo2 = overlap2.len() as f64 / p2.middle.len() as f64;
+
+    let mut middle = p1.middle.clone();
+    middle.extend(p2.middle.iter().filter(|t| !m1.contains(t)));
+    Some(Pattern {
+        left: p1.left.union(&p2.left).copied().collect(),
+        middle,
+        right: p1.right.union(&p2.right).copied().collect(),
+        kind: PatternKind::MiddleJoined,
+        score: middle_joined_score(p1.score, doo1.min(1.0), p2.score, doo2.min(1.0)),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(xs: &[u32]) -> Vec<TermId> {
+        xs.iter().map(|&x| TermId(x)).collect()
+    }
+
+    fn set(xs: &[u32]) -> BTreeSet<TermId> {
+        xs.iter().map(|&x| TermId(x)).collect()
+    }
+
+    fn pat(left: &[u32], middle: &[u32], right: &[u32], score: f64) -> Pattern {
+        Pattern {
+            left: set(left),
+            middle: ids(middle),
+            right: set(right),
+            kind: PatternKind::Regular,
+            score,
+        }
+    }
+
+    #[test]
+    fn side_join_on_overlap() {
+        let p1 = pat(&[1], &[2], &[3], 2.0);
+        let p2 = pat(&[3], &[4], &[5], 3.0);
+        let j = side_join(&p1, &p2).expect("should join");
+        assert_eq!(j.middle, ids(&[2, 3, 4]));
+        assert_eq!(j.left, set(&[1]));
+        assert_eq!(j.right, set(&[5]));
+        assert_eq!(j.kind, PatternKind::SideJoined);
+        assert_eq!(j.score, 25.0);
+    }
+
+    #[test]
+    fn side_join_requires_overlap() {
+        let p1 = pat(&[1], &[2], &[3], 1.0);
+        let p2 = pat(&[9], &[4], &[5], 1.0);
+        assert!(side_join(&p1, &p2).is_none());
+    }
+
+    #[test]
+    fn side_join_rejects_identical_middles() {
+        let p1 = pat(&[1], &[2], &[3], 1.0);
+        let p2 = pat(&[3], &[2], &[5], 1.0);
+        assert!(side_join(&p1, &p2).is_none());
+    }
+
+    #[test]
+    fn middle_join_on_middle_side_overlap() {
+        // p1's middle {2} appears in p2's left tuple.
+        let p1 = pat(&[1], &[2], &[3], 4.0);
+        let p2 = pat(&[2], &[7], &[8], 6.0);
+        let j = middle_join(&p1, &p2).expect("should join");
+        assert_eq!(j.kind, PatternKind::MiddleJoined);
+        assert_eq!(j.middle, ids(&[2, 7]));
+        // doo1 = 1/1 = 1; doo2 = overlap of {7} with p1 sides {1,3} = 0.
+        assert_eq!(j.score, 4.0);
+    }
+
+    #[test]
+    fn middle_join_requires_overlap() {
+        let p1 = pat(&[1], &[2], &[3], 1.0);
+        let p2 = pat(&[9], &[7], &[8], 1.0);
+        assert!(middle_join(&p1, &p2).is_none());
+    }
+
+    #[test]
+    fn extend_respects_cap_and_dedupes() {
+        let ps = vec![
+            pat(&[1], &[2], &[3], 2.0),
+            pat(&[3], &[4], &[5], 3.0),
+            pat(&[5], &[6], &[7], 1.0),
+        ];
+        let ext = extend_patterns(&ps, 10);
+        assert!(!ext.is_empty());
+        let mut middles: Vec<&Vec<TermId>> = ext.iter().map(|p| &p.middle).collect();
+        let before = middles.len();
+        middles.dedup();
+        assert_eq!(middles.len(), before, "deduped middles");
+        let capped = extend_patterns(&ps, 1);
+        assert_eq!(capped.len(), 1);
+        // best-scored join kept
+        assert!(capped[0].score >= ext.iter().map(|p| p.score).fold(0.0, f64::max) - 1e-9);
+    }
+
+    #[test]
+    fn extend_empty_or_single_is_empty() {
+        assert!(extend_patterns(&[], 5).is_empty());
+        assert!(extend_patterns(&[pat(&[1], &[2], &[3], 1.0)], 5).is_empty());
+    }
+}

@@ -1,0 +1,32 @@
+//! Textual-pattern substrate for the pattern-based prestige score
+//! function (paper §3.3, drawing on the authors' PSB 2007 pattern
+//! annotation work, paper ref \[4\]).
+//!
+//! Pipeline per context:
+//!
+//! 1. [`sigterms`] — extract *significant terms*: words of the context
+//!    term's name plus frequent phrases mined from the context's
+//!    training (annotation-evidence) papers, combined apriori-style.
+//! 2. [`pattern`] — construct regular ⟨left, middle, right⟩ patterns
+//!    around significant-term occurrences in the training papers.
+//! 3. [`join`] — derive *extended* patterns: side-joined (right/left
+//!    tuple overlap) and middle-joined (middle/side tuple overlap).
+//! 4. [`score`] — score patterns: `BaseScore · (1/PaperCoverage)^t`
+//!    with `BaseScore = MiddleTypeScore + TotalTermScore +
+//!    c·(PatternOccFreq + PatternPaperFreq)`; `(S1+S2)²` for
+//!    side-joined; DegreeOfOverlap-weighted for middle-joined.
+//! 5. [`matcher`] — match patterns against a paper's sections and
+//!    compute the matching strength `M(P, pt)` (section weight ×
+//!    surrounding-context fidelity), giving
+//!    `Score(P) = Σ_{pt∈Ptr(P)} Score(pt) · M(P, pt)`.
+
+pub mod join;
+pub mod matcher;
+pub mod pattern;
+pub mod score;
+pub mod sigterms;
+
+pub use matcher::{score_paper, MatcherConfig, SectionTokens};
+pub use pattern::{build_patterns, Pattern, PatternConfig, PatternKind};
+pub use score::Selectivity;
+pub use sigterms::{extract_significant_terms, PhraseSource, SignificantPhrase};

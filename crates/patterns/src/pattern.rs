@@ -1,0 +1,279 @@
+//! Pattern type and regular-pattern construction.
+//!
+//! A regular pattern is the paper's ⟨left, middle, right⟩ triple: the
+//! middle tuple is a significant-term word sequence, the left and right
+//! tuples are the word *sets* observed around its occurrences in the
+//! context's training papers (window of `window` words each side).
+
+use crate::join;
+use crate::score::{regular_pattern_score, total_term_score, RegularScoreInputs, Selectivity};
+use crate::sigterms::SignificantPhrase;
+use std::collections::{BTreeSet, HashSet};
+use textproc::phrase::find_occurrences;
+use textproc::TermId;
+
+/// How a pattern was constructed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PatternKind {
+    /// Directly from a significant phrase's occurrences.
+    Regular,
+    /// Side-joined from two patterns with right/left tuple overlap.
+    SideJoined,
+    /// Middle-joined from two patterns with middle/side tuple overlap.
+    MiddleJoined,
+}
+
+/// One ⟨left, middle, right⟩ pattern with its score.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pattern {
+    /// Word set observed immediately left of the middle.
+    pub left: BTreeSet<TermId>,
+    /// The middle tuple: a contiguous word sequence.
+    pub middle: Vec<TermId>,
+    /// Word set observed immediately right of the middle.
+    pub right: BTreeSet<TermId>,
+    /// Construction kind.
+    pub kind: PatternKind,
+    /// The pattern's score (unnormalized; context-level max-normalization
+    /// happens in the prestige function).
+    pub score: f64,
+}
+
+/// Configuration for pattern construction.
+#[derive(Debug, Clone)]
+pub struct PatternConfig {
+    /// Words captured on each side of a middle occurrence.
+    pub window: usize,
+    /// Minimum training-document support for mined frequent phrases.
+    pub min_support: u32,
+    /// Maximum mined phrase length.
+    pub max_phrase_len: usize,
+    /// The paper's `t` exponent on `1/PaperCoverage`.
+    pub coverage_exponent: f64,
+    /// The paper's `c` weight on the frequency terms.
+    pub freq_weight: f64,
+    /// Keep at most this many regular patterns (best-scored first).
+    pub max_regular: usize,
+    /// Construct at most this many extended patterns.
+    pub max_extended: usize,
+}
+
+impl Default for PatternConfig {
+    fn default() -> Self {
+        Self {
+            window: 2,
+            min_support: 2,
+            max_phrase_len: 4,
+            coverage_exponent: 0.35,
+            freq_weight: 0.5,
+            max_regular: 48,
+            max_extended: 32,
+        }
+    }
+}
+
+/// Build the scored pattern set of one context.
+///
+/// * `significant` — from [`crate::sigterms::extract_significant_terms`],
+/// * `context_words` — analyzed context-term name tokens,
+/// * `training_docs` — analyzed training-paper token streams,
+/// * `selectivity` — word selectivity across all context names,
+/// * `coverage_of` — estimator of the fraction of *all database* papers
+///   containing a middle tuple (the caller supplies it since only the
+///   full corpus index can answer; a min-unigram-DF estimate is fine),
+/// * `config` — knobs.
+///
+/// Regular patterns are built first, then extended patterns are joined
+/// from the regular ones ([`crate::join`]). Output is sorted by
+/// descending score.
+pub fn build_patterns(
+    significant: &[SignificantPhrase],
+    context_words: &[TermId],
+    training_docs: &[Vec<TermId>],
+    selectivity: &Selectivity,
+    coverage_of: &dyn Fn(&[TermId]) -> f64,
+    config: &PatternConfig,
+) -> Vec<Pattern> {
+    let context_set: HashSet<TermId> = context_words.iter().copied().collect();
+    let n_training = training_docs.len();
+    let mut patterns: Vec<Pattern> = Vec::with_capacity(significant.len());
+
+    for phrase in significant {
+        let mut left = BTreeSet::new();
+        let mut right = BTreeSet::new();
+        let mut occurrences = 0u32;
+        let mut containing_docs = 0u32;
+        for doc in training_docs {
+            let occs = find_occurrences(doc, &phrase.tokens);
+            if !occs.is_empty() {
+                containing_docs += 1;
+            }
+            occurrences += occs.len() as u32;
+            for &start in &occs {
+                let lo = start.saturating_sub(config.window);
+                left.extend(doc[lo..start].iter().copied());
+                let end = start + phrase.tokens.len();
+                let hi = (end + config.window).min(doc.len());
+                right.extend(doc[end..hi].iter().copied());
+            }
+        }
+        let ctx_selectivities: Vec<f64> = phrase
+            .tokens
+            .iter()
+            .filter(|t| context_set.contains(t))
+            .map(|&t| selectivity.selectivity(t))
+            .collect();
+        let inputs = RegularScoreInputs {
+            source: phrase.source,
+            total_term_score: total_term_score(&ctx_selectivities),
+            occurrences,
+            training_paper_fraction: if n_training == 0 {
+                0.0
+            } else {
+                containing_docs as f64 / n_training as f64
+            },
+            coverage: coverage_of(&phrase.tokens),
+        };
+        patterns.push(Pattern {
+            left,
+            middle: phrase.tokens.clone(),
+            right,
+            kind: PatternKind::Regular,
+            score: regular_pattern_score(&inputs, config.coverage_exponent, config.freq_weight),
+        });
+    }
+
+    sort_by_score(&mut patterns);
+    patterns.truncate(config.max_regular);
+
+    let extended = join::extend_patterns(&patterns, config.max_extended);
+    patterns.extend(extended);
+    sort_by_score(&mut patterns);
+    patterns
+}
+
+pub(crate) fn sort_by_score(patterns: &mut [Pattern]) {
+    patterns.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.middle.cmp(&b.middle))
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sigterms::extract_significant_terms;
+
+    fn ids(xs: &[u32]) -> Vec<TermId> {
+        xs.iter().map(|&x| TermId(x)).collect()
+    }
+
+    fn uniform_coverage(_: &[TermId]) -> f64 {
+        0.1
+    }
+
+    fn build(
+        context: &[u32],
+        docs: &[Vec<TermId>],
+        config: &PatternConfig,
+    ) -> Vec<Pattern> {
+        let ctx = ids(context);
+        let sig = extract_significant_terms(&ctx, docs, config.min_support, config.max_phrase_len);
+        let sel = Selectivity::new([ctx.as_slice()]);
+        build_patterns(&sig, &ctx, docs, &sel, &uniform_coverage, config)
+    }
+
+    #[test]
+    fn captures_surrounding_windows() {
+        // Context word 5 occurs as "... 1 2 [5] 3 4 ..." in training.
+        let docs = vec![ids(&[1, 2, 5, 3, 4]), ids(&[9, 1, 5, 3, 8])];
+        let ps = build(&[5], &docs, &PatternConfig::default());
+        let p = ps
+            .iter()
+            .find(|p| p.middle == ids(&[5]) && p.kind == PatternKind::Regular)
+            .expect("middle [5]");
+        assert!(p.left.contains(&TermId(1)));
+        assert!(p.left.contains(&TermId(2)));
+        assert!(p.right.contains(&TermId(3)));
+        assert!(p.right.contains(&TermId(4)));
+        assert!(p.right.contains(&TermId(8)));
+    }
+
+    #[test]
+    fn window_is_bounded() {
+        let docs = vec![ids(&[1, 2, 3, 4, 5, 6, 7, 8, 9])];
+        let ps = build(&[5], &docs, &PatternConfig { window: 1, ..Default::default() });
+        let p = ps.iter().find(|p| p.middle == ids(&[5])).unwrap();
+        assert_eq!(p.left.iter().copied().collect::<Vec<_>>(), ids(&[4]));
+        assert_eq!(p.right.iter().copied().collect::<Vec<_>>(), ids(&[6]));
+    }
+
+    #[test]
+    fn patterns_sorted_by_score() {
+        let docs = vec![
+            ids(&[1, 5, 2, 7, 7]),
+            ids(&[1, 5, 3, 7, 7]),
+            ids(&[1, 5, 4]),
+        ];
+        let ps = build(&[5], &docs, &PatternConfig::default());
+        for w in ps.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+        assert!(!ps.is_empty());
+    }
+
+    #[test]
+    fn context_phrase_without_training_still_patterns() {
+        // No training docs at all: the context's own words become a
+        // pattern with empty sides — the basis of the paper's
+        // "simplified pattern" context assignment (§4).
+        let ps = build(&[5, 6], &[], &PatternConfig::default());
+        assert!(ps.iter().any(|p| p.middle == ids(&[5, 6])));
+        for p in &ps {
+            assert!(p.left.is_empty() && p.right.is_empty());
+            assert!(p.score > 0.0);
+        }
+    }
+
+    #[test]
+    fn truncation_respects_max_regular() {
+        let docs: Vec<Vec<TermId>> = (0..6)
+            .map(|i| ids(&[i, i + 1, 5, i + 2, i + 3]))
+            .collect();
+        let ps = build(
+            &[5],
+            &docs,
+            &PatternConfig {
+                max_regular: 2,
+                max_extended: 0,
+                min_support: 1,
+                ..Default::default()
+            },
+        );
+        assert!(ps.len() <= 2);
+    }
+
+    #[test]
+    fn rarer_context_words_score_higher() {
+        // Two contexts sharing selectivity data: word 1 appears in both
+        // names, word 2 in one.
+        let names = [ids(&[1, 2]), ids(&[1, 3])];
+        let sel = Selectivity::new(names.iter().map(Vec::as_slice));
+        let docs = vec![ids(&[9, 1, 8]), ids(&[9, 2, 8])];
+        let ctx = ids(&[1, 2]);
+        let sig = extract_significant_terms(&ctx, &docs, 2, 3);
+        let ps = build_patterns(&sig, &ctx, &docs, &sel, &uniform_coverage, &Default::default());
+        let score_of = |mid: &[u32]| {
+            ps.iter()
+                .find(|p| p.middle == ids(mid))
+                .map(|p| p.score)
+                .unwrap()
+        };
+        assert!(
+            score_of(&[2]) > score_of(&[1]),
+            "more selective context word must outscore"
+        );
+    }
+}

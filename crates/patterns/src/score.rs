@@ -1,0 +1,221 @@
+//! Pattern scoring (paper §3.3).
+//!
+//! Regular patterns: `RegularPatternScore = BaseScore · (1/PaperCoverage)^t`
+//! with `BaseScore = MiddleTypeScore + TotalTermScore +
+//! c·(PatternOccFreq + PatternPaperFreq)`:
+//!
+//! * **MiddleTypeScore** — middles of only frequent terms, only
+//!   context-term words, or both score high / higher / highest,
+//! * **TotalTermScore** — context-term words with higher *selectivity*
+//!   (rarer across all context term names) score higher,
+//! * **PaperCoverage** — a middle frequent across the whole database is
+//!   unspecific; score is inversely proportional to coverage,
+//! * **PatternOccFreq / PatternPaperFreq** — middles frequent in the
+//!   context's own training papers score higher.
+//!
+//! Extended patterns: side-joined score `(S1 + S2)²`; middle-joined
+//! score `DOO1·S1 + DOO2·S2` with DegreeOfOverlap the proportion of a
+//! pattern's middle included in the other's side tuple.
+
+use crate::sigterms::PhraseSource;
+use std::collections::HashMap;
+use textproc::TermId;
+
+/// Word selectivity across all context term names: a word occurring in
+/// few term names is highly selective.
+#[derive(Debug, Clone, Default)]
+pub struct Selectivity {
+    counts: HashMap<TermId, u32>,
+    n_names: usize,
+}
+
+impl Selectivity {
+    /// Build from the analyzed name-token lists of every context term.
+    pub fn new<'a>(term_names: impl IntoIterator<Item = &'a [TermId]>) -> Self {
+        let mut counts: HashMap<TermId, u32> = HashMap::new();
+        let mut n_names = 0usize;
+        for name in term_names {
+            n_names += 1;
+            let distinct: std::collections::HashSet<TermId> = name.iter().copied().collect();
+            for w in distinct {
+                *counts.entry(w).or_insert(0) += 1;
+            }
+        }
+        Self { counts, n_names }
+    }
+
+    /// Number of term names the word occurs in.
+    pub fn name_count(&self, word: TermId) -> u32 {
+        self.counts.get(&word).copied().unwrap_or(0)
+    }
+
+    /// Selectivity in (0, 1]: `1 / max(1, name_count)`. A word in every
+    /// term name is minimally selective; a word in one name (or none —
+    /// conservatively treated as unique) is maximally selective.
+    pub fn selectivity(&self, word: TermId) -> f64 {
+        1.0 / self.name_count(word).max(1) as f64
+    }
+
+    /// Number of names observed.
+    pub fn n_names(&self) -> usize {
+        self.n_names
+    }
+}
+
+/// The paper's "high / higher / highest" middle-type scores.
+pub fn middle_type_score(source: PhraseSource) -> f64 {
+    match source {
+        PhraseSource::FrequentOnly => 1.0,
+        PhraseSource::ContextOnly => 2.0,
+        PhraseSource::Both => 3.0,
+    }
+}
+
+/// `TotalTermScore`: summed selectivity of the middle's context-term
+/// words. `context_word_selectivities` are the selectivities of exactly
+/// those middle words that are context-term words.
+pub fn total_term_score(context_word_selectivities: &[f64]) -> f64 {
+    context_word_selectivities.iter().sum()
+}
+
+/// Inputs for a regular pattern's score.
+#[derive(Debug, Clone, Copy)]
+pub struct RegularScoreInputs {
+    /// Middle composition class.
+    pub source: PhraseSource,
+    /// Summed selectivity of middle context words.
+    pub total_term_score: f64,
+    /// Occurrences of the middle in the training papers.
+    pub occurrences: u32,
+    /// Fraction of training papers containing the middle, in [0, 1].
+    pub training_paper_fraction: f64,
+    /// Fraction of *all database* papers containing the middle, in
+    /// (0, 1]; callers clamp to at least `1/N`.
+    pub coverage: f64,
+}
+
+/// `RegularPatternScore = BaseScore · (1/PaperCoverage)^t` with
+/// `BaseScore = MiddleTypeScore + TotalTermScore + c·(OccFreq + PaperFreq)`.
+///
+/// `PatternOccFreq` is saturated as `occ/(occ+3)` so one spammy
+/// training paper cannot dominate.
+pub fn regular_pattern_score(inputs: &RegularScoreInputs, t: f64, c: f64) -> f64 {
+    let occ_freq = inputs.occurrences as f64 / (inputs.occurrences as f64 + 3.0);
+    let base = middle_type_score(inputs.source)
+        + inputs.total_term_score
+        + c * (occ_freq + inputs.training_paper_fraction);
+    let coverage = inputs.coverage.clamp(f64::MIN_POSITIVE, 1.0);
+    base * (1.0 / coverage).powf(t)
+}
+
+/// Side-joined pattern score: `(Score(P1) + Score(P2))²`.
+pub fn side_joined_score(s1: f64, s2: f64) -> f64 {
+    let s = s1 + s2;
+    s * s
+}
+
+/// Middle-joined pattern score: `DOO1·S1 + DOO2·S2`.
+pub fn middle_joined_score(s1: f64, doo1: f64, s2: f64, doo2: f64) -> f64 {
+    debug_assert!((0.0..=1.0).contains(&doo1) && (0.0..=1.0).contains(&doo2));
+    doo1 * s1 + doo2 * s2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(xs: &[u32]) -> Vec<TermId> {
+        xs.iter().map(|&x| TermId(x)).collect()
+    }
+
+    #[test]
+    fn selectivity_inverse_to_name_frequency() {
+        let names = [ids(&[1, 2]), ids(&[1, 3]), ids(&[1, 4])];
+        let s = Selectivity::new(names.iter().map(Vec::as_slice));
+        assert_eq!(s.name_count(TermId(1)), 3);
+        assert!((s.selectivity(TermId(1)) - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.selectivity(TermId(2)), 1.0);
+        assert_eq!(s.selectivity(TermId(99)), 1.0); // unseen = unique
+    }
+
+    #[test]
+    fn middle_type_ordering_matches_paper() {
+        assert!(
+            middle_type_score(PhraseSource::FrequentOnly)
+                < middle_type_score(PhraseSource::ContextOnly)
+        );
+        assert!(
+            middle_type_score(PhraseSource::ContextOnly)
+                < middle_type_score(PhraseSource::Both)
+        );
+    }
+
+    #[test]
+    fn low_coverage_boosts_score() {
+        let base = RegularScoreInputs {
+            source: PhraseSource::Both,
+            total_term_score: 1.0,
+            occurrences: 5,
+            training_paper_fraction: 0.5,
+            coverage: 0.5,
+        };
+        let rare = RegularScoreInputs {
+            coverage: 0.01,
+            ..base
+        };
+        assert!(
+            regular_pattern_score(&rare, 0.35, 0.5) > regular_pattern_score(&base, 0.35, 0.5)
+        );
+    }
+
+    #[test]
+    fn training_frequency_boosts_score() {
+        let lo = RegularScoreInputs {
+            source: PhraseSource::ContextOnly,
+            total_term_score: 0.5,
+            occurrences: 1,
+            training_paper_fraction: 0.1,
+            coverage: 0.1,
+        };
+        let hi = RegularScoreInputs {
+            occurrences: 20,
+            training_paper_fraction: 0.9,
+            ..lo
+        };
+        assert!(regular_pattern_score(&hi, 0.35, 0.5) > regular_pattern_score(&lo, 0.35, 0.5));
+    }
+
+    #[test]
+    fn zero_exponent_ignores_coverage() {
+        let a = RegularScoreInputs {
+            source: PhraseSource::ContextOnly,
+            total_term_score: 0.0,
+            occurrences: 0,
+            training_paper_fraction: 0.0,
+            coverage: 0.001,
+        };
+        let b = RegularScoreInputs { coverage: 1.0, ..a };
+        assert!(
+            (regular_pattern_score(&a, 0.0, 0.5) - regular_pattern_score(&b, 0.0, 0.5)).abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn side_join_is_superadditive() {
+        assert_eq!(side_joined_score(2.0, 3.0), 25.0);
+        assert!(side_joined_score(2.0, 3.0) > 2.0 + 3.0);
+    }
+
+    #[test]
+    fn middle_join_weights_by_overlap() {
+        assert_eq!(middle_joined_score(10.0, 0.5, 4.0, 1.0), 9.0);
+        assert_eq!(middle_joined_score(10.0, 0.0, 4.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn total_term_score_sums() {
+        assert_eq!(total_term_score(&[0.5, 0.25]), 0.75);
+        assert_eq!(total_term_score(&[]), 0.0);
+    }
+}

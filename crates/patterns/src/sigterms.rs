@@ -1,0 +1,168 @@
+//! Significant-term extraction (paper §3.3, pattern-construction phase).
+//!
+//! "Significant terms are constructed from two sources: (i) words in
+//! the context term, and (ii) frequent terms (phrases) in the training
+//! papers. During the frequent phrase construction, significant terms
+//! from each source are combined using a procedure similar to the
+//! apriori algorithm."
+//!
+//! We mine frequent contiguous phrases from the training papers with
+//! the apriori-style miner in [`textproc::phrase`], keep the context
+//! term's word sequence (and its individual content words) as
+//! significant regardless of support, and tag every phrase with its
+//! source — the tag drives `MiddleTypeScore` later.
+
+use std::collections::HashSet;
+use textproc::phrase::frequent_phrases;
+use textproc::TermId;
+
+/// Where a significant phrase's words come from (determines
+/// `MiddleTypeScore`: frequent-only < context-only < both).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PhraseSource {
+    /// Only frequent-in-training-papers words.
+    FrequentOnly,
+    /// Only words of the context term's name.
+    ContextOnly,
+    /// A mix of both (the strongest signal).
+    Both,
+}
+
+/// One significant term (phrase) of a context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SignificantPhrase {
+    /// Contiguous token sequence (length ≥ 1).
+    pub tokens: Vec<TermId>,
+    /// Source classification.
+    pub source: PhraseSource,
+    /// Document-level support in the training papers (0 for context
+    /// name phrases that never occur there).
+    pub support: u32,
+}
+
+/// Extract the significant phrases of a context.
+///
+/// `context_words` is the analyzed token sequence of the context term's
+/// name; `training_docs` are the analyzed token streams of its training
+/// papers. Frequent phrases need `min_support` training documents;
+/// phrases longer than `max_phrase_len` are not mined.
+pub fn extract_significant_terms(
+    context_words: &[TermId],
+    training_docs: &[Vec<TermId>],
+    min_support: u32,
+    max_phrase_len: usize,
+) -> Vec<SignificantPhrase> {
+    let context_set: HashSet<TermId> = context_words.iter().copied().collect();
+    let mut out: Vec<SignificantPhrase> = Vec::new();
+    let mut seen: HashSet<Vec<TermId>> = HashSet::new();
+
+    // Source (ii): frequent phrases from training papers, classified by
+    // their overlap with the context words.
+    for fp in frequent_phrases(training_docs, min_support, max_phrase_len) {
+        let n_ctx = fp
+            .tokens
+            .iter()
+            .filter(|t| context_set.contains(t))
+            .count();
+        let source = if n_ctx == 0 {
+            PhraseSource::FrequentOnly
+        } else if n_ctx == fp.tokens.len() {
+            PhraseSource::ContextOnly
+        } else {
+            PhraseSource::Both
+        };
+        if seen.insert(fp.tokens.clone()) {
+            out.push(SignificantPhrase {
+                tokens: fp.tokens,
+                source,
+                support: fp.support,
+            });
+        }
+    }
+
+    // Source (i): the context term's own word sequence and words are
+    // significant even without training support.
+    if !context_words.is_empty() && seen.insert(context_words.to_vec()) {
+        out.push(SignificantPhrase {
+            tokens: context_words.to_vec(),
+            source: PhraseSource::ContextOnly,
+            support: count_docs_containing(training_docs, context_words),
+        });
+    }
+    for &w in &context_set {
+        let phrase = vec![w];
+        if seen.insert(phrase.clone()) {
+            out.push(SignificantPhrase {
+                support: count_docs_containing(training_docs, &phrase),
+                tokens: phrase,
+                source: PhraseSource::ContextOnly,
+            });
+        }
+    }
+    out
+}
+
+fn count_docs_containing(docs: &[Vec<TermId>], phrase: &[TermId]) -> u32 {
+    docs.iter()
+        .filter(|d| !textproc::phrase::find_occurrences(d, phrase).is_empty())
+        .count() as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(xs: &[u32]) -> Vec<TermId> {
+        xs.iter().map(|&x| TermId(x)).collect()
+    }
+
+    #[test]
+    fn context_words_always_significant() {
+        let sig = extract_significant_terms(&ids(&[1, 2]), &[], 2, 3);
+        // full phrase [1,2] + words [1], [2]
+        assert!(sig.iter().any(|p| p.tokens == ids(&[1, 2])));
+        assert!(sig.iter().any(|p| p.tokens == ids(&[1])));
+        assert!(sig.iter().any(|p| p.tokens == ids(&[2])));
+        assert!(sig.iter().all(|p| p.source == PhraseSource::ContextOnly));
+    }
+
+    #[test]
+    fn frequent_phrases_get_classified() {
+        // Context words {1}. Training docs make [1,5] and [7,8] frequent.
+        let docs = vec![ids(&[1, 5, 7, 8]), ids(&[1, 5, 7, 8])];
+        let sig = extract_significant_terms(&ids(&[1]), &docs, 2, 2);
+        let find = |toks: &[u32]| {
+            sig.iter()
+                .find(|p| p.tokens == ids(toks))
+                .unwrap_or_else(|| panic!("missing {toks:?}"))
+        };
+        assert_eq!(find(&[1, 5]).source, PhraseSource::Both);
+        assert_eq!(find(&[7, 8]).source, PhraseSource::FrequentOnly);
+        assert_eq!(find(&[1]).source, PhraseSource::ContextOnly);
+        assert_eq!(find(&[1, 5]).support, 2);
+    }
+
+    #[test]
+    fn support_counted_for_context_phrases() {
+        let docs = vec![ids(&[1, 2, 9]), ids(&[9, 9])];
+        let sig = extract_significant_terms(&ids(&[1, 2]), &docs, 5, 3);
+        let full = sig.iter().find(|p| p.tokens == ids(&[1, 2])).unwrap();
+        assert_eq!(full.support, 1);
+    }
+
+    #[test]
+    fn no_duplicate_phrases() {
+        let docs = vec![ids(&[1, 1, 1]), ids(&[1])];
+        let sig = extract_significant_terms(&ids(&[1]), &docs, 1, 2);
+        let mut seen = HashSet::new();
+        for p in &sig {
+            assert!(seen.insert(p.tokens.clone()), "dup {:?}", p.tokens);
+        }
+    }
+
+    #[test]
+    fn empty_context_and_docs() {
+        let sig = extract_significant_terms(&[], &[], 1, 3);
+        assert!(sig.is_empty());
+    }
+}

@@ -1,0 +1,184 @@
+//! Inverted index over documents.
+//!
+//! Maps each term to a postings list of `(document, weight)` pairs. With
+//! unit-normalized document vectors, accumulating `query_weight *
+//! posting_weight` over query terms computes exact cosine scores while
+//! touching only postings of query terms.
+
+use crate::sparse::SparseVector;
+use crate::vocab::TermId;
+use serde::{Deserialize, Serialize};
+
+/// Index of a document within the collection the index was built over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct DocId(pub u32);
+
+impl DocId {
+    /// The id as a usize index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A single posting: a document and the indexed weight of the term in it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Posting {
+    /// The document containing the term.
+    pub doc: DocId,
+    /// The (normalized TF-IDF) weight of the term in that document.
+    pub weight: f32,
+}
+
+/// An immutable inverted index built from per-document sparse vectors.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct InvertedIndex {
+    postings: Vec<Vec<Posting>>,
+    n_docs: u32,
+}
+
+impl InvertedIndex {
+    /// Build from unit-normalized document vectors, in `DocId` order.
+    pub fn build(doc_vectors: &[SparseVector]) -> Self {
+        let max_term = doc_vectors
+            .iter()
+            .flat_map(|v| v.terms())
+            .map(TermId::index)
+            .max()
+            .map_or(0, |m| m + 1);
+        let mut postings: Vec<Vec<Posting>> = vec![Vec::new(); max_term];
+        for (d, v) in doc_vectors.iter().enumerate() {
+            let doc = DocId(d as u32);
+            for &(t, w) in v.entries() {
+                postings[t.index()].push(Posting {
+                    doc,
+                    weight: w as f32,
+                });
+            }
+        }
+        Self {
+            postings,
+            n_docs: doc_vectors.len() as u32,
+        }
+    }
+
+    /// Number of indexed documents.
+    pub fn n_docs(&self) -> u32 {
+        self.n_docs
+    }
+
+    /// Postings list for `term` (empty slice if the term is unindexed).
+    pub fn postings(&self, term: TermId) -> &[Posting] {
+        self.postings
+            .get(term.index())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Documents containing `term`.
+    pub fn docs_containing(&self, term: TermId) -> impl Iterator<Item = DocId> + '_ {
+        self.postings(term).iter().map(|p| p.doc)
+    }
+
+    /// Score every document against a query vector by postings
+    /// accumulation; returns dense per-document scores.
+    pub fn score_all(&self, query: &SparseVector) -> Vec<f64> {
+        let mut scores = vec![0.0f64; self.n_docs as usize];
+        for &(t, qw) in query.entries() {
+            for p in self.postings(t) {
+                scores[p.doc.index()] += qw * p.weight as f64;
+            }
+        }
+        scores
+    }
+
+    /// Score and return `(doc, score)` pairs above `min_score`, sorted by
+    /// descending score (ties broken by ascending doc id for determinism).
+    pub fn search(&self, query: &SparseVector, min_score: f64) -> Vec<(DocId, f64)> {
+        let scores = self.score_all(query);
+        let mut hits: Vec<(DocId, f64)> = scores
+            .into_iter()
+            .enumerate()
+            .filter(|&(_, s)| s > min_score)
+            .map(|(d, s)| (DocId(d as u32), s))
+            .collect();
+        hits.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0)));
+        hits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tfidf::TfIdfModel;
+
+    fn ids(xs: &[u32]) -> Vec<TermId> {
+        xs.iter().map(|&x| TermId(x)).collect()
+    }
+
+    fn tiny_index() -> (InvertedIndex, TfIdfModel) {
+        // doc0: {0,1}; doc1: {1,2}; doc2: {2,2,3}
+        let docs = [ids(&[0, 1]), ids(&[1, 2]), ids(&[2, 2, 3])];
+        let model = TfIdfModel::fit(docs.iter().map(Vec::as_slice));
+        let vecs: Vec<SparseVector> = docs
+            .iter()
+            .map(|d| model.vectorize_normalized(d))
+            .collect();
+        (InvertedIndex::build(&vecs), model)
+    }
+
+    #[test]
+    fn postings_reflect_documents() {
+        let (idx, _) = tiny_index();
+        let d: Vec<u32> = idx.docs_containing(TermId(1)).map(|d| d.0).collect();
+        assert_eq!(d, vec![0, 1]);
+        let d: Vec<u32> = idx.docs_containing(TermId(3)).map(|d| d.0).collect();
+        assert_eq!(d, vec![2]);
+        assert!(idx.postings(TermId(99)).is_empty());
+    }
+
+    #[test]
+    fn search_ranks_exact_match_first() {
+        let (idx, model) = tiny_index();
+        let q = model.vectorize_normalized(&ids(&[2, 3]));
+        let hits = idx.search(&q, 0.0);
+        assert_eq!(hits[0].0, DocId(2));
+        assert!(hits[0].1 > hits.last().unwrap().1 || hits.len() == 1);
+    }
+
+    #[test]
+    fn search_scores_are_cosines() {
+        let (idx, model) = tiny_index();
+        let docs = [ids(&[0, 1]), ids(&[1, 2]), ids(&[2, 2, 3])];
+        let q = model.vectorize_normalized(&ids(&[1]));
+        let hits = idx.search(&q, -1.0);
+        for (doc, score) in hits {
+            let dv = model.vectorize_normalized(&docs[doc.index()]);
+            assert!((score - q.cosine(&dv)).abs() < 1e-6, "doc {doc:?}");
+        }
+    }
+
+    #[test]
+    fn min_score_filters() {
+        let (idx, model) = tiny_index();
+        let q = model.vectorize_normalized(&ids(&[1]));
+        let all = idx.search(&q, 0.0);
+        let none = idx.search(&q, 1.1);
+        assert!(!all.is_empty());
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn empty_query_matches_nothing() {
+        let (idx, _) = tiny_index();
+        let hits = idx.search(&SparseVector::new(), 0.0);
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn empty_index_is_sane() {
+        let idx = InvertedIndex::build(&[]);
+        assert_eq!(idx.n_docs(), 0);
+        assert!(idx.search(&SparseVector::new(), 0.0).is_empty());
+    }
+}

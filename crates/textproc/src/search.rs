@@ -1,0 +1,174 @@
+//! Keyword search engine: the paper's "standard keyword-based search"
+//! baseline (the PubMed-style search that context-based search is
+//! compared against, and the seed-set generator for AC-answer sets).
+//!
+//! Wraps a [`Vocabulary`], a [`TfIdfModel`], and an [`InvertedIndex`] so
+//! callers can go straight from raw text documents and a raw text query
+//! to ranked hits.
+
+use crate::index::{DocId, InvertedIndex};
+use crate::sparse::SparseVector;
+use crate::tfidf::TfIdfModel;
+use crate::vocab::{TermId, Vocabulary};
+use crate::analyze;
+
+/// One ranked search result.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SearchHit {
+    /// Position of the document in the collection the engine was built on.
+    pub doc: DocId,
+    /// Cosine similarity between query and document TF-IDF vectors.
+    pub score: f64,
+}
+
+/// A self-contained TF-IDF cosine search engine over a fixed collection.
+#[derive(Debug, Clone)]
+pub struct SearchEngine {
+    vocab: Vocabulary,
+    model: TfIdfModel,
+    index: InvertedIndex,
+    doc_vectors: Vec<SparseVector>,
+}
+
+impl SearchEngine {
+    /// Build an engine over already-analyzed token lists (one per doc).
+    pub fn from_token_docs(docs: Vec<Vec<String>>) -> Self {
+        let mut vocab = Vocabulary::new();
+        let id_docs: Vec<Vec<TermId>> = docs
+            .iter()
+            .map(|d| d.iter().map(|t| vocab.intern(t)).collect())
+            .collect();
+        let model = TfIdfModel::fit(id_docs.iter().map(Vec::as_slice));
+        let doc_vectors: Vec<SparseVector> = id_docs
+            .iter()
+            .map(|d| model.vectorize_normalized(d))
+            .collect();
+        let index = InvertedIndex::build(&doc_vectors);
+        Self {
+            vocab,
+            model,
+            index,
+            doc_vectors,
+        }
+    }
+
+    /// Build an engine from raw document texts using the standard
+    /// [`analyze`] pipeline.
+    pub fn from_texts<'a>(texts: impl IntoIterator<Item = &'a str>) -> Self {
+        Self::from_token_docs(texts.into_iter().map(analyze).collect())
+    }
+
+    /// The engine's vocabulary.
+    pub fn vocabulary(&self) -> &Vocabulary {
+        &self.vocab
+    }
+
+    /// The fitted TF-IDF model.
+    pub fn model(&self) -> &TfIdfModel {
+        &self.model
+    }
+
+    /// The unit-norm vector of document `doc`.
+    pub fn doc_vector(&self, doc: DocId) -> Option<&SparseVector> {
+        self.doc_vectors.get(doc.index())
+    }
+
+    /// All document vectors, in `DocId` order.
+    pub fn doc_vectors(&self) -> &[SparseVector] {
+        &self.doc_vectors
+    }
+
+    /// Number of indexed documents.
+    pub fn n_docs(&self) -> u32 {
+        self.index.n_docs()
+    }
+
+    /// Analyze a raw query into a unit-norm TF-IDF vector. Query terms
+    /// never seen at build time are dropped (they cannot match anything).
+    pub fn query_vector(&self, query: &str) -> SparseVector {
+        let ids: Vec<TermId> = analyze(query)
+            .iter()
+            .filter_map(|t| self.vocab.get(t))
+            .collect();
+        self.model.vectorize_normalized(&ids)
+    }
+
+    /// Search with a raw text query; hits score strictly above
+    /// `min_score`, descending.
+    pub fn search(&self, query: &str, min_score: f64) -> Vec<SearchHit> {
+        self.search_vector(&self.query_vector(query), min_score)
+    }
+
+    /// Search with a prebuilt query vector.
+    pub fn search_vector(&self, query: &SparseVector, min_score: f64) -> Vec<SearchHit> {
+        self.index
+            .search(query, min_score)
+            .into_iter()
+            .map(|(doc, score)| SearchHit { doc, score })
+            .collect()
+    }
+
+    /// Cosine similarity between a document and an arbitrary vector.
+    pub fn similarity_to(&self, doc: DocId, v: &SparseVector) -> f64 {
+        self.doc_vectors
+            .get(doc.index())
+            .map_or(0.0, |dv| dv.cosine(v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine() -> SearchEngine {
+        SearchEngine::from_texts([
+            "transcription factor binding regulates gene expression",
+            "protein kinase signaling cascade phosphorylation",
+            "gene expression microarray analysis of transcription",
+            "membrane transport ion channel proteins",
+        ])
+    }
+
+    #[test]
+    fn relevant_doc_ranks_first() {
+        let e = engine();
+        let hits = e.search("transcription gene expression", 0.0);
+        assert!(!hits.is_empty());
+        // Docs 0 and 2 are about transcription/gene expression.
+        assert!(hits[0].doc == DocId(0) || hits[0].doc == DocId(2));
+        let hit_ids: Vec<u32> = hits.iter().map(|h| h.doc.0).collect();
+        assert!(!hit_ids.contains(&3) || hits.len() == 4);
+    }
+
+    #[test]
+    fn unrelated_query_scores_low() {
+        let e = engine();
+        let hits = e.search("membrane ion channel", 0.1);
+        assert_eq!(hits[0].doc, DocId(3));
+    }
+
+    #[test]
+    fn unknown_terms_are_ignored() {
+        let e = engine();
+        let hits = e.search("zzzzunknownzzzz", 0.0);
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn scores_descend() {
+        let e = engine();
+        let hits = e.search("protein gene transcription", 0.0);
+        for w in hits.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+    }
+
+    #[test]
+    fn query_vector_is_unit_or_empty() {
+        let e = engine();
+        let q = e.query_vector("kinase signaling");
+        assert!((q.norm() - 1.0).abs() < 1e-9);
+        let q = e.query_vector("");
+        assert!(q.is_empty());
+    }
+}

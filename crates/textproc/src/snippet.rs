@@ -1,0 +1,193 @@
+//! Search-result snippet extraction.
+//!
+//! Given raw text and an analyzed query, pick the contiguous window of
+//! words that best covers the query terms (IDF-weighted, counting each
+//! distinct term once) and render it from the *raw* words, with
+//! ellipses when the window is interior. The window is found over the
+//! stemmed view of the text so it matches exactly what the index
+//! matched.
+
+use crate::stem::porter_stem;
+use crate::tfidf::TfIdfModel;
+use crate::tokenize::tokenize;
+use crate::vocab::{TermId, Vocabulary};
+use std::collections::HashSet;
+
+/// Configuration for snippet extraction.
+#[derive(Debug, Clone)]
+pub struct SnippetConfig {
+    /// Window length in words.
+    pub window: usize,
+    /// Marker placed where text was elided.
+    pub ellipsis: &'static str,
+}
+
+impl Default for SnippetConfig {
+    fn default() -> Self {
+        Self {
+            window: 24,
+            ellipsis: "…",
+        }
+    }
+}
+
+/// Extract the best snippet of `raw_text` for the analyzed query terms.
+///
+/// Returns `None` when the text contains no query term at all (callers
+/// typically fall back to the leading words). `vocab` and `model` must
+/// be the corpus vocabulary and whole-document model the query was
+/// analyzed against.
+pub fn best_snippet(
+    raw_text: &str,
+    query_terms: &[TermId],
+    vocab: &Vocabulary,
+    model: &TfIdfModel,
+    config: &SnippetConfig,
+) -> Option<String> {
+    if raw_text.is_empty() || query_terms.is_empty() || config.window == 0 {
+        return None;
+    }
+    let query: HashSet<TermId> = query_terms.iter().copied().collect();
+    let raw_words: Vec<&str> = raw_text.split_whitespace().collect();
+    // Stemmed view, aligned with raw_words: each raw word may tokenize
+    // into several tokens; we take its first token's stem (adequate for
+    // display alignment).
+    let stemmed: Vec<Option<TermId>> = raw_words
+        .iter()
+        .map(|w| {
+            tokenize(w)
+                .first()
+                .map(|t| porter_stem(t))
+                .and_then(|s| vocab.get(&s))
+        })
+        .collect();
+
+    let window = config.window.min(raw_words.len());
+    let score_at = |start: usize| -> f64 {
+        let mut seen: HashSet<TermId> = HashSet::new();
+        let mut score = 0.0;
+        for s in stemmed[start..start + window].iter().flatten() {
+            if query.contains(s) && seen.insert(*s) {
+                // Floor keeps ubiquitous terms (idf ≈ 0) contributing:
+                // a window containing the query term always beats one
+                // without it.
+                score += model.idf(*s).max(0.05);
+            }
+        }
+        score
+    };
+    let mut best_start = 0usize;
+    let mut best_score = 0.0f64;
+    for start in 0..=(raw_words.len() - window) {
+        let s = score_at(start);
+        if s > best_score {
+            best_score = s;
+            best_start = start;
+        }
+    }
+    if best_score <= 0.0 {
+        return None;
+    }
+    let mut out = String::new();
+    if best_start > 0 {
+        out.push_str(config.ellipsis);
+        out.push(' ');
+    }
+    out.push_str(&raw_words[best_start..best_start + window].join(" "));
+    if best_start + window < raw_words.len() {
+        out.push(' ');
+        out.push_str(config.ellipsis);
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze;
+
+    fn setup(texts: &[&str]) -> (Vocabulary, TfIdfModel) {
+        let mut vocab = Vocabulary::new();
+        let docs: Vec<Vec<TermId>> = texts
+            .iter()
+            .map(|t| analyze(t).iter().map(|w| vocab.intern(w)).collect())
+            .collect();
+        let model = TfIdfModel::fit(docs.iter().map(Vec::as_slice));
+        (vocab, model)
+    }
+
+    fn q(vocab: &Vocabulary, text: &str) -> Vec<TermId> {
+        analyze(text).iter().filter_map(|t| vocab.get(t)).collect()
+    }
+
+    #[test]
+    fn snippet_centers_on_query_terms() {
+        let text = "alpha beta gamma delta epsilon zeta eta theta kinase signaling iota kappa lambda mu nu xi";
+        let (vocab, model) = setup(&[text]);
+        let query = q(&vocab, "kinase signaling");
+        let cfg = SnippetConfig {
+            window: 4,
+            ellipsis: "…",
+        };
+        let s = best_snippet(text, &query, &vocab, &model, &cfg).unwrap();
+        assert!(s.contains("kinase"), "{s}");
+        assert!(s.contains("signaling"), "{s}");
+        assert!(s.starts_with("…"), "interior window gets a left ellipsis: {s}");
+        assert!(s.ends_with("…"), "interior window gets a right ellipsis: {s}");
+    }
+
+    #[test]
+    fn no_match_returns_none() {
+        let text = "alpha beta gamma";
+        let (vocab, model) = setup(&[text, "zebra unrelated"]);
+        let query = q(&vocab, "zebra");
+        assert!(best_snippet(text, &query, &vocab, &model, &SnippetConfig::default()).is_none());
+    }
+
+    #[test]
+    fn window_larger_than_text_returns_whole_text() {
+        let text = "kinase activity measured";
+        let (vocab, model) = setup(&[text]);
+        let query = q(&vocab, "kinase");
+        let s = best_snippet(text, &query, &vocab, &model, &SnippetConfig::default()).unwrap();
+        assert_eq!(s, text);
+    }
+
+    #[test]
+    fn stemming_bridges_inflection() {
+        // Query "signaling", text has "signals" — stems must meet.
+        let text = "the cell signals through cascades constantly";
+        let (vocab, model) = setup(&[text]);
+        let query = q(&vocab, "signals");
+        let s = best_snippet(text, &query, &vocab, &model, &SnippetConfig::default());
+        assert!(s.is_some());
+    }
+
+    #[test]
+    fn rarer_terms_win_the_window() {
+        // Two candidate windows: one with a common word, one with a rare
+        // one; the rare-term window must win.
+        let common_then_rare =
+            "gene gene gene gene gene gene gene gene filler filler filler filler raregene9 filler";
+        let (vocab, model) = setup(&[
+            common_then_rare,
+            "gene gene gene",
+            "gene stuff",
+            "gene things",
+        ]);
+        let query = q(&vocab, "gene raregene9");
+        let cfg = SnippetConfig {
+            window: 3,
+            ellipsis: "…",
+        };
+        let s = best_snippet(common_then_rare, &query, &vocab, &model, &cfg).unwrap();
+        assert!(s.contains("raregene9"), "{s}");
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let (vocab, model) = setup(&["a b"]);
+        assert!(best_snippet("", &[TermId(0)], &vocab, &model, &SnippetConfig::default()).is_none());
+        assert!(best_snippet("text", &[], &vocab, &model, &SnippetConfig::default()).is_none());
+    }
+}

@@ -1,0 +1,466 @@
+//! Porter stemming algorithm, implemented from scratch.
+//!
+//! A faithful Rust port of M.F. Porter's 1980 algorithm ("An algorithm
+//! for suffix stripping"), the stemmer conventionally paired with the
+//! TF-IDF vector model the paper uses (Salton, "Automatic Text
+//! Processing"). Operates on lowercase ASCII; tokens containing
+//! non-ASCII-alphabetic bytes are returned unchanged.
+
+/// Stem a single lowercase token with the Porter algorithm.
+///
+/// ```
+/// use textproc::stem::porter_stem;
+/// assert_eq!(porter_stem("caresses"), "caress");
+/// assert_eq!(porter_stem("ponies"), "poni");
+/// assert_eq!(porter_stem("relational"), "relat");
+/// assert_eq!(porter_stem("regulation"), "regul");
+/// ```
+pub fn porter_stem(word: &str) -> String {
+    if word.len() <= 2 || !word.bytes().all(|b| b.is_ascii_lowercase()) {
+        return word.to_string();
+    }
+    let mut s = Stemmer {
+        b: word.as_bytes().to_vec(),
+        k: word.len() - 1,
+        j: 0,
+    };
+    s.step1ab();
+    s.step1c();
+    s.step2();
+    s.step3();
+    s.step4();
+    s.step5();
+    String::from_utf8(s.b[..=s.k].to_vec()).expect("ascii in, ascii out")
+}
+
+struct Stemmer {
+    b: Vec<u8>,
+    /// Index of the last valid byte of the current word.
+    k: usize,
+    /// Index of the last byte of the stem candidate (set by `ends`).
+    /// Signed because a suffix can cover the whole word (Porter's original
+    /// C code uses a signed int for the same reason).
+    j: isize,
+}
+
+// The step functions below mirror Porter's published step structure
+// line-for-line; clippy's structural suggestions would obscure the
+// correspondence with the reference algorithm.
+#[allow(clippy::collapsible_match, clippy::if_same_then_else)]
+impl Stemmer {
+    /// Is b[i] a consonant?
+    fn cons(&self, i: usize) -> bool {
+        match self.b[i] {
+            b'a' | b'e' | b'i' | b'o' | b'u' => false,
+            b'y' => {
+                if i == 0 {
+                    true
+                } else {
+                    !self.cons(i - 1)
+                }
+            }
+            _ => true,
+        }
+    }
+
+    /// Measure of b[0..=j]: the number of VC sequences.
+    fn m(&self) -> usize {
+        if self.j < 0 {
+            return 0;
+        }
+        let j = self.j as usize;
+        let mut n = 0;
+        let mut i = 0usize;
+        loop {
+            if i > j {
+                return n;
+            }
+            if !self.cons(i) {
+                break;
+            }
+            i += 1;
+        }
+        i += 1;
+        loop {
+            loop {
+                if i > j {
+                    return n;
+                }
+                if self.cons(i) {
+                    break;
+                }
+                i += 1;
+            }
+            i += 1;
+            n += 1;
+            loop {
+                if i > j {
+                    return n;
+                }
+                if !self.cons(i) {
+                    break;
+                }
+                i += 1;
+            }
+            i += 1;
+        }
+    }
+
+    /// Does b[0..=j] contain a vowel?
+    fn vowel_in_stem(&self) -> bool {
+        self.j >= 0 && (0..=self.j as usize).any(|i| !self.cons(i))
+    }
+
+    /// Is b[i-1..=i] a double consonant?
+    fn doublec(&self, i: usize) -> bool {
+        i >= 1 && self.b[i] == self.b[i - 1] && self.cons(i)
+    }
+
+    /// Is b[i-2..=i] consonant-vowel-consonant, with the final consonant
+    /// not w, x or y? Used to restore a trailing 'e' (e.g. cav(e), lov(e)).
+    fn cvc(&self, i: usize) -> bool {
+        if i < 2 || !self.cons(i) || self.cons(i - 1) || !self.cons(i - 2) {
+            return false;
+        }
+        !matches!(self.b[i], b'w' | b'x' | b'y')
+    }
+
+    /// Does b[..=k] end with `s`? If so set j to the stem end.
+    fn ends(&mut self, s: &[u8]) -> bool {
+        if s.len() > self.k + 1 {
+            return false;
+        }
+        if &self.b[self.k + 1 - s.len()..=self.k] != s {
+            return false;
+        }
+        self.j = self.k as isize - s.len() as isize;
+        true
+    }
+
+    /// Replace b[j+1..=k] with `s` and update k. Callers guarantee the
+    /// result is non-empty (either `s` is non-empty or m() > 0 held, which
+    /// implies j >= 1).
+    fn setto(&mut self, s: &[u8]) {
+        self.b.truncate((self.j + 1) as usize);
+        self.b.extend_from_slice(s);
+        self.k = (self.j + s.len() as isize) as usize;
+    }
+
+    /// `setto` guarded by m() > 0.
+    fn r(&mut self, s: &[u8]) {
+        if self.m() > 0 {
+            self.setto(s);
+        }
+    }
+
+    fn step1ab(&mut self) {
+        if self.b[self.k] == b's' {
+            if self.ends(b"sses") {
+                self.k -= 2;
+            } else if self.ends(b"ies") {
+                self.setto(b"i");
+            } else if self.b[self.k - 1] != b's' {
+                self.k -= 1;
+            }
+        }
+        if self.ends(b"eed") {
+            if self.m() > 0 {
+                self.k -= 1;
+            }
+        } else if (self.ends(b"ed") || self.ends(b"ing")) && self.vowel_in_stem() {
+            self.k = self.j as usize;
+            if self.ends(b"at") {
+                self.setto(b"ate");
+            } else if self.ends(b"bl") {
+                self.setto(b"ble");
+            } else if self.ends(b"iz") {
+                self.setto(b"ize");
+            } else if self.doublec(self.k) {
+                if !matches!(self.b[self.k], b'l' | b's' | b'z') {
+                    self.k -= 1;
+                }
+            } else if self.m() == 1 && self.cvc(self.k) {
+                self.setto(b"e");
+            }
+        }
+    }
+
+    fn step1c(&mut self) {
+        if self.ends(b"y") && self.vowel_in_stem() {
+            self.b[self.k] = b'i';
+        }
+    }
+
+    fn step2(&mut self) {
+        if self.k == 0 {
+            return;
+        }
+        match self.b[self.k - 1] {
+            b'a' => {
+                if self.ends(b"ational") {
+                    self.r(b"ate");
+                } else if self.ends(b"tional") {
+                    self.r(b"tion");
+                }
+            }
+            b'c' => {
+                if self.ends(b"enci") {
+                    self.r(b"ence");
+                } else if self.ends(b"anci") {
+                    self.r(b"ance");
+                }
+            }
+            b'e' => {
+                if self.ends(b"izer") {
+                    self.r(b"ize");
+                }
+            }
+            b'l' => {
+                if self.ends(b"bli") {
+                    self.r(b"ble");
+                } else if self.ends(b"alli") {
+                    self.r(b"al");
+                } else if self.ends(b"entli") {
+                    self.r(b"ent");
+                } else if self.ends(b"eli") {
+                    self.r(b"e");
+                } else if self.ends(b"ousli") {
+                    self.r(b"ous");
+                }
+            }
+            b'o' => {
+                if self.ends(b"ization") {
+                    self.r(b"ize");
+                } else if self.ends(b"ation") {
+                    self.r(b"ate");
+                } else if self.ends(b"ator") {
+                    self.r(b"ate");
+                }
+            }
+            b's' => {
+                if self.ends(b"alism") {
+                    self.r(b"al");
+                } else if self.ends(b"iveness") {
+                    self.r(b"ive");
+                } else if self.ends(b"fulness") {
+                    self.r(b"ful");
+                } else if self.ends(b"ousness") {
+                    self.r(b"ous");
+                }
+            }
+            b't' => {
+                if self.ends(b"aliti") {
+                    self.r(b"al");
+                } else if self.ends(b"iviti") {
+                    self.r(b"ive");
+                } else if self.ends(b"biliti") {
+                    self.r(b"ble");
+                }
+            }
+            b'g' => {
+                if self.ends(b"logi") {
+                    self.r(b"log");
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn step3(&mut self) {
+        match self.b[self.k] {
+            b'e' => {
+                if self.ends(b"icate") {
+                    self.r(b"ic");
+                } else if self.ends(b"ative") {
+                    self.r(b"");
+                } else if self.ends(b"alize") {
+                    self.r(b"al");
+                }
+            }
+            b'i' => {
+                if self.ends(b"iciti") {
+                    self.r(b"ic");
+                }
+            }
+            b'l' => {
+                if self.ends(b"ical") {
+                    self.r(b"ic");
+                } else if self.ends(b"ful") {
+                    self.r(b"");
+                }
+            }
+            b's' => {
+                if self.ends(b"ness") {
+                    self.r(b"");
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn step4(&mut self) {
+        if self.k == 0 {
+            return;
+        }
+        let matched = match self.b[self.k - 1] {
+            b'a' => self.ends(b"al"),
+            b'c' => self.ends(b"ance") || self.ends(b"ence"),
+            b'e' => self.ends(b"er"),
+            b'i' => self.ends(b"ic"),
+            b'l' => self.ends(b"able") || self.ends(b"ible"),
+            b'n' => {
+                self.ends(b"ant")
+                    || self.ends(b"ement")
+                    || self.ends(b"ment")
+                    || self.ends(b"ent")
+            }
+            b'o' => {
+                (self.ends(b"ion")
+                    && self.j > 0
+                    && matches!(self.b[self.j as usize], b's' | b't'))
+                    || self.ends(b"ou")
+            }
+            b's' => self.ends(b"ism"),
+            b't' => self.ends(b"ate") || self.ends(b"iti"),
+            b'u' => self.ends(b"ous"),
+            b'v' => self.ends(b"ive"),
+            b'z' => self.ends(b"ize"),
+            _ => false,
+        };
+        if matched && self.m() > 1 {
+            self.k = self.j as usize;
+        }
+    }
+
+    fn step5(&mut self) {
+        self.j = self.k as isize;
+        if self.b[self.k] == b'e' {
+            let a = self.m();
+            if a > 1 || (a == 1 && !self.cvc(self.k - 1)) {
+                self.k -= 1;
+            }
+        }
+        if self.b[self.k] == b'l' && self.doublec(self.k) && self.m() > 1 {
+            self.k -= 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Canonical vocabulary pairs from Porter's published test data.
+    #[test]
+    fn canonical_pairs() {
+        let cases = [
+            ("caresses", "caress"),
+            ("ponies", "poni"),
+            ("ties", "ti"),
+            ("caress", "caress"),
+            ("cats", "cat"),
+            ("feed", "feed"),
+            ("agreed", "agre"),
+            ("plastered", "plaster"),
+            ("bled", "bled"),
+            ("motoring", "motor"),
+            ("sing", "sing"),
+            ("conflated", "conflat"),
+            ("troubled", "troubl"),
+            ("sized", "size"),
+            ("hopping", "hop"),
+            ("tanned", "tan"),
+            ("falling", "fall"),
+            ("hissing", "hiss"),
+            ("fizzed", "fizz"),
+            ("failing", "fail"),
+            ("filing", "file"),
+            ("happy", "happi"),
+            ("sky", "sky"),
+            ("relational", "relat"),
+            ("conditional", "condit"),
+            ("rational", "ration"),
+            ("valenci", "valenc"),
+            ("hesitanci", "hesit"),
+            ("digitizer", "digit"),
+            ("conformabli", "conform"),
+            ("radicalli", "radic"),
+            ("differentli", "differ"),
+            ("vileli", "vile"),
+            ("analogousli", "analog"),
+            ("vietnamization", "vietnam"),
+            ("predication", "predic"),
+            ("operator", "oper"),
+            ("feudalism", "feudal"),
+            ("decisiveness", "decis"),
+            ("hopefulness", "hope"),
+            ("callousness", "callous"),
+            ("formaliti", "formal"),
+            ("sensitiviti", "sensit"),
+            ("sensibiliti", "sensibl"),
+            ("triplicate", "triplic"),
+            ("formative", "form"),
+            ("formalize", "formal"),
+            ("electriciti", "electr"),
+            ("electrical", "electr"),
+            ("hopeful", "hope"),
+            ("goodness", "good"),
+            ("revival", "reviv"),
+            ("allowance", "allow"),
+            ("inference", "infer"),
+            ("airliner", "airlin"),
+            ("gyroscopic", "gyroscop"),
+            ("adjustable", "adjust"),
+            ("defensible", "defens"),
+            ("irritant", "irrit"),
+            ("replacement", "replac"),
+            ("adjustment", "adjust"),
+            ("dependent", "depend"),
+            ("adoption", "adopt"),
+            ("homologou", "homolog"),
+            ("communism", "commun"),
+            ("activate", "activ"),
+            ("angulariti", "angular"),
+            ("homologous", "homolog"),
+            ("effective", "effect"),
+            ("bowdlerize", "bowdler"),
+            ("probate", "probat"),
+            ("rate", "rate"),
+            ("cease", "ceas"),
+            ("controll", "control"),
+            ("roll", "roll"),
+        ];
+        for (input, expected) in cases {
+            assert_eq!(porter_stem(input), expected, "stem({input})");
+        }
+    }
+
+    #[test]
+    fn domain_terms() {
+        assert_eq!(porter_stem("transcription"), "transcript");
+        assert_eq!(porter_stem("transcriptional"), "transcript");
+        assert_eq!(porter_stem("regulation"), "regul");
+        assert_eq!(porter_stem("regulatory"), "regulatori");
+        assert_eq!(porter_stem("binding"), "bind");
+        assert_eq!(porter_stem("kinases"), "kinas");
+    }
+
+    #[test]
+    fn short_and_nonascii_unchanged() {
+        assert_eq!(porter_stem("go"), "go");
+        assert_eq!(porter_stem("a"), "a");
+        assert_eq!(porter_stem("naïve"), "naïve");
+        assert_eq!(porter_stem("p53"), "p53");
+    }
+
+    #[test]
+    fn idempotent_on_common_words() {
+        for w in ["regulation", "binding", "cellular", "activities", "responses"] {
+            let once = porter_stem(w);
+            let twice = porter_stem(&once);
+            // Porter is not idempotent in general, but must not panic and
+            // must keep output ascii-lowercase for ascii input.
+            assert!(twice.bytes().all(|b| b.is_ascii_lowercase() || b.is_ascii_digit()));
+        }
+    }
+}

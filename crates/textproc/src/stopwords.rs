@@ -1,0 +1,66 @@
+//! English stopword list.
+//!
+//! A compact standard list (the classic van Rijsbergen / SMART-style core)
+//! plus a handful of publication boilerplate words ("figure", "table",
+//! "et", "al") that carry no topical signal in scientific full text.
+
+use std::collections::HashSet;
+use std::sync::OnceLock;
+
+static STOPWORDS: &[&str] = &[
+    "a", "about", "above", "after", "again", "against", "all", "also", "am", "an", "and", "any",
+    "are", "as", "at", "be", "because", "been", "before", "being", "below", "between", "both",
+    "but", "by", "can", "cannot", "could", "did", "do", "does", "doing", "down", "during", "each",
+    "few", "for", "from", "further", "had", "has", "have", "having", "he", "her", "here", "hers",
+    "herself", "him", "himself", "his", "how", "i", "if", "in", "into", "is", "it", "its",
+    "itself", "let", "may", "me", "might", "more", "most", "must", "my", "myself", "no", "nor",
+    "not", "of", "off", "on", "once", "only", "or", "other", "ought", "our", "ours", "ourselves",
+    "out", "over", "own", "same", "she", "should", "so", "some", "such", "than", "that", "the",
+    "their", "theirs", "them", "themselves", "then", "there", "these", "they", "this", "those",
+    "through", "to", "too", "under", "until", "up", "upon", "us", "very", "was", "we", "were",
+    "what", "when", "where", "which", "while", "who", "whom", "why", "will", "with", "would",
+    "you", "your", "yours", "yourself", "yourselves",
+    // publication boilerplate
+    "figure", "fig", "table", "et", "al", "etc", "ie", "eg", "paper", "using", "used", "use",
+    "show", "shown", "shows", "result", "results", "method", "methods", "however", "therefore",
+    "thus", "within", "among", "via", "respectively",
+];
+
+fn set() -> &'static HashSet<&'static str> {
+    static SET: OnceLock<HashSet<&'static str>> = OnceLock::new();
+    SET.get_or_init(|| STOPWORDS.iter().copied().collect())
+}
+
+/// Is `word` (already lowercased) a stopword?
+pub fn is_stopword(word: &str) -> bool {
+    set().contains(word)
+}
+
+/// Number of stopwords in the list (exposed for tests / diagnostics).
+pub fn stopword_count() -> usize {
+    set().len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn common_function_words_are_stopwords() {
+        for w in ["the", "and", "of", "is", "with"] {
+            assert!(is_stopword(w), "{w} should be a stopword");
+        }
+    }
+
+    #[test]
+    fn content_words_are_not() {
+        for w in ["gene", "kinase", "transcription", "apoptosis"] {
+            assert!(!is_stopword(w), "{w} should not be a stopword");
+        }
+    }
+
+    #[test]
+    fn no_duplicates_in_list() {
+        assert_eq!(stopword_count(), STOPWORDS.len());
+    }
+}

@@ -1,0 +1,119 @@
+//! Word tokenization.
+//!
+//! Splits text into lowercase word tokens. A token is a maximal run of
+//! alphanumeric characters; hyphens and apostrophes *inside* a word are
+//! treated as connectors for biomedical-style tokens ("beta-catenin",
+//! "3'-utr") and split into their alphanumeric parts as separate tokens
+//! plus the joined form is NOT kept — the paper's TF-IDF setup works on
+//! plain word tokens, so we keep tokenization deliberately simple and
+//! deterministic.
+
+/// Tokenize `text` into lowercase alphanumeric word tokens.
+///
+/// Purely ASCII-alphanumeric-or-unicode-alphabetic runs are kept; all
+/// other characters separate tokens. Tokens are lowercased. Pure numbers
+/// are kept (gene names like "p53" mix digits and letters, and years are
+/// filtered later by length/stopword policies if needed).
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    for ch in text.chars() {
+        if ch.is_alphanumeric() {
+            for lc in ch.to_lowercase() {
+                cur.push(lc);
+            }
+        } else if !cur.is_empty() {
+            out.push(std::mem::take(&mut cur));
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Tokenize and return (token, word position) pairs. Positions count
+/// words, not bytes; used by pattern matching to find middle tuples with
+/// their surrounding words.
+pub fn tokenize_with_positions(text: &str) -> Vec<(String, usize)> {
+    tokenize(text)
+        .into_iter()
+        .enumerate()
+        .map(|(i, t)| (t, i))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_on_whitespace_and_punct() {
+        assert_eq!(
+            tokenize("Hello, world! foo-bar"),
+            vec!["hello", "world", "foo", "bar"]
+        );
+    }
+
+    #[test]
+    fn lowercases() {
+        assert_eq!(tokenize("DNA Polymerase II"), vec!["dna", "polymerase", "ii"]);
+    }
+
+    #[test]
+    fn keeps_alphanumeric_mixes() {
+        assert_eq!(tokenize("p53 and 3utr"), vec!["p53", "and", "3utr"]);
+    }
+
+    #[test]
+    fn empty_and_punct_only() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("...!?--").is_empty());
+    }
+
+    #[test]
+    fn unicode_words() {
+        assert_eq!(tokenize("naïve Bayes"), vec!["naïve", "bayes"]);
+    }
+
+    proptest::proptest! {
+        /// Tokenization never panics and always yields lowercase,
+        /// alphanumeric-only tokens.
+        #[test]
+        fn tokens_are_always_clean(input in "\\PC{0,200}") {
+            for tok in tokenize(&input) {
+                proptest::prop_assert!(!tok.is_empty());
+                proptest::prop_assert!(tok.chars().all(|c| c.is_alphanumeric()));
+                // Lowercased means: applying to_lowercase again changes
+                // nothing (some uppercase codepoints, e.g. 𝒢, have no
+                // lowercase mapping and pass through unchanged).
+                proptest::prop_assert_eq!(
+                    tok.clone(),
+                    tok.chars().flat_map(char::to_lowercase).collect::<String>(),
+                    "token not lowercased"
+                );
+            }
+        }
+
+        /// Tokenizing is insensitive to surrounding whitespace.
+        #[test]
+        fn whitespace_invariance(words in proptest::collection::vec("[a-z]{1,8}", 0..10)) {
+            let tight = words.join(" ");
+            let loose = words.join("   \t ");
+            proptest::prop_assert_eq!(tokenize(&tight), tokenize(&loose));
+        }
+    }
+
+    #[test]
+    fn positions_are_word_indices() {
+        let toks = tokenize_with_positions("a b  c");
+        assert_eq!(
+            toks,
+            vec![
+                ("a".to_string(), 0),
+                ("b".to_string(), 1),
+                ("c".to_string(), 2)
+            ]
+        );
+    }
+}

@@ -1,0 +1,136 @@
+//! String interning: maps term strings to dense [`TermId`]s.
+//!
+//! Every component of the reproduction (TF-IDF vectors, the inverted
+//! index, pattern tuples, context term words) speaks in `TermId`s so that
+//! comparisons are integer comparisons and vectors are sparse arrays.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Dense identifier of an interned term. `u32` keeps postings and sparse
+/// vectors compact (see the type-size guidance in the Rust perf book).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TermId(pub u32);
+
+impl TermId {
+    /// The id as a usize index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// An append-only interner from term strings to [`TermId`]s.
+#[derive(Debug, Default, Clone)]
+pub struct Vocabulary {
+    by_term: HashMap<String, TermId>,
+    terms: Vec<String>,
+}
+
+impl Vocabulary {
+    /// Create an empty vocabulary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern `term`, returning its id (allocating a new one if unseen).
+    pub fn intern(&mut self, term: &str) -> TermId {
+        if let Some(&id) = self.by_term.get(term) {
+            return id;
+        }
+        let id = TermId(
+            u32::try_from(self.terms.len()).expect("vocabulary exceeds u32::MAX terms"),
+        );
+        self.terms.push(term.to_string());
+        self.by_term.insert(term.to_string(), id);
+        id
+    }
+
+    /// Intern every token in `tokens`.
+    pub fn intern_all(&mut self, tokens: &[String]) -> Vec<TermId> {
+        tokens.iter().map(|t| self.intern(t)).collect()
+    }
+
+    /// Look up an existing term without interning.
+    pub fn get(&self, term: &str) -> Option<TermId> {
+        self.by_term.get(term).copied()
+    }
+
+    /// The string for `id`, if allocated.
+    pub fn term(&self, id: TermId) -> Option<&str> {
+        self.terms.get(id.index()).map(String::as_str)
+    }
+
+    /// Number of distinct terms.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// True if no terms have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Iterate over (id, term) pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (TermId, &str)> {
+        self.terms
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (TermId(i as u32), t.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut v = Vocabulary::new();
+        let a = v.intern("gene");
+        let b = v.intern("gene");
+        assert_eq!(a, b);
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn ids_are_dense_and_ordered() {
+        let mut v = Vocabulary::new();
+        let a = v.intern("alpha");
+        let b = v.intern("beta");
+        let c = v.intern("gamma");
+        assert_eq!((a.0, b.0, c.0), (0, 1, 2));
+        assert_eq!(v.term(b), Some("beta"));
+        assert_eq!(v.get("gamma"), Some(c));
+        assert_eq!(v.get("delta"), None);
+    }
+
+    #[test]
+    fn iter_round_trips() {
+        let mut v = Vocabulary::new();
+        for w in ["x", "y", "z"] {
+            v.intern(w);
+        }
+        let collected: Vec<_> = v.iter().map(|(id, t)| (id.0, t.to_string())).collect();
+        assert_eq!(
+            collected,
+            vec![(0, "x".into()), (1, "y".into()), (2, "z".into())]
+        );
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn interning_any_strings_round_trips(words in proptest::collection::vec("[a-z]{1,8}", 0..50)) {
+            let mut v = Vocabulary::new();
+            let ids: Vec<_> = words.iter().map(|w| v.intern(w)).collect();
+            for (w, id) in words.iter().zip(&ids) {
+                proptest::prop_assert_eq!(v.term(*id), Some(w.as_str()));
+                proptest::prop_assert_eq!(v.get(w), Some(*id));
+            }
+            // Dense: ids all < len.
+            for id in ids {
+                proptest::prop_assert!(id.index() < v.len());
+            }
+        }
+    }
+}

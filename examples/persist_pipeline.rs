@@ -1,0 +1,80 @@
+//! The deployment shape the paper's architecture implies: an *offline*
+//! job assigns papers to contexts and computes prestige scores, writes
+//! them to disk; an *online* service loads them at startup and serves
+//! queries without redoing any heavy work.
+//!
+//! Run with: `cargo run --release --example persist_pipeline`
+
+use litsearch::context_search::persist::{
+    context_sets_from_json, context_sets_to_json, prestige_from_json, prestige_to_json,
+};
+use litsearch::context_search::ScoreFunction;
+use litsearch::demo::{engine, Scale};
+use std::time::Instant;
+
+fn main() {
+    let dir = std::env::temp_dir().join("litsearch_persist_demo");
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+
+    // ---- offline job --------------------------------------------------
+    println!("[offline] building engine and computing prestige…");
+    let t = Instant::now();
+    let engine = engine(Scale::Tiny, 7);
+    let sets = engine.pattern_context_sets();
+    let prestige = engine.prestige(&sets, ScoreFunction::Pattern);
+    println!("[offline] computed in {:.1?}", t.elapsed());
+
+    let sets_path = dir.join("context_sets.json");
+    let prestige_path = dir.join("prestige_pattern.json");
+    std::fs::write(&sets_path, context_sets_to_json(&sets)).expect("write sets");
+    std::fs::write(&prestige_path, prestige_to_json(&prestige)).expect("write prestige");
+    println!(
+        "[offline] wrote {} ({} bytes) and {} ({} bytes)",
+        sets_path.display(),
+        std::fs::metadata(&sets_path).unwrap().len(),
+        prestige_path.display(),
+        std::fs::metadata(&prestige_path).unwrap().len(),
+    );
+
+    // ---- online service -----------------------------------------------
+    println!("\n[online] loading precomputed state…");
+    let t = Instant::now();
+    let loaded_sets =
+        context_sets_from_json(&std::fs::read_to_string(&sets_path).unwrap()).unwrap();
+    let loaded_prestige =
+        prestige_from_json(&std::fs::read_to_string(&prestige_path).unwrap()).unwrap();
+    println!(
+        "[online] loaded {} contexts in {:.1?}",
+        loaded_sets.n_contexts(),
+        t.elapsed()
+    );
+
+    let term = engine
+        .ontology()
+        .term_ids()
+        .find(|&t| engine.ontology().level(t) == 3)
+        .expect("level-3 term");
+    let query = engine.ontology().term(term).name.clone();
+    println!("[online] query: {query:?}");
+    let t = Instant::now();
+    let hits = engine.search(&query, &loaded_sets, &loaded_prestige, 5);
+    println!("[online] {} hits in {:.1?}:", hits.len(), t.elapsed());
+    for h in &hits {
+        println!(
+            "  R={:.3}  {}",
+            h.relevancy,
+            &engine.corpus().paper(h.paper).title[..60.min(engine.corpus().paper(h.paper).title.len())]
+        );
+    }
+
+    // Sanity: identical to searching with the in-memory state.
+    let fresh = engine.search(&query, &sets, &prestige, 5);
+    assert_eq!(fresh.len(), hits.len());
+    for (a, b) in fresh.iter().zip(&hits) {
+        assert_eq!(a.paper, b.paper);
+        assert!((a.relevancy - b.relevancy).abs() < 1e-12);
+    }
+    println!("\nloaded state reproduces in-memory results exactly ✓");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

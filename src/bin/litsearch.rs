@@ -1,0 +1,308 @@
+//! `litsearch` — command-line front-end for the context-based
+//! literature search library.
+//!
+//! The offline/online split of the paper as a pipeline of commands:
+//!
+//! ```text
+//! litsearch generate --terms 400 --papers 2000 --out ./data
+//! litsearch assign   --data ./data --kind pattern
+//! litsearch prestige --data ./data --kind pattern --function pattern
+//! litsearch search   --data ./data --kind pattern --function pattern \
+//!                    --query "kinase signaling pathway"
+//! litsearch stats    --data ./data
+//! ```
+//!
+//! `generate` writes `ontology.obo` (the standard GO distribution
+//! format) and `corpus.json`; `assign`/`prestige` write their artifacts
+//! next to them; `search` loads everything and prints ranked results.
+
+use litsearch::context_search::persist::{
+    context_sets_from_json, context_sets_to_json, prestige_from_json, prestige_to_json,
+};
+use litsearch::context_search::{
+    ContextPaperSets, ContextSearchEngine, EngineConfig, PrestigeScores, ScoreFunction,
+};
+use litsearch::corpus::Corpus;
+use litsearch::ontology::obo::{parse_obo, write_obo};
+use litsearch::ontology::Ontology;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let flags = match Flags::parse(&args[1..]) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match command.as_str() {
+        "generate" => cmd_generate(&flags),
+        "assign" => cmd_assign(&flags),
+        "prestige" => cmd_prestige(&flags),
+        "search" => cmd_search(&flags),
+        "stats" => cmd_stats(&flags),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+litsearch — context-based literature search (ICDE 2007 reproduction)
+
+USAGE:
+  litsearch generate --out DIR [--terms N] [--papers N] [--seed N]
+  litsearch assign   --data DIR --kind text|pattern
+  litsearch prestige --data DIR --kind text|pattern --function citation|text|pattern
+  litsearch search   --data DIR --kind text|pattern --function citation|text|pattern
+                     --query TEXT [--limit N]
+  litsearch stats    --data DIR
+  litsearch help";
+
+/// Minimal `--flag value` parser (no external dependencies).
+struct Flags {
+    pairs: Vec<(String, String)>,
+}
+
+impl Flags {
+    fn parse(args: &[String]) -> Result<Self, String> {
+        let mut pairs = Vec::new();
+        let mut i = 0;
+        while i < args.len() {
+            let key = args[i]
+                .strip_prefix("--")
+                .ok_or_else(|| format!("expected --flag, got {:?}", args[i]))?;
+            let value = args
+                .get(i + 1)
+                .ok_or_else(|| format!("--{key} needs a value"))?;
+            pairs.push((key.to_string(), value.clone()));
+            i += 2;
+        }
+        Ok(Self { pairs })
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn require(&self, key: &str) -> Result<&str, String> {
+        self.get(key).ok_or_else(|| format!("--{key} is required"))
+    }
+
+    fn get_usize(&self, key: &str, default: usize) -> Result<usize, String> {
+        match self.get(key) {
+            Some(v) => v.parse().map_err(|_| format!("--{key} must be a number")),
+            None => Ok(default),
+        }
+    }
+}
+
+fn data_paths(dir: &str) -> (PathBuf, PathBuf) {
+    let d = Path::new(dir);
+    (d.join("ontology.obo"), d.join("corpus.json"))
+}
+
+fn load_data(flags: &Flags) -> Result<(Ontology, Corpus, String), String> {
+    let dir = flags.require("data")?.to_string();
+    let (onto_path, corpus_path) = data_paths(&dir);
+    let onto_text = std::fs::read_to_string(&onto_path)
+        .map_err(|e| format!("cannot read {}: {e}", onto_path.display()))?;
+    let ontology = parse_obo(&onto_text).map_err(|e| format!("bad ontology: {e}"))?;
+    let corpus_text = std::fs::read_to_string(&corpus_path)
+        .map_err(|e| format!("cannot read {}: {e}", corpus_path.display()))?;
+    let corpus = Corpus::from_json(&corpus_text).map_err(|e| format!("bad corpus: {e}"))?;
+    Ok((ontology, corpus, dir))
+}
+
+fn parse_kind(flags: &Flags) -> Result<&str, String> {
+    match flags.require("kind")? {
+        k @ ("text" | "pattern") => Ok(k),
+        other => Err(format!("--kind must be text or pattern, got {other:?}")),
+    }
+}
+
+fn parse_function(flags: &Flags) -> Result<ScoreFunction, String> {
+    match flags.require("function")? {
+        "citation" => Ok(ScoreFunction::Citation),
+        "text" => Ok(ScoreFunction::Text),
+        "pattern" => Ok(ScoreFunction::Pattern),
+        other => Err(format!(
+            "--function must be citation, text or pattern, got {other:?}"
+        )),
+    }
+}
+
+fn sets_path(dir: &str, kind: &str) -> PathBuf {
+    Path::new(dir).join(format!("sets_{kind}.json"))
+}
+
+fn prestige_path(dir: &str, kind: &str, function: ScoreFunction) -> PathBuf {
+    Path::new(dir).join(format!("prestige_{kind}_{}.json", function.name()))
+}
+
+fn cmd_generate(flags: &Flags) -> Result<(), String> {
+    let out = flags.require("out")?.to_string();
+    let n_terms = flags.get_usize("terms", 400)?;
+    let n_papers = flags.get_usize("papers", 2_000)?;
+    let seed = flags.get_usize("seed", 42)? as u64;
+    std::fs::create_dir_all(&out).map_err(|e| format!("cannot create {out}: {e}"))?;
+
+    eprintln!("generating {n_terms}-term ontology and {n_papers}-paper corpus (seed {seed})…");
+    let ontology = litsearch::ontology::generate_ontology(&litsearch::ontology::GeneratorConfig {
+        n_terms,
+        seed,
+        ..Default::default()
+    });
+    let corpus = litsearch::corpus::generate_corpus(
+        &ontology,
+        &litsearch::corpus::CorpusConfig {
+            n_papers,
+            seed: seed.wrapping_add(1),
+            ..Default::default()
+        },
+    );
+    let term_names: Vec<String> = ontology
+        .term_ids()
+        .map(|t| ontology.term(t).name.clone())
+        .collect();
+    let (onto_path, corpus_path) = data_paths(&out);
+    std::fs::write(&onto_path, write_obo(&ontology)).map_err(|e| e.to_string())?;
+    std::fs::write(&corpus_path, corpus.to_json(&term_names)).map_err(|e| e.to_string())?;
+    eprintln!(
+        "wrote {} and {}",
+        onto_path.display(),
+        corpus_path.display()
+    );
+    Ok(())
+}
+
+fn cmd_assign(flags: &Flags) -> Result<(), String> {
+    let (ontology, corpus, dir) = load_data(flags)?;
+    let kind = parse_kind(flags)?;
+    eprintln!("building engine…");
+    let engine = ContextSearchEngine::build(ontology, corpus, EngineConfig::default());
+    eprintln!("assigning papers to contexts ({kind})…");
+    let sets = match kind {
+        "text" => engine.text_context_sets(),
+        _ => engine.pattern_context_sets(),
+    };
+    let path = sets_path(&dir, kind);
+    std::fs::write(&path, context_sets_to_json(&sets)).map_err(|e| e.to_string())?;
+    eprintln!(
+        "wrote {} ({} contexts, mean size {:.1})",
+        path.display(),
+        sets.n_contexts(),
+        sets.mean_size()
+    );
+    Ok(())
+}
+
+fn cmd_prestige(flags: &Flags) -> Result<(), String> {
+    let (ontology, corpus, dir) = load_data(flags)?;
+    let kind = parse_kind(flags)?;
+    let function = parse_function(flags)?;
+    let sets = load_sets(&dir, kind)?;
+    eprintln!("building engine…");
+    let engine = ContextSearchEngine::build(ontology, corpus, EngineConfig::default());
+    eprintln!("computing {} prestige…", function.name());
+    let prestige = engine.prestige(&sets, function);
+    let path = prestige_path(&dir, kind, function);
+    std::fs::write(&path, prestige_to_json(&prestige)).map_err(|e| e.to_string())?;
+    eprintln!(
+        "wrote {} ({} scored contexts)",
+        path.display(),
+        prestige.contexts().count()
+    );
+    Ok(())
+}
+
+fn load_sets(dir: &str, kind: &str) -> Result<ContextPaperSets, String> {
+    let path = sets_path(dir, kind);
+    let text = std::fs::read_to_string(&path).map_err(|e| {
+        format!(
+            "cannot read {} (run `litsearch assign` first): {e}",
+            path.display()
+        )
+    })?;
+    context_sets_from_json(&text).map_err(|e| e.to_string())
+}
+
+fn load_prestige(dir: &str, kind: &str, function: ScoreFunction) -> Result<PrestigeScores, String> {
+    let path = prestige_path(dir, kind, function);
+    let text = std::fs::read_to_string(&path).map_err(|e| {
+        format!(
+            "cannot read {} (run `litsearch prestige` first): {e}",
+            path.display()
+        )
+    })?;
+    prestige_from_json(&text).map_err(|e| e.to_string())
+}
+
+fn cmd_search(flags: &Flags) -> Result<(), String> {
+    let (ontology, corpus, dir) = load_data(flags)?;
+    let kind = parse_kind(flags)?;
+    let function = parse_function(flags)?;
+    let query = flags.require("query")?.to_string();
+    let limit = flags.get_usize("limit", 10)?;
+    let sets = load_sets(&dir, kind)?;
+    let prestige = load_prestige(&dir, kind, function)?;
+    eprintln!("building engine…");
+    let engine = ContextSearchEngine::build(ontology, corpus, EngineConfig::default());
+
+    let contexts = engine.select_contexts(&query, &sets);
+    println!("query: {query:?}");
+    println!("selected contexts:");
+    for (c, score) in &contexts {
+        println!(
+            "  {:.2}  {} (level {})",
+            score,
+            engine.ontology().term(*c).name,
+            engine.ontology().level(*c)
+        );
+    }
+    let hits = engine.search(&query, &sets, &prestige, limit);
+    println!("\ntop {} results:", hits.len());
+    for (rank, h) in hits.iter().enumerate() {
+        let p = engine.corpus().paper(h.paper);
+        println!(
+            "  {:>2}. R={:.3} (prestige {:.3}, match {:.3})  {}",
+            rank + 1,
+            h.relevancy,
+            h.prestige,
+            h.matching,
+            p.title
+        );
+        println!("      {}", engine.snippet(h.paper, &query));
+    }
+    Ok(())
+}
+
+fn cmd_stats(flags: &Flags) -> Result<(), String> {
+    let (ontology, corpus, _) = load_data(flags)?;
+    let stats = litsearch::corpus::stats::CorpusStats::compute(&corpus);
+    println!("ontology : {} terms, max level {}", ontology.len(), ontology.max_level());
+    println!("papers   : {}", stats.n_papers);
+    println!("authors  : {}", stats.n_authors);
+    println!("citations: {} (mean {:.1}/paper)", stats.n_citations, stats.mean_references);
+    println!("vocab    : {} analyzed terms", stats.vocab_size);
+    println!("evidence : {} terms with training papers", stats.terms_with_evidence);
+    Ok(())
+}

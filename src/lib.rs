@@ -1,0 +1,88 @@
+//! Umbrella crate for the context-based literature search reproduction
+//! (Ratprasartporn et al., ICDE 2007).
+//!
+//! Re-exports every workspace crate and provides [`demo`] — a one-call
+//! builder of a synthetic ontology + corpus + engine used by the
+//! examples and integration tests.
+
+pub use citegraph;
+pub use context_search;
+pub use corpus;
+pub use eval;
+pub use ontology;
+pub use patterns;
+pub use textproc;
+
+/// Convenience builders for a ready-to-search demo setup.
+///
+/// ```
+/// use litsearch::context_search::ScoreFunction;
+/// use litsearch::demo::{engine, Scale};
+///
+/// let engine = engine(Scale::Tiny, 42);
+/// let sets = engine.pattern_context_sets();
+/// let prestige = engine.prestige(&sets, ScoreFunction::Pattern);
+/// let hits = engine.search("biological process", &sets, &prestige, 5);
+/// assert!(hits.len() <= 5);
+/// ```
+pub mod demo {
+    use context_search::{ContextSearchEngine, EngineConfig};
+    use corpus::CorpusConfig;
+    use ontology::GeneratorConfig;
+
+    /// Scale of a demo setup.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Scale {
+        /// ~100 terms / ~200 papers — CI-friendly, builds in seconds.
+        Tiny,
+        /// ~400 terms / ~2,000 papers — interactive exploration.
+        Small,
+        /// ~1,200 terms / ~12,000 papers — the default experiment scale.
+        Medium,
+    }
+
+    /// Ontology + corpus generator configs for a scale and seed.
+    pub fn configs(scale: Scale, seed: u64) -> (GeneratorConfig, CorpusConfig) {
+        let (n_terms, n_papers) = match scale {
+            Scale::Tiny => (100, 200),
+            Scale::Small => (400, 2_000),
+            Scale::Medium => (1_200, 12_000),
+        };
+        let onto = GeneratorConfig {
+            n_terms,
+            seed,
+            ..Default::default()
+        };
+        let mut corp = CorpusConfig {
+            n_papers,
+            seed: seed.wrapping_add(1),
+            ..Default::default()
+        };
+        if scale == Scale::Tiny {
+            corp.body_len = (40, 80);
+            corp.abstract_len = (20, 40);
+        }
+        (onto, corp)
+    }
+
+    /// Build a complete engine at the given scale.
+    pub fn engine(scale: Scale, seed: u64) -> ContextSearchEngine {
+        let (ocfg, ccfg) = configs(scale, seed);
+        let onto = ontology::generate_ontology(&ocfg);
+        let corp = corpus::generate_corpus(&onto, &ccfg);
+        ContextSearchEngine::build(onto, corp, EngineConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::demo::{engine, Scale};
+
+    #[test]
+    fn tiny_demo_engine_builds_and_searches() {
+        let e = engine(Scale::Tiny, 42);
+        assert!(e.corpus().len() == 200);
+        let sets = e.pattern_context_sets();
+        assert!(sets.n_contexts() > 10);
+    }
+}

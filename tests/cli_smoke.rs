@@ -1,0 +1,83 @@
+//! End-to-end smoke test of the `litsearch` CLI binary: the full
+//! offline→online pipeline through the actual executable.
+
+use std::process::Command;
+
+fn litsearch(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_litsearch"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+#[test]
+fn full_pipeline_through_the_cli() {
+    let dir = std::env::temp_dir().join(format!("litsearch_cli_test_{}", std::process::id()));
+    let data = dir.to_str().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // generate
+    let out = litsearch(&[
+        "generate", "--out", data, "--terms", "80", "--papers", "150", "--seed", "7",
+    ]);
+    assert!(out.status.success(), "generate: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(dir.join("ontology.obo").exists());
+    assert!(dir.join("corpus.json").exists());
+
+    // assign
+    let out = litsearch(&["assign", "--data", data, "--kind", "pattern"]);
+    assert!(out.status.success(), "assign: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(dir.join("sets_pattern.json").exists());
+
+    // prestige
+    let out = litsearch(&[
+        "prestige", "--data", data, "--kind", "pattern", "--function", "pattern",
+    ]);
+    assert!(out.status.success(), "prestige: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(dir.join("prestige_pattern_pattern.json").exists());
+
+    // search
+    let out = litsearch(&[
+        "search", "--data", data, "--kind", "pattern", "--function", "pattern",
+        "--query", "biological process", "--limit", "3",
+    ]);
+    assert!(out.status.success(), "search: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("selected contexts"), "{stdout}");
+    assert!(stdout.contains("results"), "{stdout}");
+
+    // stats
+    let out = litsearch(&["stats", "--data", data]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("papers   : 150"), "{stdout}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn helpful_errors_for_bad_usage() {
+    // Unknown command.
+    let out = litsearch(&["frobnicate"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+
+    // Missing required flag.
+    let out = litsearch(&["assign", "--kind", "pattern"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--data"));
+
+    // Bad enum value.
+    let out = litsearch(&["assign", "--data", "/nonexistent", "--kind", "nope"]);
+    assert!(!out.status.success());
+
+    // Missing data directory.
+    let out = litsearch(&["stats", "--data", "/definitely/not/here"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+
+    // Help succeeds.
+    let out = litsearch(&["help"]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("USAGE"));
+}
