@@ -73,5 +73,34 @@ fn bench_pipeline(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_pipeline);
+/// The search hot path with telemetry off vs on. The disabled cost is
+/// one relaxed atomic load per instrumentation site; enabled adds span
+/// bookkeeping. Compare the two medians — enabled must stay within a
+/// few percent of disabled.
+fn bench_obs_overhead(c: &mut Criterion) {
+    let engine = build_engine();
+    let psets = engine.pattern_context_sets();
+    let prestige = engine.prestige(&psets, ScoreFunction::Pattern);
+    let term = engine
+        .ontology()
+        .term_ids()
+        .find(|&t| engine.ontology().level(t) == 3)
+        .expect("level-3 term");
+    let query = engine.ontology().term(term).name.clone();
+
+    let mut group = c.benchmark_group("obs_overhead");
+    obs::disable();
+    group.bench_function("search/telemetry_off", |b| {
+        b.iter(|| black_box(engine.search(black_box(&query), &psets, &prestige, 20)))
+    });
+    obs::enable();
+    group.bench_function("search/telemetry_on", |b| {
+        b.iter(|| black_box(engine.search(black_box(&query), &psets, &prestige, 20)))
+    });
+    obs::disable();
+    obs::reset();
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline, bench_obs_overhead);
 criterion_main!(benches);

@@ -57,10 +57,8 @@ fn bench_inverted_index(c: &mut Criterion) {
         })
         .collect();
     let model = textproc::TfIdfModel::fit(docs.iter().map(Vec::as_slice));
-    let vectors: Vec<textproc::SparseVector> = docs
-        .iter()
-        .map(|d| model.vectorize_normalized(d))
-        .collect();
+    let vectors: Vec<textproc::SparseVector> =
+        docs.iter().map(|d| model.vectorize_normalized(d)).collect();
     let index = textproc::InvertedIndex::build(&vectors);
     let query = model.vectorize_normalized(&docs[7][..10]);
     c.bench_function("index/search_2k_docs", |b| {
@@ -76,7 +74,12 @@ fn bench_pagerank_hits(c: &mut Criterion) {
         .collect();
     let g = citegraph::CitationGraph::from_edges(n, &edges);
     c.bench_function("pagerank/2k_nodes_24k_edges", |b| {
-        b.iter(|| black_box(citegraph::pagerank(&g, &citegraph::PageRankConfig::default())))
+        b.iter(|| {
+            black_box(citegraph::pagerank(
+                &g,
+                &citegraph::PageRankConfig::default(),
+            ))
+        })
     });
     c.bench_function("hits/2k_nodes_24k_edges", |b| {
         b.iter(|| black_box(citegraph::hits(&g, &citegraph::HitsConfig::default())))

@@ -1,6 +1,10 @@
 //! Regenerates ablations of the paper. See crates/bench/src/experiments.rs.
-fn main() {
+fn main() -> std::process::ExitCode {
     let config = bench::ExpConfig::from_args();
     let setup = bench::Setup::build(config);
-    bench::setup::emit("ablations", &bench::ablations(&setup));
+    if let Err(e) = bench::setup::emit("ablations", &bench::ablations(&setup)) {
+        eprintln!("error: {e}");
+        return std::process::ExitCode::FAILURE;
+    }
+    std::process::ExitCode::SUCCESS
 }

@@ -1,6 +1,10 @@
 //! Regenerates fig5_3 of the paper. See crates/bench/src/experiments.rs.
-fn main() {
+fn main() -> std::process::ExitCode {
     let config = bench::ExpConfig::from_args();
     let setup = bench::Setup::build(config);
-    bench::setup::emit("fig5_3", &bench::fig5_3(&setup));
+    if let Err(e) = bench::setup::emit("fig5_3", &bench::fig5_3(&setup)) {
+        eprintln!("error: {e}");
+        return std::process::ExitCode::FAILURE;
+    }
+    std::process::ExitCode::SUCCESS
 }

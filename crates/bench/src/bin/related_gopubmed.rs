@@ -1,6 +1,10 @@
 //! Related-work comparison: GoPubMed-style categorization (§6).
-fn main() {
+fn main() -> std::process::ExitCode {
     let config = bench::ExpConfig::from_args();
     let setup = bench::Setup::build(config);
-    bench::setup::emit("related_gopubmed", &bench::related_gopubmed(&setup));
+    if let Err(e) = bench::setup::emit("related_gopubmed", &bench::related_gopubmed(&setup)) {
+        eprintln!("error: {e}");
+        return std::process::ExitCode::FAILURE;
+    }
+    std::process::ExitCode::SUCCESS
 }

@@ -1,6 +1,21 @@
 //! Runs every experiment on one shared setup and writes all result
-//! tables to `results/` (plus `results/experiments_output.md`).
-fn main() {
+//! tables to `results/` (plus `results/experiments_output.md` and the
+//! telemetry snapshot `results/metrics.json`).
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("[run_all] error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    obs::enable();
     let config = bench::ExpConfig::from_args();
     let setup = bench::Setup::build(config);
     let mut all = Vec::new();
@@ -18,15 +33,31 @@ fn main() {
         ("sparsity_analysis", bench::sparsity_analysis(&setup)),
         ("ablations", bench::ablations(&setup)),
     ] {
-        eprintln!("[run_all] {name}");
-        bench::setup::emit(name, &tables);
+        obs::progress(&format!("[run_all] {name}"));
+        bench::setup::emit(name, &tables)?;
         all.extend(tables);
     }
     let md: String = all
         .iter()
         .map(|t| format!("{}\n", t.to_markdown()))
         .collect();
-    let _ = std::fs::create_dir_all("results");
-    let _ = std::fs::write("results/experiments_output.md", md);
-    eprintln!("[run_all] wrote results/experiments_output.md");
+    let results = std::path::Path::new("results");
+    std::fs::create_dir_all(results)
+        .map_err(|e| format!("cannot create {}: {e}", results.display()))?;
+    let md_path = results.join("experiments_output.md");
+    std::fs::write(&md_path, md).map_err(|e| format!("cannot write {}: {e}", md_path.display()))?;
+    obs::progress(&format!("[run_all] wrote {}", md_path.display()));
+
+    let metrics_path = results.join("metrics.json");
+    obs::write_json(&metrics_path)
+        .map_err(|e| format!("cannot write {}: {e}", metrics_path.display()))?;
+    let metrics_md_path = results.join("metrics.md");
+    std::fs::write(&metrics_md_path, obs::snapshot().to_markdown())
+        .map_err(|e| format!("cannot write {}: {e}", metrics_md_path.display()))?;
+    obs::progress(&format!(
+        "[run_all] wrote {} and {}",
+        metrics_path.display(),
+        metrics_md_path.display()
+    ));
+    Ok(())
 }

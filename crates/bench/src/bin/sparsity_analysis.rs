@@ -1,7 +1,11 @@
 //! Within-context citation-graph sparsity per level (the mechanism
 //! behind the paper's citation-function findings).
-fn main() {
+fn main() -> std::process::ExitCode {
     let config = bench::ExpConfig::from_args();
     let setup = bench::Setup::build(config);
-    bench::setup::emit("sparsity_analysis", &bench::sparsity_analysis(&setup));
+    if let Err(e) = bench::setup::emit("sparsity_analysis", &bench::sparsity_analysis(&setup)) {
+        eprintln!("error: {e}");
+        return std::process::ExitCode::FAILURE;
+    }
+    std::process::ExitCode::SUCCESS
 }

@@ -6,8 +6,8 @@ use context_search::prestige::pattern::pattern_prestige;
 use context_search::{ContextPaperSets, PrestigeScores, ScoreFunction};
 use eval::report::Table;
 use eval::{
-    mean, precision, precision_curve, recall, sd_histogram, separability_sd,
-    top_k_percent_overlap, PrecisionCurves,
+    mean, precision, precision_curve, recall, sd_histogram, separability_sd, top_k_percent_overlap,
+    PrecisionCurves,
 };
 use std::collections::HashSet;
 
@@ -113,9 +113,21 @@ pub fn fig5_2(setup: &Setup) -> Vec<Table> {
 /// restricted to contexts with representatives, as in the paper).
 pub fn fig5_3(setup: &Setup) -> Vec<Table> {
     let pairs: [(&str, &PrestigeScores, &PrestigeScores); 3] = [
-        ("text-citation", &setup.text_on_pattern, &setup.citation_on_pattern),
-        ("text-pattern", &setup.text_on_pattern, &setup.pattern_on_pattern),
-        ("citation-pattern", &setup.citation_on_pattern, &setup.pattern_on_pattern),
+        (
+            "text-citation",
+            &setup.text_on_pattern,
+            &setup.citation_on_pattern,
+        ),
+        (
+            "text-pattern",
+            &setup.text_on_pattern,
+            &setup.pattern_on_pattern,
+        ),
+        (
+            "citation-pattern",
+            &setup.citation_on_pattern,
+            &setup.pattern_on_pattern,
+        ),
     ];
     let mut tables = Vec::new();
     for (pair_name, fa, fb) in pairs {
@@ -132,10 +144,8 @@ pub fn fig5_3(setup: &Setup) -> Vec<Table> {
             let contexts = setup.contexts_at_level(&setup.pattern_sets, level);
             let mut per_k: Vec<Vec<f64>> = vec![Vec::new(); setup.config.k_pcts.len()];
             for &c in &contexts {
-                let sa: Vec<(u32, f64)> =
-                    fa.scores(c).iter().map(|&(p, s)| (p.0, s)).collect();
-                let sb: Vec<(u32, f64)> =
-                    fb.scores(c).iter().map(|&(p, s)| (p.0, s)).collect();
+                let sa: Vec<(u32, f64)> = fa.scores(c).iter().map(|&(p, s)| (p.0, s)).collect();
+                let sb: Vec<(u32, f64)> = fb.scores(c).iter().map(|&(p, s)| (p.0, s)).collect();
                 if sa.is_empty() || sb.is_empty() {
                     continue; // text scores absent for this context
                 }
@@ -393,12 +403,7 @@ pub fn sparsity_analysis(setup: &Setup) -> Vec<Table> {
         let (mut sizes, mut iso, mut dens, mut comps) =
             (Vec::new(), Vec::new(), Vec::new(), Vec::new());
         for &c in &contexts {
-            let members: Vec<u32> = setup
-                .pattern_sets
-                .members(c)
-                .iter()
-                .map(|p| p.0)
-                .collect();
+            let members: Vec<u32> = setup.pattern_sets.members(c).iter().map(|p| p.0).collect();
             let (sub, _) = engine.index().graph.induced_subgraph(&members);
             let s = citegraph::graph_stats(&sub);
             sizes.push(s.n_nodes as f64);
@@ -567,12 +572,8 @@ pub fn ablations(setup: &Setup) -> Vec<Table> {
 
     // 3. Simplified (middle-only, §4) vs full (§3.3) pattern matching.
     {
-        let full = engine.prestige_with_options(
-            &setup.pattern_sets,
-            ScoreFunction::Pattern,
-            false,
-            true,
-        );
+        let full =
+            engine.prestige_with_options(&setup.pattern_sets, ScoreFunction::Pattern, false, true);
         let simp = &setup.pattern_on_pattern;
         let mut overlaps = Vec::new();
         let (mut sd_full, mut sd_simp) = (Vec::new(), Vec::new());
@@ -653,10 +654,8 @@ pub fn ablations(setup: &Setup) -> Vec<Table> {
         let (mut tie_plain, mut tie_weighted) = (Vec::new(), Vec::new());
         let mut overlaps = Vec::new();
         for &c in &population {
-            let a: Vec<(u32, f64)> =
-                plain.scores(c).iter().map(|&(p, s)| (p.0, s)).collect();
-            let b: Vec<(u32, f64)> =
-                weighted.scores(c).iter().map(|&(p, s)| (p.0, s)).collect();
+            let a: Vec<(u32, f64)> = plain.scores(c).iter().map(|&(p, s)| (p.0, s)).collect();
+            let b: Vec<(u32, f64)> = weighted.scores(c).iter().map(|&(p, s)| (p.0, s)).collect();
             if a.len() < 5 {
                 continue;
             }
@@ -699,12 +698,8 @@ pub fn ablations(setup: &Setup) -> Vec<Table> {
 
     // 5. Hierarchy max-propagation on vs off: effect on precision@0.2.
     {
-        let no_prop = engine.prestige_with_options(
-            &setup.pattern_sets,
-            ScoreFunction::Pattern,
-            true,
-            false,
-        );
+        let no_prop =
+            engine.prestige_with_options(&setup.pattern_sets, ScoreFunction::Pattern, true, false);
         let t_idx = setup
             .config
             .thresholds
@@ -745,7 +740,10 @@ pub fn testbed_stats(setup: &Setup) -> Vec<Table> {
         ("papers", stats.n_papers.to_string()),
         ("authors", stats.n_authors.to_string()),
         ("citation edges", stats.n_citations.to_string()),
-        ("mean references/paper", format!("{:.1}", stats.mean_references)),
+        (
+            "mean references/paper",
+            format!("{:.1}", stats.mean_references),
+        ),
         ("vocabulary size", stats.vocab_size.to_string()),
         ("terms with evidence", stats.terms_with_evidence.to_string()),
         (

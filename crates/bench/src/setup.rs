@@ -1,7 +1,9 @@
 //! Experiment configuration and the shared prepared state every figure
 //! binary starts from.
 
-use context_search::{ContextPaperSets, ContextSearchEngine, EngineConfig, PrestigeScores, ScoreFunction};
+use context_search::{
+    ContextPaperSets, ContextSearchEngine, EngineConfig, PrestigeScores, ScoreFunction,
+};
 use corpus::queries::{generate_queries, EvalQuery, QueryConfig};
 use corpus::{generate_corpus, CorpusConfig};
 use ontology::{generate_ontology, GeneratorConfig};
@@ -135,31 +137,31 @@ impl Setup {
                 ..Default::default()
             },
         );
-        eprintln!(
+        obs::progress(&format!(
             "[setup] generated {} terms / {} papers in {:.1?}",
             onto.len(),
             corp.len(),
             t0.elapsed()
-        );
+        ));
 
         let t = Instant::now();
         let engine = ContextSearchEngine::build(onto, corp, EngineConfig::default());
-        eprintln!("[setup] engine (indexes) in {:.1?}", t.elapsed());
+        obs::progress(&format!("[setup] engine (indexes) in {:.1?}", t.elapsed()));
 
         let t = Instant::now();
         let text_sets = engine.text_context_sets();
-        eprintln!(
+        obs::progress(&format!(
             "[setup] text-based paper set: {} contexts in {:.1?}",
             text_sets.n_contexts(),
             t.elapsed()
-        );
+        ));
         let t = Instant::now();
         let pattern_sets = engine.pattern_context_sets();
-        eprintln!(
+        obs::progress(&format!(
             "[setup] pattern-based paper set: {} contexts in {:.1?}",
             pattern_sets.n_contexts(),
             t.elapsed()
-        );
+        ));
 
         let t = Instant::now();
         let text_on_text = engine.prestige(&text_sets, ScoreFunction::Text);
@@ -174,7 +176,10 @@ impl Setup {
             sets.representatives = text_sets.representatives.clone();
             engine.prestige(&sets, ScoreFunction::Text)
         };
-        eprintln!("[setup] prestige (5 score sets) in {:.1?}", t.elapsed());
+        obs::progress(&format!(
+            "[setup] prestige (5 score sets) in {:.1?}",
+            t.elapsed()
+        ));
 
         let queries = generate_queries(
             engine.ontology(),
@@ -185,11 +190,11 @@ impl Setup {
                 ..Default::default()
             },
         );
-        eprintln!(
+        obs::progress(&format!(
             "[setup] {} queries; total setup {:.1?}",
             queries.len(),
             t0.elapsed()
-        );
+        ));
 
         Self {
             config,
@@ -222,9 +227,16 @@ impl Setup {
     }
 }
 
+/// Write `content` to `path`, naming the file in the error.
+fn write_file(path: &std::path::Path, content: &str) -> Result<(), String> {
+    std::fs::write(path, content).map_err(|e| format!("cannot write {}: {e}", path.display()))
+}
+
 /// Write a set of result tables to `results/<name>.md` (+ `.json`) and
-/// print the markdown to stdout.
-pub fn emit(name: &str, tables: &[eval::report::Table]) {
+/// print the markdown to stdout. I/O failures (missing permissions, a
+/// full disk, `results/` shadowed by a file) are reported with the
+/// offending path instead of silently dropping experiment output.
+pub fn emit(name: &str, tables: &[eval::report::Table]) -> Result<(), String> {
     let mut md = String::new();
     for t in tables {
         md.push_str(&t.to_markdown());
@@ -232,17 +244,16 @@ pub fn emit(name: &str, tables: &[eval::report::Table]) {
     }
     println!("{md}");
     let dir = std::path::Path::new("results");
-    if std::fs::create_dir_all(dir).is_ok() {
-        let _ = std::fs::write(dir.join(format!("{name}.md")), &md);
-        let json: Vec<serde_json::Value> = tables
-            .iter()
-            .map(|t| serde_json::from_str(&t.to_json()).expect("valid json"))
-            .collect();
-        let _ = std::fs::write(
-            dir.join(format!("{name}.json")),
-            serde_json::to_string_pretty(&json).expect("serializes"),
-        );
-    }
+    std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+    write_file(&dir.join(format!("{name}.md")), &md)?;
+    let json: Vec<serde_json::Value> = tables
+        .iter()
+        .map(|t| serde_json::from_str(&t.to_json()).expect("valid json"))
+        .collect();
+    write_file(
+        &dir.join(format!("{name}.json")),
+        &serde_json::to_string_pretty(&json).expect("serializes"),
+    )
 }
 
 #[cfg(test)]

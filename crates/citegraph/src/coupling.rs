@@ -53,8 +53,7 @@ pub fn cocitation(graph: &CitationGraph, u: u32, v: u32) -> f64 {
 /// `BibWeight·Sim_bib + (1-BibWeight)·Sim_coc`.
 pub fn citation_similarity(graph: &CitationGraph, u: u32, v: u32, bib_weight: f64) -> f64 {
     debug_assert!((0.0..=1.0).contains(&bib_weight));
-    bib_weight * bibliographic_coupling(graph, u, v)
-        + (1.0 - bib_weight) * cocitation(graph, u, v)
+    bib_weight * bibliographic_coupling(graph, u, v) + (1.0 - bib_weight) * cocitation(graph, u, v)
 }
 
 #[cfg(test)]

@@ -62,11 +62,7 @@ pub fn hits(graph: &CitationGraph, config: &HitsConfig) -> HitsScores {
         // auth(v) = Σ_{u cites v} hub(u)
         let mut new_auth = vec![0.0f64; n];
         for v in 0..n as u32 {
-            new_auth[v as usize] = graph
-                .citations(v)
-                .iter()
-                .map(|&u| hub[u as usize])
-                .sum();
+            new_auth[v as usize] = graph.citations(v).iter().map(|&u| hub[u as usize]).sum();
         }
         l2_normalize(&mut new_auth);
         // hub(u) = Σ_{u cites v} auth(v)

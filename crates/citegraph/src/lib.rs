@@ -25,6 +25,6 @@ pub mod paths;
 pub mod stats;
 
 pub use graph::CitationGraph;
-pub use stats::{graph_stats, GraphStats};
 pub use hits::{hits, HitsConfig, HitsScores};
 pub use pagerank::{pagerank, PageRankConfig, TeleportMode};
+pub use stats::{graph_stats, GraphStats};

@@ -66,6 +66,41 @@ pub struct PageRankResult {
     pub iterations: usize,
     /// Whether the L1 delta fell below tolerance within the cap.
     pub converged: bool,
+    /// L1 delta of the last iteration executed (0.0 when no iteration
+    /// ran, i.e. an empty graph).
+    pub final_residual: f64,
+}
+
+/// Normalize `p` to a probability distribution, record run-level
+/// telemetry, and assemble the result. Residuals are recorded in
+/// picounits (`residual × 1e12`) so the integer histogram resolves well
+/// below the default 1e-9 tolerance.
+fn finish(
+    mut p: Vec<f64>,
+    iterations: usize,
+    converged: bool,
+    final_residual: f64,
+) -> PageRankResult {
+    let total: f64 = p.iter().sum();
+    if total > 0.0 {
+        for x in &mut p {
+            *x /= total;
+        }
+    }
+    obs::counter("citegraph.pagerank.runs", 1);
+    obs::counter("citegraph.pagerank.iterations", iterations as u64);
+    obs::counter("citegraph.pagerank.converged_runs", converged as u64);
+    obs::observe_ns("citegraph.pagerank.iterations_per_run", iterations as u64);
+    obs::observe_ns(
+        "citegraph.pagerank.final_residual_e12",
+        (final_residual * 1e12) as u64,
+    );
+    PageRankResult {
+        scores: p,
+        iterations,
+        converged,
+        final_residual,
+    }
 }
 
 /// Run PageRank with per-edge weights supplied by `edge_weight(citing,
@@ -87,11 +122,7 @@ where
 {
     let n = graph.n_nodes() as usize;
     if n == 0 {
-        return PageRankResult {
-            scores: Vec::new(),
-            iterations: 0,
-            converged: true,
-        };
+        return finish(Vec::new(), 0, true, 0.0);
     }
     assert!(
         (0.0..=1.0).contains(&config.damping),
@@ -117,6 +148,7 @@ where
     let mut next = vec![0.0f64; n];
     let mut iterations = 0;
     let mut converged = false;
+    let mut final_residual = 0.0f64;
     for _ in 0..config.max_iterations {
         iterations += 1;
         next.iter_mut().for_each(|x| *x = 0.0);
@@ -142,28 +174,16 @@ where
         for x in next.iter_mut() {
             *x += dangling_share + teleport;
         }
-        let delta: f64 = p
-            .iter()
-            .zip(next.iter())
-            .map(|(a, b)| (a - b).abs())
-            .sum();
+        let delta: f64 = p.iter().zip(next.iter()).map(|(a, b)| (a - b).abs()).sum();
         std::mem::swap(&mut p, &mut next);
+        final_residual = delta;
+        obs::observe_ns("citegraph.pagerank.residual_e12", (delta * 1e12) as u64);
         if delta < config.tolerance {
             converged = true;
             break;
         }
     }
-    let total: f64 = p.iter().sum();
-    if total > 0.0 {
-        for x in &mut p {
-            *x /= total;
-        }
-    }
-    PageRankResult {
-        scores: p,
-        iterations,
-        converged,
-    }
+    finish(p, iterations, converged, final_residual)
 }
 
 /// PageRank with a personalization (biased-teleport) vector: teleport
@@ -179,11 +199,7 @@ pub fn pagerank_personalized(
     let n = graph.n_nodes() as usize;
     assert_eq!(bias.len(), n, "bias length must match node count");
     if n == 0 {
-        return PageRankResult {
-            scores: Vec::new(),
-            iterations: 0,
-            converged: true,
-        };
+        return finish(Vec::new(), 0, true, 0.0);
     }
     let d = config.damping;
     let bias_total: f64 = bias.iter().sum();
@@ -196,6 +212,7 @@ pub fn pagerank_personalized(
     let mut next = vec![0.0f64; n];
     let mut iterations = 0;
     let mut converged = false;
+    let mut final_residual = 0.0f64;
     for _ in 0..config.max_iterations {
         iterations += 1;
         next.iter_mut().for_each(|x| *x = 0.0);
@@ -216,39 +233,23 @@ pub fn pagerank_personalized(
         for (x, &bi) in next.iter_mut().zip(&b) {
             *x += redistribute * bi;
         }
-        let delta: f64 = p
-            .iter()
-            .zip(next.iter())
-            .map(|(a, c)| (a - c).abs())
-            .sum();
+        let delta: f64 = p.iter().zip(next.iter()).map(|(a, c)| (a - c).abs()).sum();
         std::mem::swap(&mut p, &mut next);
+        final_residual = delta;
+        obs::observe_ns("citegraph.pagerank.residual_e12", (delta * 1e12) as u64);
         if delta < config.tolerance {
             converged = true;
             break;
         }
     }
-    let total: f64 = p.iter().sum();
-    if total > 0.0 {
-        for x in &mut p {
-            *x /= total;
-        }
-    }
-    PageRankResult {
-        scores: p,
-        iterations,
-        converged,
-    }
+    finish(p, iterations, converged, final_residual)
 }
 
 /// Run PageRank over `graph` with `config`.
 pub fn pagerank(graph: &CitationGraph, config: &PageRankConfig) -> PageRankResult {
     let n = graph.n_nodes() as usize;
     if n == 0 {
-        return PageRankResult {
-            scores: Vec::new(),
-            iterations: 0,
-            converged: true,
-        };
+        return finish(Vec::new(), 0, true, 0.0);
     }
     assert!(
         (0.0..=1.0).contains(&config.damping),
@@ -260,6 +261,7 @@ pub fn pagerank(graph: &CitationGraph, config: &PageRankConfig) -> PageRankResul
     let mut next = vec![0.0f64; n];
     let mut iterations = 0;
     let mut converged = false;
+    let mut final_residual = 0.0f64;
 
     for _ in 0..config.max_iterations {
         iterations += 1;
@@ -290,30 +292,17 @@ pub fn pagerank(graph: &CitationGraph, config: &PageRankConfig) -> PageRankResul
             *x += dangling_share + teleport;
         }
 
-        let delta: f64 = p
-            .iter()
-            .zip(next.iter())
-            .map(|(a, b)| (a - b).abs())
-            .sum();
+        let delta: f64 = p.iter().zip(next.iter()).map(|(a, b)| (a - b).abs()).sum();
         std::mem::swap(&mut p, &mut next);
+        final_residual = delta;
+        obs::observe_ns("citegraph.pagerank.residual_e12", (delta * 1e12) as u64);
         if delta < config.tolerance {
             converged = true;
             break;
         }
     }
 
-    // Normalize to a probability distribution.
-    let total: f64 = p.iter().sum();
-    if total > 0.0 {
-        for x in &mut p {
-            *x /= total;
-        }
-    }
-    PageRankResult {
-        scores: p,
-        iterations,
-        converged,
-    }
+    finish(p, iterations, converged, final_residual)
 }
 
 #[cfg(test)]
@@ -362,10 +351,30 @@ mod tests {
         let r = pagerank(&g, &PageRankConfig::default());
         assert!(r.converged, "cycle graph should converge");
         assert!(r.iterations < 100);
+        assert!(
+            r.final_residual < PageRankConfig::default().tolerance,
+            "converged run reports its sub-tolerance residual, got {}",
+            r.final_residual
+        );
         // Perfect cycle: all equal.
         for w in r.scores.windows(2) {
             assert!((w[0] - w[1]).abs() < 1e-6);
         }
+    }
+
+    #[test]
+    fn capped_run_reports_residual_above_tolerance() {
+        let g = CitationGraph::from_edges(4, &[(1, 0), (2, 0), (3, 1)]);
+        let r = pagerank(
+            &g,
+            &PageRankConfig {
+                max_iterations: 2,
+                ..Default::default()
+            },
+        );
+        assert!(!r.converged);
+        assert_eq!(r.iterations, 2);
+        assert!(r.final_residual >= PageRankConfig::default().tolerance);
     }
 
     #[test]
@@ -443,12 +452,7 @@ mod tests {
     fn personalization_bias_lifts_favored_nodes() {
         // Edgeless graph: scores follow the bias exactly.
         let g = CitationGraph::from_edges(3, &[]);
-        let s = pagerank_personalized(
-            &g,
-            &PageRankConfig::default(),
-            &[2.0, 1.0, 1.0],
-        )
-        .scores;
+        let s = pagerank_personalized(&g, &PageRankConfig::default(), &[2.0, 1.0, 1.0]).scores;
         assert!(s[0] > s[1]);
         assert!((s[1] - s[2]).abs() < 1e-9);
         assert!((s.iter().sum::<f64>() - 1.0).abs() < 1e-9);

@@ -10,11 +10,7 @@ use std::collections::VecDeque;
 
 /// Nodes within undirected citation distance `max_depth` of `seeds`,
 /// with their distances. Seeds themselves are included at distance 0.
-pub fn neighborhood(
-    graph: &CitationGraph,
-    seeds: &[u32],
-    max_depth: u32,
-) -> Vec<(u32, u32)> {
+pub fn neighborhood(graph: &CitationGraph, seeds: &[u32], max_depth: u32) -> Vec<(u32, u32)> {
     let n = graph.n_nodes() as usize;
     let mut dist = vec![u32::MAX; n];
     let mut queue = VecDeque::new();

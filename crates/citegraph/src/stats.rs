@@ -55,7 +55,11 @@ pub fn graph_stats(graph: &CitationGraph) -> GraphStats {
         n_nodes: n,
         n_edges,
         n_isolated,
-        mean_degree: if n == 0 { 0.0 } else { n_edges as f64 / n as f64 },
+        mean_degree: if n == 0 {
+            0.0
+        } else {
+            n_edges as f64 / n as f64
+        },
         density: if n < 2 {
             0.0
         } else {

@@ -48,8 +48,8 @@ pub fn ac_answer_set(
     }
 
     // 2. Text-based expansion around the seed centroid.
-    let centroid = SparseVector::centroid(seeds.iter().map(|p| &index.doc_vectors[p.index()]))
-        .normalized();
+    let centroid =
+        SparseVector::centroid(seeds.iter().map(|p| &index.doc_vectors[p.index()])).normalized();
     for (i, v) in index.doc_vectors.iter().enumerate() {
         if v.cosine(&centroid) >= config.text_expansion_threshold {
             answer.insert(PaperId(i as u32));

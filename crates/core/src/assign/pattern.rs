@@ -14,9 +14,7 @@ use crate::context::{ContextId, ContextPaperSets, ContextSetKind};
 use crate::indexes::CorpusIndex;
 use corpus::{Corpus, PaperId};
 use ontology::Ontology;
-use patterns::{
-    build_patterns, extract_significant_terms, MatcherConfig, Pattern, SectionTokens,
-};
+use patterns::{build_patterns, extract_significant_terms, MatcherConfig, Pattern, SectionTokens};
 use std::collections::HashMap;
 
 /// The scored pattern sets of every context that has any.

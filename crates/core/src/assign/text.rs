@@ -33,10 +33,8 @@ pub fn build_text_sets(
         .collect();
 
     let threshold = config.assign.text_threshold;
-    let results: Vec<(ContextId, PaperId, Vec<PaperId>)> = crate::parallel_map(
-        config.threads,
-        &candidates,
-        |&context| {
+    let results: Vec<(ContextId, PaperId, Vec<PaperId>)> =
+        crate::parallel_map(config.threads, &candidates, |&context| {
             let evidence = corpus.evidence_for(context);
             let rep = pick_representative(index, evidence);
             let rep_vec = &index.doc_vectors[rep.index()];
@@ -48,8 +46,7 @@ pub fn build_text_sets(
                 .collect();
             members.extend_from_slice(evidence);
             (context, rep, members)
-        },
-    );
+        });
 
     let mut members: HashMap<ContextId, Vec<PaperId>> = HashMap::with_capacity(results.len());
     let mut representatives: HashMap<ContextId, PaperId> = HashMap::with_capacity(results.len());

@@ -185,7 +185,9 @@ impl EngineConfig {
             ("references", w.references),
         ] {
             if !(0.0..=1.0).contains(&v) {
-                return Err(ConfigError(format!("text weight {name} = {v} out of [0,1]")));
+                return Err(ConfigError(format!(
+                    "text weight {name} = {v} out of [0,1]"
+                )));
             }
         }
         let section_sum =

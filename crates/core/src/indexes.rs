@@ -52,21 +52,27 @@ impl CorpusIndex {
     /// Build all prepared state. The heavyweight step of engine
     /// construction — everything after this is per-context work.
     pub fn build(ontology: &Ontology, corpus: &Corpus, pagerank_cfg: &PageRankConfig) -> Self {
+        let _span = obs::span("index.build");
         let n = corpus.len();
 
         // Whole-paper model + vectors + index.
-        let concat_docs: Vec<Vec<TermId>> = corpus
-            .paper_ids()
-            .map(|id| corpus.analyzed(id).concat())
-            .collect();
-        let model = TfIdfModel::fit(concat_docs.iter().map(Vec::as_slice));
-        let doc_vectors: Vec<SparseVector> = concat_docs
-            .iter()
-            .map(|d| model.vectorize_normalized(d))
-            .collect();
-        let inverted = InvertedIndex::build(&doc_vectors);
+        let (model, doc_vectors, inverted) = {
+            let _s = obs::span("index.tfidf_whole");
+            let concat_docs: Vec<Vec<TermId>> = corpus
+                .paper_ids()
+                .map(|id| corpus.analyzed(id).concat())
+                .collect();
+            let model = TfIdfModel::fit(concat_docs.iter().map(Vec::as_slice));
+            let doc_vectors: Vec<SparseVector> = concat_docs
+                .iter()
+                .map(|d| model.vectorize_normalized(d))
+                .collect();
+            let inverted = InvertedIndex::build(&doc_vectors);
+            (model, doc_vectors, inverted)
+        };
 
         // Per-section models + vectors.
+        let _sections = obs::span("index.tfidf_sections");
         let mut section_models: Vec<TfIdfModel> = Vec::with_capacity(4);
         let mut section_vectors: Vec<Vec<SparseVector>> = Vec::with_capacity(4);
         for section in Section::ALL {
@@ -75,8 +81,7 @@ impl CorpusIndex {
                 .map(|id| corpus.analyzed(id).section(section))
                 .collect();
             let m = TfIdfModel::fit(docs.iter().copied());
-            let vecs: Vec<SparseVector> =
-                docs.iter().map(|d| m.vectorize_normalized(d)).collect();
+            let vecs: Vec<SparseVector> = docs.iter().map(|d| m.vectorize_normalized(d)).collect();
             section_models.push(m);
             section_vectors.push(vecs);
         }
@@ -86,12 +91,18 @@ impl CorpusIndex {
         let section_vectors: [Vec<SparseVector>; 4] = section_vectors
             .try_into()
             .unwrap_or_else(|_| unreachable!("exactly four sections"));
+        drop(_sections);
 
         // Citations.
-        let graph = CitationGraph::from_edges(n as u32, &corpus.citation_edges());
-        let global_pagerank = pagerank(&graph, pagerank_cfg).scores;
+        let (graph, global_pagerank) = {
+            let _s = obs::span("index.citation_graph");
+            let graph = CitationGraph::from_edges(n as u32, &corpus.citation_edges());
+            let global_pagerank = pagerank(&graph, pagerank_cfg).scores;
+            (graph, global_pagerank)
+        };
 
         // Co-authors.
+        let _aux = obs::span("index.aux_tables");
         let mut coauthors: HashMap<AuthorId, HashSet<AuthorId>> = HashMap::new();
         for p in corpus.papers() {
             for &a in &p.authors {
@@ -110,6 +121,7 @@ impl CorpusIndex {
             .map(|t| corpus.analyze_known(&ontology.term(t).name))
             .collect();
         let selectivity = Selectivity::new(term_name_tokens.iter().map(Vec::as_slice));
+        drop(_aux);
 
         Self {
             model,
@@ -159,11 +171,7 @@ impl CorpusIndex {
     /// boost). Floor `1/N` keeps the score finite.
     pub fn coverage_estimate(&self, middle: &[TermId]) -> f64 {
         let n = self.doc_vectors.len().max(1) as f64;
-        let min_df = middle
-            .iter()
-            .map(|&t| self.model.df(t))
-            .min()
-            .unwrap_or(0) as f64;
+        let min_df = middle.iter().map(|&t| self.model.df(t)).min().unwrap_or(0) as f64;
         (min_df.max(1.0)) / n
     }
 
@@ -183,9 +191,9 @@ impl CorpusIndex {
         for doc in self.inverted.docs_containing(rarest) {
             let paper = PaperId(doc.0);
             let a = corpus.analyzed(paper);
-            let found = Section::ALL.iter().any(|&s| {
-                !textproc::phrase::find_occurrences(a.section(s), phrase).is_empty()
-            });
+            let found = Section::ALL
+                .iter()
+                .any(|&s| !textproc::phrase::find_occurrences(a.section(s), phrase).is_empty());
             if found {
                 out.push(paper);
             }
@@ -210,8 +218,8 @@ impl CorpusIndex {
         }
         let set_a: HashSet<AuthorId> = aa.iter().copied().collect();
         let set_b: HashSet<AuthorId> = ab.iter().copied().collect();
-        let l0 = set_a.intersection(&set_b).count() as f64
-            / ((set_a.len() * set_b.len()) as f64).sqrt();
+        let l0 =
+            set_a.intersection(&set_b).count() as f64 / ((set_a.len() * set_b.len()) as f64).sqrt();
 
         // Level 1: an author of `a` and an author of `b` co-wrote some
         // third paper ⇔ b's author appears in the coauthor set of a's
@@ -329,7 +337,11 @@ mod tests {
     #[test]
     fn term_names_are_analyzed() {
         let (onto, _, idx) = setup();
-        let non_empty = idx.term_name_tokens.iter().filter(|v| !v.is_empty()).count();
+        let non_empty = idx
+            .term_name_tokens
+            .iter()
+            .filter(|v| !v.is_empty())
+            .count();
         assert!(non_empty > onto.len() / 2);
     }
 }

@@ -78,19 +78,18 @@ where
     }
     let chunk_size = items.len().div_ceil(threads);
     let mut results: Vec<Vec<R>> = Vec::with_capacity(threads);
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let handles: Vec<_> = items
             .chunks(chunk_size)
             .map(|chunk| {
                 let f = &f;
-                scope.spawn(move |_| chunk.iter().map(f).collect::<Vec<R>>())
+                scope.spawn(move || chunk.iter().map(f).collect::<Vec<R>>())
             })
             .collect();
         for h in handles {
             results.push(h.join().expect("worker panicked"));
         }
-    })
-    .expect("scope panicked");
+    });
     results.into_iter().flatten().collect()
 }
 

@@ -104,12 +104,7 @@ pub fn context_sets_from_json(json: &str) -> Result<ContextPaperSets, PersistErr
     let members: HashMap<ContextId, Vec<PaperId>> = file
         .members
         .into_iter()
-        .map(|(c, ps)| {
-            (
-                ontology::TermId(c),
-                ps.into_iter().map(PaperId).collect(),
-            )
-        })
+        .map(|(c, ps)| (ontology::TermId(c), ps.into_iter().map(PaperId).collect()))
         .collect();
     let mut sets = ContextPaperSets::new(members, kind);
     sets.representatives = file
@@ -132,11 +127,7 @@ pub fn prestige_to_json(prestige: &PrestigeScores) -> String {
         .map(|c| {
             (
                 c.0,
-                prestige
-                    .scores(c)
-                    .iter()
-                    .map(|&(p, s)| (p.0, s))
-                    .collect(),
+                prestige.scores(c).iter().map(|&(p, s)| (p.0, s)).collect(),
             )
         })
         .collect();

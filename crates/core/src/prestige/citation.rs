@@ -53,9 +53,19 @@ fn context_pagerank(
     config: &EngineConfig,
     context: ContextId,
 ) -> Vec<(PaperId, f64)> {
+    let _span = obs::span("prestige.context_pagerank");
     let members: Vec<u32> = sets.members(context).iter().map(|p| p.0).collect();
     let (sub, node_map) = graph.induced_subgraph(&members);
     let result = pagerank(&sub, &config.pagerank);
+    obs::observe_ns(
+        "prestige.context_pagerank.iterations",
+        result.iterations as u64,
+    );
+    obs::observe_ns("prestige.context_pagerank.members", members.len() as u64);
+    obs::counter(
+        "prestige.context_pagerank.converged_contexts",
+        result.converged as u64,
+    );
     let n = node_map.len() as f64;
     node_map
         .into_iter()

@@ -97,10 +97,7 @@ fn context_weighted_pagerank(
                 if sets.is_member(context, citer) {
                     continue; // in-context citations are graph edges
                 }
-                if related_contexts
-                    .iter()
-                    .any(|&rc| sets.is_member(rc, citer))
-                {
+                if related_contexts.iter().any(|&rc| sets.is_member(rc, citer)) {
                     b += weights.related;
                 } else {
                     b += weights.unrelated;
@@ -241,11 +238,7 @@ mod tests {
             &EngineConfig::default(),
             &CrossContextWeights::default(),
         );
-        let scored: Vec<PaperId> = weighted
-            .scores(TermId(1))
-            .iter()
-            .map(|&(p, _)| p)
-            .collect();
+        let scored: Vec<PaperId> = weighted.scores(TermId(1)).iter().map(|&(p, _)| p).collect();
         assert_eq!(scored, vec![PaperId(0), PaperId(1)]);
     }
 }

@@ -161,10 +161,7 @@ mod tests {
         scores.insert(TermId(0), vec![(PaperId(1), 0.1), (PaperId(2), 0.9)]);
         scores.insert(TermId(1), vec![(PaperId(1), 0.4), (PaperId(2), 0.2)]);
         scores.insert(TermId(2), vec![(PaperId(1), 1.0)]);
-        (
-            sets,
-            PrestigeScores::new(scores, ScoreFunction::Pattern),
-        )
+        (sets, PrestigeScores::new(scores, ScoreFunction::Pattern))
     }
 
     #[test]

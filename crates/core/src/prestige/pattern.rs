@@ -54,11 +54,7 @@ pub fn pattern_prestige(
 
     // Inherited contexts: ancestor's scores × RateOfDecay.
     let inherited: Vec<(ContextId, ContextId)> = {
-        let mut v: Vec<_> = sets
-            .inherited_from
-            .iter()
-            .map(|(&c, &a)| (c, a))
-            .collect();
+        let mut v: Vec<_> = sets.inherited_from.iter().map(|(&c, &a)| (c, a)).collect();
         v.sort_unstable();
         v
     };
@@ -155,8 +151,7 @@ mod tests {
     #[test]
     fn every_context_gets_scores_for_all_members() {
         let (onto, corpus, index, config, pats, sets) = setup();
-        let prestige =
-            pattern_prestige(&onto, &sets, &corpus, &index, &pats, &config, true);
+        let prestige = pattern_prestige(&onto, &sets, &corpus, &index, &pats, &config, true);
         for c in sets.contexts() {
             assert_eq!(
                 prestige.scores(c).len(),
@@ -169,8 +164,7 @@ mod tests {
     #[test]
     fn scores_are_unit_range() {
         let (onto, corpus, index, config, pats, sets) = setup();
-        let prestige =
-            pattern_prestige(&onto, &sets, &corpus, &index, &pats, &config, true);
+        let prestige = pattern_prestige(&onto, &sets, &corpus, &index, &pats, &config, true);
         for c in prestige.contexts() {
             for &(_, s) in prestige.scores(c) {
                 assert!((0.0..=1.0).contains(&s), "{s}");
@@ -181,8 +175,7 @@ mod tests {
     #[test]
     fn direct_contexts_differentiate_members() {
         let (onto, corpus, index, config, pats, sets) = setup();
-        let prestige =
-            pattern_prestige(&onto, &sets, &corpus, &index, &pats, &config, true);
+        let prestige = pattern_prestige(&onto, &sets, &corpus, &index, &pats, &config, true);
         let mut differentiated = 0;
         for c in sets.contexts_with_min_size(5) {
             if sets.inherited_from.contains_key(&c) {
@@ -203,8 +196,7 @@ mod tests {
     #[test]
     fn inherited_contexts_are_decayed_copies() {
         let (onto, corpus, index, config, pats, sets) = setup();
-        let prestige =
-            pattern_prestige(&onto, &sets, &corpus, &index, &pats, &config, true);
+        let prestige = pattern_prestige(&onto, &sets, &corpus, &index, &pats, &config, true);
         for (&c, &a) in &sets.inherited_from {
             let decay = rate_of_decay(&onto, a, c);
             let anc = prestige.scores(a);

@@ -134,8 +134,7 @@ mod tests {
             .expect("some sizable context");
         let values = prestige.score_values(big);
         assert!(values.iter().all(|&v| (0.0..=1.0).contains(&v)));
-        let distinct: std::collections::HashSet<u64> =
-            values.iter().map(|v| v.to_bits()).collect();
+        let distinct: std::collections::HashSet<u64> = values.iter().map(|v| v.to_bits()).collect();
         assert!(
             distinct.len() > 1,
             "text scores should differentiate members"
@@ -159,13 +158,7 @@ mod tests {
         let _ = onto;
         for a in 0..10u32 {
             for b in 0..10u32 {
-                let s = combined_similarity(
-                    &corpus,
-                    &index,
-                    &config,
-                    PaperId(a),
-                    PaperId(b),
-                );
+                let s = combined_similarity(&corpus, &index, &config, PaperId(a), PaperId(b));
                 assert!((0.0..=1.0 + 1e-9).contains(&s), "sim {s}");
             }
         }

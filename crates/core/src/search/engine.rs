@@ -47,6 +47,9 @@ pub struct ContextSearchEngine {
 impl ContextSearchEngine {
     /// Build all prepared state (the expensive step).
     pub fn build(ontology: Ontology, corpus: Corpus, config: EngineConfig) -> Self {
+        let _span = obs::span("engine.build");
+        obs::gauge("corpus.papers", corpus.len() as f64);
+        obs::gauge("ontology.terms", ontology.len() as f64);
         let index = CorpusIndex::build(&ontology, &corpus, &config.pagerank);
         Self {
             ontology,
@@ -82,6 +85,7 @@ impl ContextSearchEngine {
         if let Some(p) = self.patterns.read().as_ref() {
             return Arc::clone(p);
         }
+        let _span = obs::span("engine.context_patterns");
         let built = Arc::new(patterns_by_context(
             &self.ontology,
             &self.corpus,
@@ -98,12 +102,14 @@ impl ContextSearchEngine {
 
     /// Task 1a: the §4 text-based context paper set.
     pub fn text_context_sets(&self) -> ContextPaperSets {
+        let _span = obs::span("engine.text_context_sets");
         build_text_sets(&self.ontology, &self.corpus, &self.index, &self.config)
     }
 
     /// Task 1b: the §4 (simplified-)pattern-based context paper set.
     pub fn pattern_context_sets(&self) -> ContextPaperSets {
         let patterns = self.context_patterns();
+        let _span = obs::span("engine.pattern_context_sets");
         build_pattern_sets(
             &self.ontology,
             &self.corpus,
@@ -129,11 +135,19 @@ impl ContextSearchEngine {
         simplified: bool,
         propagate: bool,
     ) -> PrestigeScores {
+        let _span = obs::span("engine.prestige");
         let mut scores = match function {
-            ScoreFunction::Citation => citation_prestige(sets, &self.index.graph, &self.config),
-            ScoreFunction::Text => text_prestige(sets, &self.corpus, &self.index, &self.config),
+            ScoreFunction::Citation => {
+                let _s = obs::span("prestige.citation");
+                citation_prestige(sets, &self.index.graph, &self.config)
+            }
+            ScoreFunction::Text => {
+                let _s = obs::span("prestige.text");
+                text_prestige(sets, &self.corpus, &self.index, &self.config)
+            }
             ScoreFunction::Pattern => {
                 let patterns = self.context_patterns();
+                let _s = obs::span("prestige.pattern");
                 pattern_prestige(
                     &self.ontology,
                     sets,
@@ -146,17 +160,15 @@ impl ContextSearchEngine {
             }
         };
         if propagate {
+            let _s = obs::span("prestige.propagate");
             scores.propagate_hierarchy_max(&self.ontology, sets);
         }
         scores
     }
 
     /// Task 3: select the contexts a query should search.
-    pub fn select_contexts(
-        &self,
-        query: &str,
-        sets: &ContextPaperSets,
-    ) -> Vec<(ContextId, f64)> {
+    pub fn select_contexts(&self, query: &str, sets: &ContextPaperSets) -> Vec<(ContextId, f64)> {
+        let _span = obs::span("search.select_contexts");
         let tokens = self.corpus.analyze_known(query);
         select_contexts(&tokens, &self.index, sets, &self.config.selection)
     }
@@ -171,14 +183,16 @@ impl ContextSearchEngine {
         prestige: &PrestigeScores,
         limit: usize,
     ) -> Vec<SearchResult> {
+        let _span = obs::span("engine.search");
+        obs::counter("engine.queries", 1);
         let qvec = self.index.query_vector(&self.corpus, query);
         let contexts = self.select_contexts(query, sets);
-        let matching: HashMap<PaperId, f64> = self
-            .index
-            .keyword_search(&qvec, 0.0)
-            .into_iter()
-            .collect();
+        let matching: HashMap<PaperId, f64> = {
+            let _s = obs::span("search.keyword_match");
+            self.index.keyword_search(&qvec, 0.0).into_iter().collect()
+        };
 
+        let _scoring = obs::span("search.relevancy");
         let mut best: HashMap<PaperId, SearchResult> = HashMap::new();
         for (context, _ctx_score) in contexts {
             for &(paper, pscore) in prestige.scores(context) {
@@ -212,6 +226,8 @@ impl ContextSearchEngine {
         if limit > 0 {
             out.truncate(limit);
         }
+        drop(_scoring);
+        obs::observe_ns("engine.search.results", out.len() as u64);
         out
     }
 
@@ -433,11 +449,7 @@ mod tests {
         let tie_fraction = |p: &PrestigeScores| {
             let (mut total, mut distinct) = (0usize, 0usize);
             for c in sets.contexts_with_min_size(5) {
-                let values: Vec<u64> = p
-                    .scores(c)
-                    .iter()
-                    .map(|&(_, s)| s.to_bits())
-                    .collect();
+                let values: Vec<u64> = p.scores(c).iter().map(|&(_, s)| s.to_bits()).collect();
                 total += values.len();
                 distinct += values
                     .iter()

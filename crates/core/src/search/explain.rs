@@ -74,11 +74,7 @@ pub fn explain_hit(
             let dw = dvec.get(t);
             if dw > 0.0 {
                 Some(TermContribution {
-                    term: corpus
-                        .vocab()
-                        .term(t)
-                        .unwrap_or("<unknown>")
-                        .to_string(),
+                    term: corpus.vocab().term(t).unwrap_or("<unknown>").to_string(),
                     contribution: qw * dw,
                 })
             } else {

@@ -180,8 +180,13 @@ mod tests {
         for (term, papers) in r.categories.iter().take(5) {
             let name = &e.index().term_name_tokens[term.index()];
             for &p in papers.iter().take(5) {
-                let words: HashSet<textproc::TermId> =
-                    e.corpus().analyzed(p).abstract_text.iter().copied().collect();
+                let words: HashSet<textproc::TermId> = e
+                    .corpus()
+                    .analyzed(p)
+                    .abstract_text
+                    .iter()
+                    .copied()
+                    .collect();
                 assert!(
                     name.iter().all(|w| words.contains(w)),
                     "paper {p:?} lacks words of its category"

@@ -120,17 +120,16 @@ mod tests {
         let mut topical_hits = 0;
         let mut checked = 0;
         for source in (0..60).map(PaperId) {
-            let related =
-                more_like_this(e.corpus(), e.index(), e.config(), &sets, source, 1);
+            let related = more_like_this(e.corpus(), e.index(), e.config(), &sets, source, 1);
             let Some(top) = related.first() else { continue };
             checked += 1;
             let src_topics = &e.corpus().paper(source).true_topics;
             let rel_topics = &e.corpus().paper(top.paper).true_topics;
             let shares = src_topics.iter().any(|t| rel_topics.contains(t));
             let related_branch = src_topics.iter().any(|&a| {
-                rel_topics.iter().any(|&b| {
-                    e.ontology().is_descendant(a, b) || e.ontology().is_descendant(b, a)
-                })
+                rel_topics
+                    .iter()
+                    .any(|&b| e.ontology().is_descendant(a, b) || e.ontology().is_descendant(b, a))
             });
             if shares || related_branch {
                 topical_hits += 1;

@@ -90,10 +90,8 @@ mod tests {
     }
 
     fn all_contexts_sets(onto: &Ontology) -> ContextPaperSets {
-        let members: HashMap<ContextId, Vec<PaperId>> = onto
-            .term_ids()
-            .map(|t| (t, vec![PaperId(0)]))
-            .collect();
+        let members: HashMap<ContextId, Vec<PaperId>> =
+            onto.term_ids().map(|t| (t, vec![PaperId(0)])).collect();
         ContextPaperSets::new(members, ContextSetKind::PatternBased)
     }
 

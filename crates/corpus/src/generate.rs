@@ -175,6 +175,8 @@ fn choose_signature_subsets<R: Rng>(
 /// Panics if the ontology is empty.
 pub fn generate_corpus(ontology: &Ontology, config: &CorpusConfig) -> Corpus {
     assert!(!ontology.is_empty(), "cannot generate over empty ontology");
+    let _span = obs::span("corpus.generate");
+    obs::gauge("corpus.generate.papers", config.n_papers as f64);
     let mut rng = SmallRng::seed_from_u64(config.seed);
     let background = ZipfVocabulary::generate(
         &mut rng,
@@ -336,11 +338,7 @@ pub fn generate_corpus(ontology: &Ontology, config: &CorpusConfig) -> Corpus {
     Corpus::new(papers, author_names, evidence, &term_names)
 }
 
-fn build_topic_model(
-    ontology: &Ontology,
-    term: TermId,
-    signatures: &[Vec<String>],
-) -> TopicModel {
+fn build_topic_model(ontology: &Ontology, term: TermId, signatures: &[Vec<String>]) -> TopicModel {
     let name = &ontology.term(term).name;
     let name_phrase: Vec<String> = name.split_whitespace().map(str::to_string).collect();
     let mut words: Vec<(String, f64)> = Vec::new();
@@ -741,12 +739,8 @@ mod tests {
             for &r in &p.references {
                 total += 1;
                 let cited = c.paper(r);
-                let shares_topic = p
-                    .true_topics
-                    .iter()
-                    .any(|t| cited.true_topics.contains(t));
-                let shares_branch =
-                    branch(p.true_topics[0]) == branch(cited.true_topics[0]);
+                let shares_topic = p.true_topics.iter().any(|t| cited.true_topics.contains(t));
+                let shares_branch = branch(p.true_topics[0]) == branch(cited.true_topics[0]);
                 if shares_topic || shares_branch {
                     related += 1;
                 }
@@ -807,10 +801,11 @@ mod tests {
         let p = &c.papers()[10];
         let analyzed = c.analyzed(p.id);
         assert!(!analyzed.body.is_empty());
-        let has_digit_token = analyzed
-            .body
-            .iter()
-            .any(|&t| c.vocab().term(t).is_some_and(|s| s.ends_with(|ch: char| ch.is_ascii_digit())));
+        let has_digit_token = analyzed.body.iter().any(|&t| {
+            c.vocab()
+                .term(t)
+                .is_some_and(|s| s.ends_with(|ch: char| ch.is_ascii_digit()))
+        });
         assert!(has_digit_token, "expected signature tokens in body");
     }
 

@@ -425,12 +425,7 @@ DP  - 2005
     #[test]
     fn imported_papers_build_a_corpus() {
         let imp = parse_medline(SAMPLE).unwrap();
-        let corpus = crate::Corpus::new(
-            imp.papers,
-            imp.author_names,
-            Default::default(),
-            &[],
-        );
+        let corpus = crate::Corpus::new(imp.papers, imp.author_names, Default::default(), &[]);
         assert_eq!(corpus.len(), 2);
         assert!(corpus.vocab().get("histon").is_some());
         assert_eq!(corpus.citation_edges(), vec![(1, 0)]);

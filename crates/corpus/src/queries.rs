@@ -181,8 +181,7 @@ mod tests {
     fn queries_target_distinct_terms() {
         let (onto, corpus) = setup();
         let qs = generate_queries(&onto, &corpus, &QueryConfig::default());
-        let set: std::collections::HashSet<TermId> =
-            qs.iter().map(|q| q.mapped_term).collect();
+        let set: std::collections::HashSet<TermId> = qs.iter().map(|q| q.mapped_term).collect();
         assert_eq!(set.len(), qs.len());
     }
 

@@ -176,10 +176,7 @@ impl Corpus {
     /// slice if the term has none (common — the paper notes most GO
     /// terms lacked direct annotations in their 72k subset).
     pub fn evidence_for(&self, term: OntTermId) -> &[PaperId] {
-        self.evidence
-            .get(&term)
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+        self.evidence.get(&term).map(Vec::as_slice).unwrap_or(&[])
     }
 
     /// Terms that have at least one evidence paper.
@@ -214,12 +211,7 @@ impl Corpus {
         let evidence: HashMap<OntTermId, Vec<PaperId>> = file
             .evidence
             .into_iter()
-            .map(|(t, ps)| {
-                (
-                    OntTermId(t),
-                    ps.into_iter().map(PaperId).collect(),
-                )
-            })
+            .map(|(t, ps)| (OntTermId(t), ps.into_iter().map(PaperId).collect()))
             .collect();
         Ok(Corpus::new(
             file.papers,

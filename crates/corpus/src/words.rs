@@ -16,8 +16,8 @@
 use rand::Rng;
 
 const ONSETS: &[&str] = &[
-    "b", "br", "c", "cr", "d", "dr", "f", "fl", "g", "gl", "h", "k", "l", "m", "n", "p", "pr",
-    "r", "s", "st", "t", "tr", "v", "z", "th", "ph", "ch",
+    "b", "br", "c", "cr", "d", "dr", "f", "fl", "g", "gl", "h", "k", "l", "m", "n", "p", "pr", "r",
+    "s", "st", "t", "tr", "v", "z", "th", "ph", "ch",
 ];
 const NUCLEI: &[&str] = &["a", "e", "i", "o", "u", "ae", "io", "ou"];
 const CODAS: &[&str] = &["", "n", "m", "r", "s", "x", "l", "t", "d", "k"];
@@ -135,8 +135,7 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(5);
         let v = ZipfVocabulary::generate(&mut rng, 500, 1.1);
         assert_eq!(v.len(), 500);
-        let set: std::collections::HashSet<&str> =
-            (0..500).map(|i| v.word(i)).collect();
+        let set: std::collections::HashSet<&str> = (0..500).map(|i| v.word(i)).collect();
         assert_eq!(set.len(), 500);
     }
 

@@ -56,10 +56,7 @@ pub fn sd_histogram(context_sds: &[f64], bucket_width: f64, max_sd: f64) -> (Vec
     }
     let total = context_sds.len().max(1) as f64;
     let edges: Vec<f64> = (1..=n_buckets).map(|i| i as f64 * bucket_width).collect();
-    let pct: Vec<f64> = counts
-        .iter()
-        .map(|&c| 100.0 * c as f64 / total)
-        .collect();
+    let pct: Vec<f64> = counts.iter().map(|&c| 100.0 * c as f64 / total).collect();
     (edges, pct)
 }
 

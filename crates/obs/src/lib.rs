@@ -1,0 +1,363 @@
+//! Lightweight telemetry for the literature-search pipeline.
+//!
+//! One process-global [`Registry`] collects three kinds of metrics:
+//!
+//! - **counters** — monotonic totals (`counter("engine.queries", 1)`),
+//! - **gauges** — last-write-wins values (`gauge("corpus.papers", n)`),
+//! - **histograms** — log-scale latency distributions with p50/p95/p99
+//!   extraction (`observe_ns("search.query_ns", ns)`),
+//!
+//! plus RAII **spans** ([`span`]) that time a scope, nest to attribute
+//! self-time vs. child-time, and feed a per-span duration histogram.
+//! Span names follow a `stage.substage` dotted convention, e.g.
+//! `engine.search` with children `search.select_contexts`,
+//! `search.keyword_match`, `search.relevancy`.
+//!
+//! Collection is **off by default**: every hook checks one relaxed
+//! atomic load and bails, so instrumented hot paths cost ~1 ns per call
+//! site when telemetry is disabled. Call [`enable`] (the CLI and bench
+//! binaries do this when metrics output is requested), then [`snapshot`]
+//! to export a [`MetricsSnapshot`] as JSON or markdown.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+mod histogram;
+mod snapshot;
+
+pub use histogram::Histogram;
+pub use snapshot::{
+    CounterSnapshot, GaugeSnapshot, HistogramSnapshot, MetricsSnapshot, SpanSnapshot,
+};
+
+/// Aggregated timing state for one span name.
+#[derive(Debug, Default)]
+struct SpanStats {
+    count: u64,
+    total_ns: u64,
+    self_ns: u64,
+    durations: Histogram,
+}
+
+/// A thread-safe metrics registry. Most code uses the process-global
+/// one through the free functions in this crate; independent registries
+/// exist for tests.
+#[derive(Default)]
+pub struct Registry {
+    enabled: AtomicBool,
+    counters: Mutex<BTreeMap<String, u64>>,
+    gauges: Mutex<BTreeMap<String, f64>>,
+    histograms: Mutex<BTreeMap<String, Histogram>>,
+    spans: Mutex<BTreeMap<String, SpanStats>>,
+}
+
+impl Registry {
+    /// New registry, disabled.
+    pub const fn new() -> Self {
+        Registry {
+            enabled: AtomicBool::new(false),
+            counters: Mutex::new(BTreeMap::new()),
+            gauges: Mutex::new(BTreeMap::new()),
+            histograms: Mutex::new(BTreeMap::new()),
+            spans: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Turn collection on.
+    pub fn enable(&self) {
+        self.enabled.store(true, Ordering::Relaxed);
+    }
+
+    /// Turn collection off (already-recorded data is kept).
+    pub fn disable(&self) {
+        self.enabled.store(false, Ordering::Relaxed);
+    }
+
+    /// Whether collection is on.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Drop all recorded data (the enabled flag is unchanged).
+    pub fn reset(&self) {
+        self.counters.lock().clear();
+        self.gauges.lock().clear();
+        self.histograms.lock().clear();
+        self.spans.lock().clear();
+    }
+
+    /// Add `delta` to a monotonic counter.
+    #[inline]
+    pub fn counter(&self, name: &str, delta: u64) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut map = self.counters.lock();
+        match map.get_mut(name) {
+            Some(v) => *v += delta,
+            None => {
+                map.insert(name.to_string(), delta);
+            }
+        }
+    }
+
+    /// Set a gauge to `value`.
+    #[inline]
+    pub fn gauge(&self, name: &str, value: f64) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut map = self.gauges.lock();
+        match map.get_mut(name) {
+            Some(v) => *v = value,
+            None => {
+                map.insert(name.to_string(), value);
+            }
+        }
+    }
+
+    /// Record one observation into a log-scale histogram.
+    #[inline]
+    pub fn observe(&self, name: &str, value: u64) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.histograms
+            .lock()
+            .entry(name.to_string())
+            .or_default()
+            .record(value);
+    }
+
+    fn record_span(&self, name: &str, total_ns: u64, self_ns: u64) {
+        let mut map = self.spans.lock();
+        let stats = map.entry(name.to_string()).or_default();
+        stats.count += 1;
+        stats.total_ns += total_ns;
+        stats.self_ns += self_ns;
+        stats.durations.record(total_ns);
+    }
+
+    /// Export everything recorded so far.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let counters = self
+            .counters
+            .lock()
+            .iter()
+            .map(|(name, &value)| CounterSnapshot {
+                name: name.clone(),
+                value,
+            })
+            .collect();
+        let gauges = self
+            .gauges
+            .lock()
+            .iter()
+            .map(|(name, &value)| GaugeSnapshot {
+                name: name.clone(),
+                value,
+            })
+            .collect();
+        let histograms = self
+            .histograms
+            .lock()
+            .iter()
+            .map(|(name, h)| HistogramSnapshot {
+                name: name.clone(),
+                count: h.count(),
+                min: h.min(),
+                max: h.max(),
+                mean: h.mean(),
+                p50: h.quantile(0.50),
+                p95: h.quantile(0.95),
+                p99: h.quantile(0.99),
+            })
+            .collect();
+        let spans = self
+            .spans
+            .lock()
+            .iter()
+            .map(|(name, s)| SpanSnapshot {
+                name: name.clone(),
+                count: s.count,
+                total_ns: s.total_ns,
+                self_ns: s.self_ns,
+                p50_ns: s.durations.quantile(0.50),
+                p95_ns: s.durations.quantile(0.95),
+                p99_ns: s.durations.quantile(0.99),
+            })
+            .collect();
+        MetricsSnapshot {
+            counters,
+            gauges,
+            histograms,
+            spans,
+        }
+    }
+}
+
+static GLOBAL: Registry = Registry::new();
+
+/// The process-global registry the free functions below act on.
+pub fn global() -> &'static Registry {
+    &GLOBAL
+}
+
+/// Turn on global metrics collection.
+pub fn enable() {
+    GLOBAL.enable();
+}
+
+/// Turn off global metrics collection (data is kept).
+pub fn disable() {
+    GLOBAL.disable();
+}
+
+/// Whether global collection is on.
+#[inline]
+pub fn enabled() -> bool {
+    GLOBAL.is_enabled()
+}
+
+/// Drop all globally recorded data.
+pub fn reset() {
+    GLOBAL.reset();
+}
+
+/// Add `delta` to a global monotonic counter.
+#[inline]
+pub fn counter(name: &str, delta: u64) {
+    GLOBAL.counter(name, delta);
+}
+
+/// Set a global gauge.
+#[inline]
+pub fn gauge(name: &str, value: f64) {
+    GLOBAL.gauge(name, value);
+}
+
+/// Record a nanosecond (or any unit) observation into a global
+/// histogram.
+#[inline]
+pub fn observe_ns(name: &str, ns: u64) {
+    GLOBAL.observe(name, ns);
+}
+
+/// Snapshot the global registry.
+pub fn snapshot() -> MetricsSnapshot {
+    GLOBAL.snapshot()
+}
+
+/// Snapshot the global registry and write pretty JSON to `path`,
+/// creating parent directories as needed.
+pub fn write_json(path: &std::path::Path) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(path, snapshot().to_json())
+}
+
+// Per-thread stack of child-time accumulators for open spans. Pushed on
+// span start, popped on drop; the popped total flows into the parent's
+// accumulator so self-time = elapsed − child time.
+thread_local! {
+    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// RAII timer over the global registry: records duration (and
+/// parent/child attribution) for `name` when dropped. A no-op when
+/// collection was disabled at construction.
+#[must_use = "a span measures the scope it is alive in"]
+pub struct Span {
+    inner: Option<SpanInner>,
+}
+
+struct SpanInner {
+    name: &'static str,
+    start: Instant,
+}
+
+/// Open a span named `name` (dotted `stage.substage` convention).
+#[inline]
+pub fn span(name: &'static str) -> Span {
+    if !enabled() {
+        return Span { inner: None };
+    }
+    SPAN_STACK.with(|s| s.borrow_mut().push(0));
+    Span {
+        inner: Some(SpanInner {
+            name,
+            start: Instant::now(),
+        }),
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(inner) = self.inner.take() {
+            let total_ns = inner.start.elapsed().as_nanos() as u64;
+            let child_ns = SPAN_STACK.with(|s| {
+                let mut stack = s.borrow_mut();
+                let child = stack.pop().unwrap_or(0);
+                if let Some(parent) = stack.last_mut() {
+                    *parent += total_ns;
+                }
+                child
+            });
+            GLOBAL.record_span(inner.name, total_ns, total_ns.saturating_sub(child_ns));
+        }
+    }
+}
+
+/// Emit a progress line to stderr with a monotonic elapsed-time prefix.
+/// Honors `OBS_QUIET=1` for silent runs. This is the single funnel for
+/// pipeline progress output (bench setup, experiment runner), so it
+/// stays distinguishable from real errors.
+pub fn progress(msg: &str) {
+    if std::env::var_os("OBS_QUIET").is_some_and(|v| v == "1") {
+        return;
+    }
+    static START: Mutex<Option<Instant>> = Mutex::new(None);
+    let elapsed = {
+        let mut start = START.lock();
+        start.get_or_insert_with(Instant::now).elapsed()
+    };
+    eprintln!("[{:8.2}s] {msg}", elapsed.as_secs_f64());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_registry_records_nothing() {
+        let r = Registry::new();
+        r.counter("a", 1);
+        r.observe("b", 10);
+        r.gauge("c", 1.0);
+        let snap = r.snapshot();
+        assert!(snap.counters.is_empty());
+        assert!(snap.histograms.is_empty());
+        assert!(snap.gauges.is_empty());
+    }
+
+    #[test]
+    fn counters_and_gauges_accumulate() {
+        let r = Registry::new();
+        r.enable();
+        r.counter("x", 2);
+        r.counter("x", 3);
+        r.gauge("g", 1.0);
+        r.gauge("g", 2.5);
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("x"), Some(5));
+        assert_eq!(snap.gauges[0].value, 2.5);
+    }
+}

@@ -1,0 +1,159 @@
+//! Serializable point-in-time export of the metrics registry.
+
+use serde::{Deserialize, Serialize};
+
+/// One counter at snapshot time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CounterSnapshot {
+    /// Dotted metric name, e.g. `citegraph.pagerank.iterations`.
+    pub name: String,
+    /// Monotonic total since enable/reset.
+    pub value: u64,
+}
+
+/// One gauge at snapshot time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GaugeSnapshot {
+    /// Dotted metric name.
+    pub name: String,
+    /// Last value set.
+    pub value: f64,
+}
+
+/// Distribution summary of one histogram (all values in the recorded
+/// unit — nanoseconds for every latency metric in this workspace).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Dotted metric name.
+    pub name: String,
+    /// Number of recorded observations.
+    pub count: u64,
+    /// Smallest observation.
+    pub min: u64,
+    /// Largest observation.
+    pub max: u64,
+    /// Mean observation.
+    pub mean: f64,
+    /// Median (log-bucket approximation, ≤ ~6% relative error).
+    pub p50: u64,
+    /// 95th percentile.
+    pub p95: u64,
+    /// 99th percentile.
+    pub p99: u64,
+}
+
+/// Aggregated timing for one span name across all its executions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpanSnapshot {
+    /// Span name (`stage.substage` convention).
+    pub name: String,
+    /// Times the span ran.
+    pub count: u64,
+    /// Total wall-clock nanoseconds, including child spans.
+    pub total_ns: u64,
+    /// Nanoseconds not attributed to any child span.
+    pub self_ns: u64,
+    /// Median duration of one execution, nanoseconds.
+    pub p50_ns: u64,
+    /// 95th-percentile duration, nanoseconds.
+    pub p95_ns: u64,
+    /// 99th-percentile duration, nanoseconds.
+    pub p99_ns: u64,
+}
+
+/// Everything the registry knows, at one point in time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Monotonic counters, sorted by name.
+    pub counters: Vec<CounterSnapshot>,
+    /// Last-write-wins gauges, sorted by name.
+    pub gauges: Vec<GaugeSnapshot>,
+    /// Value distributions, sorted by name.
+    pub histograms: Vec<HistogramSnapshot>,
+    /// Span timings, sorted by name.
+    pub spans: Vec<SpanSnapshot>,
+}
+
+fn ms(ns: u64) -> f64 {
+    ns as f64 / 1e6
+}
+
+impl MetricsSnapshot {
+    /// Pretty-printed JSON document.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("snapshot serialization is infallible")
+    }
+
+    /// Parse a snapshot back from JSON.
+    pub fn from_json(s: &str) -> Result<Self, String> {
+        serde_json::from_str(s).map_err(|e| e.to_string())
+    }
+
+    /// Human-readable markdown report (spans first: they carry the
+    /// per-stage pipeline breakdown).
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::from("# Metrics\n");
+        if !self.spans.is_empty() {
+            out.push_str("\n## Spans\n\n");
+            out.push_str(
+                "| span | count | total ms | self ms | p50 ms | p95 ms | p99 ms |\n\
+                 |---|---:|---:|---:|---:|---:|---:|\n",
+            );
+            for s in &self.spans {
+                out.push_str(&format!(
+                    "| {} | {} | {:.3} | {:.3} | {:.3} | {:.3} | {:.3} |\n",
+                    s.name,
+                    s.count,
+                    ms(s.total_ns),
+                    ms(s.self_ns),
+                    ms(s.p50_ns),
+                    ms(s.p95_ns),
+                    ms(s.p99_ns),
+                ));
+            }
+        }
+        if !self.counters.is_empty() {
+            out.push_str("\n## Counters\n\n| counter | value |\n|---|---:|\n");
+            for c in &self.counters {
+                out.push_str(&format!("| {} | {} |\n", c.name, c.value));
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("\n## Gauges\n\n| gauge | value |\n|---|---:|\n");
+            for g in &self.gauges {
+                out.push_str(&format!("| {} | {:.4} |\n", g.name, g.value));
+            }
+        }
+        if !self.histograms.is_empty() {
+            out.push_str(
+                "\n## Histograms\n\n| histogram | count | min | mean | p50 | p95 | p99 | max |\n\
+                 |---|---:|---:|---:|---:|---:|---:|---:|\n",
+            );
+            for h in &self.histograms {
+                out.push_str(&format!(
+                    "| {} | {} | {} | {:.1} | {} | {} | {} | {} |\n",
+                    h.name, h.count, h.min, h.mean, h.p50, h.p95, h.p99, h.max,
+                ));
+            }
+        }
+        out
+    }
+
+    /// Look up a span by exact name.
+    pub fn span(&self, name: &str) -> Option<&SpanSnapshot> {
+        self.spans.iter().find(|s| s.name == name)
+    }
+
+    /// Look up a counter value by exact name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.value)
+    }
+
+    /// Look up a histogram by exact name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+}

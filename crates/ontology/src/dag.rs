@@ -305,11 +305,7 @@ impl Ontology {
     pub fn closest_ancestor(&self, id: TermId) -> Option<TermId> {
         self.ancestors(id)
             .into_iter()
-            .max_by(|a, b| {
-                self.level(*a)
-                    .cmp(&self.level(*b))
-                    .then(b.0.cmp(&a.0))
-            })
+            .max_by(|a, b| self.level(*a).cmp(&self.level(*b)).then(b.0.cmp(&a.0)))
     }
 }
 

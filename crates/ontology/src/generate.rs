@@ -49,6 +49,8 @@ impl Default for GeneratorConfig {
 /// # Panics
 /// Panics if `n_namespaces == 0` or `n_terms < n_namespaces`.
 pub fn generate_ontology(config: &GeneratorConfig) -> Ontology {
+    let _span = obs::span("ontology.generate");
+    obs::gauge("ontology.generate.terms", config.n_terms as f64);
     assert!(config.n_namespaces > 0, "need at least one namespace");
     assert!(
         config.n_terms >= config.n_namespaces,
@@ -324,8 +326,7 @@ mod tests {
             if terms.is_empty() {
                 return 0.0;
             }
-            terms.iter().map(|&t| o.children(t).len()).sum::<usize>() as f64
-                / terms.len() as f64
+            terms.iter().map(|&t| o.children(t).len()).sum::<usize>() as f64 / terms.len() as f64
         };
         let shallow = avg_children_at(2);
         let deep = avg_children_at(6);

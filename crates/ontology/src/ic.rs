@@ -115,9 +115,7 @@ mod tests {
     #[test]
     fn deeper_terms_have_higher_ic() {
         let o = chain(5);
-        let ics: Vec<f64> = (0..5)
-            .map(|i| information_content(&o, TermId(i)))
-            .collect();
+        let ics: Vec<f64> = (0..5).map(|i| information_content(&o, TermId(i))).collect();
         for w in ics.windows(2) {
             assert!(w[0] < w[1], "IC must increase with depth: {ics:?}");
         }
@@ -167,9 +165,7 @@ mod tests {
         let o = chain(5);
         for i in 0..5 {
             let t = TermId(i);
-            assert!(
-                (resnik_similarity(&o, t, t) - information_content(&o, t)).abs() < 1e-12
-            );
+            assert!((resnik_similarity(&o, t, t) - information_content(&o, t)).abs() < 1e-12);
         }
     }
 

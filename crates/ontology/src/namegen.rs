@@ -18,38 +18,182 @@ use rand::Rng;
 
 /// Biomedical object nouns, used to specialize a name with "… of X".
 pub const OBJECTS: &[&str] = &[
-    "dna", "rna", "mrna", "trna", "protein", "peptide", "kinase", "phosphatase", "polymerase",
-    "helicase", "ligase", "nuclease", "protease", "receptor", "channel", "transporter",
-    "membrane", "ribosome", "chromatin", "histone", "nucleosome", "chromosome", "telomere",
-    "centromere", "spindle", "microtubule", "actin", "tubulin", "cytoskeleton", "mitochondrion",
-    "nucleus", "nucleolus", "cytoplasm", "vesicle", "endosome", "lysosome", "peroxisome",
-    "golgi", "reticulum", "proteasome", "ubiquitin", "calcium", "sodium", "potassium", "zinc",
-    "iron", "glucose", "lipid", "sterol", "fatty", "amino", "nucleotide", "purine", "pyrimidine",
-    "serine", "threonine", "tyrosine", "cysteine", "glycine", "heme", "atp", "gtp", "camp",
-    "cytokine", "chemokine", "hormone", "antigen", "antibody", "collagen", "laminin",
+    "dna",
+    "rna",
+    "mrna",
+    "trna",
+    "protein",
+    "peptide",
+    "kinase",
+    "phosphatase",
+    "polymerase",
+    "helicase",
+    "ligase",
+    "nuclease",
+    "protease",
+    "receptor",
+    "channel",
+    "transporter",
+    "membrane",
+    "ribosome",
+    "chromatin",
+    "histone",
+    "nucleosome",
+    "chromosome",
+    "telomere",
+    "centromere",
+    "spindle",
+    "microtubule",
+    "actin",
+    "tubulin",
+    "cytoskeleton",
+    "mitochondrion",
+    "nucleus",
+    "nucleolus",
+    "cytoplasm",
+    "vesicle",
+    "endosome",
+    "lysosome",
+    "peroxisome",
+    "golgi",
+    "reticulum",
+    "proteasome",
+    "ubiquitin",
+    "calcium",
+    "sodium",
+    "potassium",
+    "zinc",
+    "iron",
+    "glucose",
+    "lipid",
+    "sterol",
+    "fatty",
+    "amino",
+    "nucleotide",
+    "purine",
+    "pyrimidine",
+    "serine",
+    "threonine",
+    "tyrosine",
+    "cysteine",
+    "glycine",
+    "heme",
+    "atp",
+    "gtp",
+    "camp",
+    "cytokine",
+    "chemokine",
+    "hormone",
+    "antigen",
+    "antibody",
+    "collagen",
+    "laminin",
 ];
 
 /// Process / function head nouns.
 pub const PROCESSES: &[&str] = &[
-    "regulation", "activation", "inhibition", "biosynthesis", "catabolism", "metabolism",
-    "phosphorylation", "dephosphorylation", "methylation", "acetylation", "ubiquitination",
-    "glycosylation", "transport", "localization", "signaling", "repair", "replication",
-    "transcription", "translation", "folding", "degradation", "assembly", "disassembly",
-    "splicing", "binding", "secretion", "adhesion", "migration", "differentiation",
-    "proliferation", "apoptosis", "autophagy", "recombination", "condensation", "segregation",
-    "elongation", "initiation", "termination", "maturation", "processing", "modification",
-    "recognition", "targeting", "import", "export", "fusion", "fission", "remodeling",
+    "regulation",
+    "activation",
+    "inhibition",
+    "biosynthesis",
+    "catabolism",
+    "metabolism",
+    "phosphorylation",
+    "dephosphorylation",
+    "methylation",
+    "acetylation",
+    "ubiquitination",
+    "glycosylation",
+    "transport",
+    "localization",
+    "signaling",
+    "repair",
+    "replication",
+    "transcription",
+    "translation",
+    "folding",
+    "degradation",
+    "assembly",
+    "disassembly",
+    "splicing",
+    "binding",
+    "secretion",
+    "adhesion",
+    "migration",
+    "differentiation",
+    "proliferation",
+    "apoptosis",
+    "autophagy",
+    "recombination",
+    "condensation",
+    "segregation",
+    "elongation",
+    "initiation",
+    "termination",
+    "maturation",
+    "processing",
+    "modification",
+    "recognition",
+    "targeting",
+    "import",
+    "export",
+    "fusion",
+    "fission",
+    "remodeling",
 ];
 
 /// Modifier words used to specialize child names.
 pub const MODIFIERS: &[&str] = &[
-    "positive", "negative", "nuclear", "cytoplasmic", "mitochondrial", "membrane", "general",
-    "specific", "nonspecific", "early", "late", "alpha", "beta", "gamma", "delta", "dependent",
-    "independent", "induced", "mediated", "coupled", "associated", "intrinsic", "extrinsic",
-    "canonical", "noncanonical", "direct", "indirect", "primary", "secondary", "rapid", "slow",
-    "transient", "constitutive", "basal", "enhanced", "selective", "cooperative", "allosteric",
-    "competitive", "reversible", "irreversible", "oxidative", "reductive", "anaerobic",
-    "aerobic", "embryonic", "somatic", "germline", "epithelial", "neuronal",
+    "positive",
+    "negative",
+    "nuclear",
+    "cytoplasmic",
+    "mitochondrial",
+    "membrane",
+    "general",
+    "specific",
+    "nonspecific",
+    "early",
+    "late",
+    "alpha",
+    "beta",
+    "gamma",
+    "delta",
+    "dependent",
+    "independent",
+    "induced",
+    "mediated",
+    "coupled",
+    "associated",
+    "intrinsic",
+    "extrinsic",
+    "canonical",
+    "noncanonical",
+    "direct",
+    "indirect",
+    "primary",
+    "secondary",
+    "rapid",
+    "slow",
+    "transient",
+    "constitutive",
+    "basal",
+    "enhanced",
+    "selective",
+    "cooperative",
+    "allosteric",
+    "competitive",
+    "reversible",
+    "irreversible",
+    "oxidative",
+    "reductive",
+    "anaerobic",
+    "aerobic",
+    "embryonic",
+    "somatic",
+    "germline",
+    "epithelial",
+    "neuronal",
 ];
 
 /// Structural head words that end function-style names.
@@ -114,7 +258,11 @@ pub fn apply_strategy<R: Rng>(rng: &mut R, parent_name: &str, strategy: ChildNam
         }
         ChildNaming::AppendObject => {
             let o = OBJECTS[rng.gen_range(0..OBJECTS.len())];
-            let connector = if parent_name.contains(" of ") { "via" } else { "of" };
+            let connector = if parent_name.contains(" of ") {
+                "via"
+            } else {
+                "of"
+            };
             format!("{parent_name} {connector} {o}")
         }
         ChildNaming::PrefixObject => {

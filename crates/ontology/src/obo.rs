@@ -155,10 +155,7 @@ pub fn parse_obo(text: &str) -> Result<Ontology, OboError> {
         }
         terms.push(Term {
             name: s.name.clone().unwrap_or_else(|| accession.clone()),
-            namespace: s
-                .namespace
-                .clone()
-                .unwrap_or_else(|| "default".to_string()),
+            namespace: s.namespace.clone().unwrap_or_else(|| "default".to_string()),
             accession,
             parents,
         });
@@ -282,10 +279,7 @@ is_a: OBS
     #[test]
     fn unknown_is_a_is_error() {
         let text = "[Term]\nid: A\nname: a\nis_a: NOPE\n";
-        assert!(matches!(
-            parse_obo(text),
-            Err(OboError::UnknownIsA { .. })
-        ));
+        assert!(matches!(parse_obo(text), Err(OboError::UnknownIsA { .. })));
     }
 
     #[test]

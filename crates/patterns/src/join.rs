@@ -58,8 +58,7 @@ pub fn side_join(p1: &Pattern, p2: &Pattern) -> Option<Pattern> {
     if shared.is_empty() {
         return None;
     }
-    let mut middle =
-        Vec::with_capacity(p1.middle.len() + shared.len() + p2.middle.len());
+    let mut middle = Vec::with_capacity(p1.middle.len() + shared.len() + p2.middle.len());
     middle.extend_from_slice(&p1.middle);
     middle.extend(shared);
     middle.extend_from_slice(&p2.middle);

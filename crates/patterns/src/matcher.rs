@@ -240,7 +240,11 @@ mod tests {
             context_weight: 0.0,
             ..Default::default()
         };
-        let s = score_paper(&[p1, p2, p3], &sections(&title, &empty, &empty, &empty), &cfg);
+        let s = score_paper(
+            &[p1, p2, p3],
+            &sections(&title, &empty, &empty, &empty),
+            &cfg,
+        );
         assert!((s - 5.0).abs() < 1e-12);
     }
 

@@ -174,11 +174,7 @@ mod tests {
         0.1
     }
 
-    fn build(
-        context: &[u32],
-        docs: &[Vec<TermId>],
-        config: &PatternConfig,
-    ) -> Vec<Pattern> {
+    fn build(context: &[u32], docs: &[Vec<TermId>], config: &PatternConfig) -> Vec<Pattern> {
         let ctx = ids(context);
         let sig = extract_significant_terms(&ctx, docs, config.min_support, config.max_phrase_len);
         let sel = Selectivity::new([ctx.as_slice()]);
@@ -204,7 +200,14 @@ mod tests {
     #[test]
     fn window_is_bounded() {
         let docs = vec![ids(&[1, 2, 3, 4, 5, 6, 7, 8, 9])];
-        let ps = build(&[5], &docs, &PatternConfig { window: 1, ..Default::default() });
+        let ps = build(
+            &[5],
+            &docs,
+            &PatternConfig {
+                window: 1,
+                ..Default::default()
+            },
+        );
         let p = ps.iter().find(|p| p.middle == ids(&[5])).unwrap();
         assert_eq!(p.left.iter().copied().collect::<Vec<_>>(), ids(&[4]));
         assert_eq!(p.right.iter().copied().collect::<Vec<_>>(), ids(&[6]));
@@ -239,9 +242,7 @@ mod tests {
 
     #[test]
     fn truncation_respects_max_regular() {
-        let docs: Vec<Vec<TermId>> = (0..6)
-            .map(|i| ids(&[i, i + 1, 5, i + 2, i + 3]))
-            .collect();
+        let docs: Vec<Vec<TermId>> = (0..6).map(|i| ids(&[i, i + 1, 5, i + 2, i + 3])).collect();
         let ps = build(
             &[5],
             &docs,
@@ -264,7 +265,14 @@ mod tests {
         let docs = vec![ids(&[9, 1, 8]), ids(&[9, 2, 8])];
         let ctx = ids(&[1, 2]);
         let sig = extract_significant_terms(&ctx, &docs, 2, 3);
-        let ps = build_patterns(&sig, &ctx, &docs, &sel, &uniform_coverage, &Default::default());
+        let ps = build_patterns(
+            &sig,
+            &ctx,
+            &docs,
+            &sel,
+            &uniform_coverage,
+            &Default::default(),
+        );
         let score_of = |mid: &[u32]| {
             ps.iter()
                 .find(|p| p.middle == ids(mid))

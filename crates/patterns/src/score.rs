@@ -145,8 +145,7 @@ mod tests {
                 < middle_type_score(PhraseSource::ContextOnly)
         );
         assert!(
-            middle_type_score(PhraseSource::ContextOnly)
-                < middle_type_score(PhraseSource::Both)
+            middle_type_score(PhraseSource::ContextOnly) < middle_type_score(PhraseSource::Both)
         );
     }
 
@@ -163,9 +162,7 @@ mod tests {
             coverage: 0.01,
             ..base
         };
-        assert!(
-            regular_pattern_score(&rare, 0.35, 0.5) > regular_pattern_score(&base, 0.35, 0.5)
-        );
+        assert!(regular_pattern_score(&rare, 0.35, 0.5) > regular_pattern_score(&base, 0.35, 0.5));
     }
 
     #[test]

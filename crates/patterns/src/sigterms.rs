@@ -59,11 +59,7 @@ pub fn extract_significant_terms(
     // Source (ii): frequent phrases from training papers, classified by
     // their overlap with the context words.
     for fp in frequent_phrases(training_docs, min_support, max_phrase_len) {
-        let n_ctx = fp
-            .tokens
-            .iter()
-            .filter(|t| context_set.contains(t))
-            .count();
+        let n_ctx = fp.tokens.iter().filter(|t| context_set.contains(t)).count();
         let source = if n_ctx == 0 {
             PhraseSource::FrequentOnly
         } else if n_ctx == fp.tokens.len() {

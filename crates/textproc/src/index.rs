@@ -40,6 +40,7 @@ pub struct InvertedIndex {
 impl InvertedIndex {
     /// Build from unit-normalized document vectors, in `DocId` order.
     pub fn build(doc_vectors: &[SparseVector]) -> Self {
+        let _span = obs::span("textproc.inverted_index.build");
         let max_term = doc_vectors
             .iter()
             .flat_map(|v| v.terms())
@@ -56,6 +57,8 @@ impl InvertedIndex {
                 });
             }
         }
+        obs::gauge("textproc.inverted_index.terms", postings.len() as f64);
+        obs::gauge("textproc.inverted_index.docs", doc_vectors.len() as f64);
         Self {
             postings,
             n_docs: doc_vectors.len() as u32,
@@ -102,7 +105,11 @@ impl InvertedIndex {
             .filter(|&(_, s)| s > min_score)
             .map(|(d, s)| (DocId(d as u32), s))
             .collect();
-        hits.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0)));
+        hits.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
         hits
     }
 }
@@ -120,10 +127,7 @@ mod tests {
         // doc0: {0,1}; doc1: {1,2}; doc2: {2,2,3}
         let docs = [ids(&[0, 1]), ids(&[1, 2]), ids(&[2, 2, 3])];
         let model = TfIdfModel::fit(docs.iter().map(Vec::as_slice));
-        let vecs: Vec<SparseVector> = docs
-            .iter()
-            .map(|d| model.vectorize_normalized(d))
-            .collect();
+        let vecs: Vec<SparseVector> = docs.iter().map(|d| model.vectorize_normalized(d)).collect();
         (InvertedIndex::build(&vecs), model)
     }
 

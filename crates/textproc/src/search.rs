@@ -6,11 +6,11 @@
 //! callers can go straight from raw text documents and a raw text query
 //! to ranked hits.
 
+use crate::analyze;
 use crate::index::{DocId, InvertedIndex};
 use crate::sparse::SparseVector;
 use crate::tfidf::TfIdfModel;
 use crate::vocab::{TermId, Vocabulary};
-use crate::analyze;
 
 /// One ranked search result.
 #[derive(Debug, Clone, Copy, PartialEq)]

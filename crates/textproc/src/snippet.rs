@@ -132,8 +132,14 @@ mod tests {
         let s = best_snippet(text, &query, &vocab, &model, &cfg).unwrap();
         assert!(s.contains("kinase"), "{s}");
         assert!(s.contains("signaling"), "{s}");
-        assert!(s.starts_with("…"), "interior window gets a left ellipsis: {s}");
-        assert!(s.ends_with("…"), "interior window gets a right ellipsis: {s}");
+        assert!(
+            s.starts_with("…"),
+            "interior window gets a left ellipsis: {s}"
+        );
+        assert!(
+            s.ends_with("…"),
+            "interior window gets a right ellipsis: {s}"
+        );
     }
 
     #[test]
@@ -187,7 +193,9 @@ mod tests {
     #[test]
     fn empty_inputs() {
         let (vocab, model) = setup(&["a b"]);
-        assert!(best_snippet("", &[TermId(0)], &vocab, &model, &SnippetConfig::default()).is_none());
+        assert!(
+            best_snippet("", &[TermId(0)], &vocab, &model, &SnippetConfig::default()).is_none()
+        );
         assert!(best_snippet("text", &[], &vocab, &model, &SnippetConfig::default()).is_none());
     }
 }

@@ -73,11 +73,7 @@ impl SparseVector {
 
     /// Euclidean (L2) norm.
     pub fn norm(&self) -> f64 {
-        self.entries
-            .iter()
-            .map(|&(_, w)| w * w)
-            .sum::<f64>()
-            .sqrt()
+        self.entries.iter().map(|&(_, w)| w * w).sum::<f64>().sqrt()
     }
 
     /// Sum of weights (L1 mass for non-negative vectors).

@@ -309,15 +309,10 @@ impl Stemmer {
             b'i' => self.ends(b"ic"),
             b'l' => self.ends(b"able") || self.ends(b"ible"),
             b'n' => {
-                self.ends(b"ant")
-                    || self.ends(b"ement")
-                    || self.ends(b"ment")
-                    || self.ends(b"ent")
+                self.ends(b"ant") || self.ends(b"ement") || self.ends(b"ment") || self.ends(b"ent")
             }
             b'o' => {
-                (self.ends(b"ion")
-                    && self.j > 0
-                    && matches!(self.b[self.j as usize], b's' | b't'))
+                (self.ends(b"ion") && self.j > 0 && matches!(self.b[self.j as usize], b's' | b't'))
                     || self.ends(b"ou")
             }
             b's' => self.ends(b"ism"),
@@ -455,12 +450,20 @@ mod tests {
 
     #[test]
     fn idempotent_on_common_words() {
-        for w in ["regulation", "binding", "cellular", "activities", "responses"] {
+        for w in [
+            "regulation",
+            "binding",
+            "cellular",
+            "activities",
+            "responses",
+        ] {
             let once = porter_stem(w);
             let twice = porter_stem(&once);
             // Porter is not idempotent in general, but must not panic and
             // must keep output ascii-lowercase for ascii input.
-            assert!(twice.bytes().all(|b| b.is_ascii_lowercase() || b.is_ascii_digit()));
+            assert!(twice
+                .bytes()
+                .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit()));
         }
     }
 }

@@ -57,7 +57,10 @@ mod tests {
 
     #[test]
     fn lowercases() {
-        assert_eq!(tokenize("DNA Polymerase II"), vec!["dna", "polymerase", "ii"]);
+        assert_eq!(
+            tokenize("DNA Polymerase II"),
+            vec!["dna", "polymerase", "ii"]
+        );
     }
 
     #[test]

@@ -38,9 +38,8 @@ impl Vocabulary {
         if let Some(&id) = self.by_term.get(term) {
             return id;
         }
-        let id = TermId(
-            u32::try_from(self.terms.len()).expect("vocabulary exceeds u32::MAX terms"),
-        );
+        let id =
+            TermId(u32::try_from(self.terms.len()).expect("vocabulary exceeds u32::MAX terms"));
         self.terms.push(term.to_string());
         self.by_term.insert(term.to_string(), id);
         id

@@ -73,14 +73,18 @@ fn main() {
 
     println!("\n== round-trip through the OBO writer ==");
     let reparsed = parse_obo(&write_obo(&onto)).expect("round-trip");
-    println!("round-tripped {} terms, identical levels: {}", reparsed.len(), {
-        onto.term_ids().all(|t| {
-            let acc = &onto.term(t).accession;
-            reparsed
-                .find_by_accession(acc)
-                .is_some_and(|t2| reparsed.level(t2) == onto.level(t))
-        })
-    });
+    println!(
+        "round-tripped {} terms, identical levels: {}",
+        reparsed.len(),
+        {
+            onto.term_ids().all(|t| {
+                let acc = &onto.term(t).accession;
+                reparsed
+                    .find_by_accession(acc)
+                    .is_some_and(|t2| reparsed.level(t2) == onto.level(t))
+            })
+        }
+    );
 
     println!("\n== generated GO-like ontology ==");
     let synth = generate_ontology(&GeneratorConfig {
@@ -100,6 +104,9 @@ fn main() {
             .first()
             .map(|&t| synth.term(t).name.clone())
             .unwrap_or_default();
-        println!("  level {level}: {:>4} terms   e.g. {sample:?}", terms.len());
+        println!(
+            "  level {level}: {:>4} terms   e.g. {sample:?}",
+            terms.len()
+        );
     }
 }

@@ -63,7 +63,8 @@ fn main() {
         println!(
             "  R={:.3}  {}",
             h.relevancy,
-            &engine.corpus().paper(h.paper).title[..60.min(engine.corpus().paper(h.paper).title.len())]
+            &engine.corpus().paper(h.paper).title
+                [..60.min(engine.corpus().paper(h.paper).title.len())]
         );
     }
 

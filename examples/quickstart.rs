@@ -39,7 +39,10 @@ fn main() {
     println!("\nquery: {query:?}");
 
     let hits = engine.search(&query, &sets, &prestige, 10);
-    println!("top {} results (relevancy = 0.5·prestige + 0.5·match):", hits.len());
+    println!(
+        "top {} results (relevancy = 0.5·prestige + 0.5·match):",
+        hits.len()
+    );
     for (rank, h) in hits.iter().enumerate() {
         let paper = engine.corpus().paper(h.paper);
         let context = engine.ontology().term(h.context);

@@ -41,6 +41,12 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // Global flag: `--metrics PATH` turns on telemetry for any command
+    // and writes a JSON MetricsSnapshot to PATH on success.
+    let metrics_path = flags.get("metrics").map(PathBuf::from);
+    if metrics_path.is_some() {
+        obs::enable();
+    }
     let result = match command.as_str() {
         "generate" => cmd_generate(&flags),
         "assign" => cmd_assign(&flags),
@@ -54,7 +60,16 @@ fn main() -> ExitCode {
         other => Err(format!("unknown command {other:?}")),
     };
     match result {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(()) => {
+            if let Some(path) = &metrics_path {
+                if let Err(e) = obs::write_json(path) {
+                    eprintln!("error: cannot write metrics to {}: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("metrics written to {}", path.display());
+            }
+            ExitCode::SUCCESS
+        }
         Err(e) => {
             eprintln!("error: {e}");
             ExitCode::FAILURE
@@ -70,9 +85,14 @@ USAGE:
   litsearch assign   --data DIR --kind text|pattern
   litsearch prestige --data DIR --kind text|pattern --function citation|text|pattern
   litsearch search   --data DIR --kind text|pattern --function citation|text|pattern
-                     --query TEXT [--limit N]
+                     --query TEXT [--limit N] [--repeat N]
   litsearch stats    --data DIR
-  litsearch help";
+  litsearch help
+
+Any command also accepts `--metrics PATH`: collect telemetry (spans,
+counters, latency histograms) and write a JSON snapshot to PATH.
+`search --repeat N` re-runs the query N times so the snapshot carries
+p50/p95/p99 latency percentiles per pipeline stage.";
 
 /// Minimal `--flag value` parser (no external dependencies).
 struct Flags {
@@ -262,10 +282,17 @@ fn cmd_search(flags: &Flags) -> Result<(), String> {
     let function = parse_function(flags)?;
     let query = flags.require("query")?.to_string();
     let limit = flags.get_usize("limit", 10)?;
+    let repeat = flags.get_usize("repeat", 1)?.max(1);
     let sets = load_sets(&dir, kind)?;
     let prestige = load_prestige(&dir, kind, function)?;
     eprintln!("building engine…");
     let engine = ContextSearchEngine::build(ontology, corpus, EngineConfig::default());
+
+    // Warm-up repeats (beyond the reported run) populate the latency
+    // histograms so --metrics percentiles are meaningful.
+    for _ in 1..repeat {
+        let _ = engine.search(&query, &sets, &prestige, limit);
+    }
 
     let contexts = engine.select_contexts(&query, &sets);
     println!("query: {query:?}");
@@ -292,17 +319,47 @@ fn cmd_search(flags: &Flags) -> Result<(), String> {
         );
         println!("      {}", engine.snippet(h.paper, &query));
     }
+    if obs::enabled() {
+        let snap = obs::snapshot();
+        eprintln!("\nquery latency breakdown over {repeat} run(s):");
+        for name in [
+            "engine.search",
+            "search.select_contexts",
+            "search.keyword_match",
+            "search.relevancy",
+        ] {
+            if let Some(s) = snap.span(name) {
+                eprintln!(
+                    "  {name:<24} p50 {:.3} ms  p95 {:.3} ms  p99 {:.3} ms  (n={})",
+                    s.p50_ns as f64 / 1e6,
+                    s.p95_ns as f64 / 1e6,
+                    s.p99_ns as f64 / 1e6,
+                    s.count
+                );
+            }
+        }
+    }
     Ok(())
 }
 
 fn cmd_stats(flags: &Flags) -> Result<(), String> {
     let (ontology, corpus, _) = load_data(flags)?;
     let stats = litsearch::corpus::stats::CorpusStats::compute(&corpus);
-    println!("ontology : {} terms, max level {}", ontology.len(), ontology.max_level());
+    println!(
+        "ontology : {} terms, max level {}",
+        ontology.len(),
+        ontology.max_level()
+    );
     println!("papers   : {}", stats.n_papers);
     println!("authors  : {}", stats.n_authors);
-    println!("citations: {} (mean {:.1}/paper)", stats.n_citations, stats.mean_references);
+    println!(
+        "citations: {} (mean {:.1}/paper)",
+        stats.n_citations, stats.mean_references
+    );
     println!("vocab    : {} analyzed terms", stats.vocab_size);
-    println!("evidence : {} terms with training papers", stats.terms_with_evidence);
+    println!(
+        "evidence : {} terms with training papers",
+        stats.terms_with_evidence
+    );
     Ok(())
 }

@@ -20,28 +20,59 @@ fn full_pipeline_through_the_cli() {
     let out = litsearch(&[
         "generate", "--out", data, "--terms", "80", "--papers", "150", "--seed", "7",
     ]);
-    assert!(out.status.success(), "generate: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "generate: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(dir.join("ontology.obo").exists());
     assert!(dir.join("corpus.json").exists());
 
     // assign
     let out = litsearch(&["assign", "--data", data, "--kind", "pattern"]);
-    assert!(out.status.success(), "assign: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "assign: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(dir.join("sets_pattern.json").exists());
 
     // prestige
     let out = litsearch(&[
-        "prestige", "--data", data, "--kind", "pattern", "--function", "pattern",
+        "prestige",
+        "--data",
+        data,
+        "--kind",
+        "pattern",
+        "--function",
+        "pattern",
     ]);
-    assert!(out.status.success(), "prestige: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "prestige: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(dir.join("prestige_pattern_pattern.json").exists());
 
     // search
     let out = litsearch(&[
-        "search", "--data", data, "--kind", "pattern", "--function", "pattern",
-        "--query", "biological process", "--limit", "3",
+        "search",
+        "--data",
+        data,
+        "--kind",
+        "pattern",
+        "--function",
+        "pattern",
+        "--query",
+        "biological process",
+        "--limit",
+        "3",
     ]);
-    assert!(out.status.success(), "search: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "search: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("selected contexts"), "{stdout}");
     assert!(stdout.contains("results"), "{stdout}");
@@ -51,6 +82,121 @@ fn full_pipeline_through_the_cli() {
     assert!(out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("papers   : 150"), "{stdout}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `--metrics <path>` makes prestige and search write telemetry
+/// snapshots with the per-stage spans and PageRank convergence stats.
+#[test]
+fn metrics_flag_writes_telemetry_snapshots() {
+    let dir = std::env::temp_dir().join(format!("litsearch_metrics_test_{}", std::process::id()));
+    let data = dir.to_str().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let out = litsearch(&[
+        "generate", "--out", data, "--terms", "80", "--papers", "150", "--seed", "7",
+    ]);
+    assert!(
+        out.status.success(),
+        "generate: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let out = litsearch(&["assign", "--data", data, "--kind", "pattern"]);
+    assert!(
+        out.status.success(),
+        "assign: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // prestige --metrics: engine build + prestige spans, PageRank stats.
+    let prestige_metrics = dir.join("prestige_metrics.json");
+    let out = litsearch(&[
+        "prestige",
+        "--data",
+        data,
+        "--kind",
+        "pattern",
+        "--function",
+        "citation",
+        "--metrics",
+        prestige_metrics.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "prestige: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("metrics written"),
+        "stderr should announce the metrics file"
+    );
+    let json = std::fs::read_to_string(&prestige_metrics).expect("metrics file written");
+    let snap = obs::MetricsSnapshot::from_json(&json).expect("metrics file parses");
+    for name in [
+        "engine.build",
+        "index.build",
+        "engine.prestige",
+        "prestige.citation",
+    ] {
+        let span = snap
+            .span(name)
+            .unwrap_or_else(|| panic!("span {name} missing"));
+        assert!(span.count >= 1, "span {name} never closed");
+        assert!(span.total_ns > 0, "span {name} has no recorded time");
+    }
+    // Citation prestige runs PageRank per context: iterations accumulate.
+    assert!(
+        snap.counter("citegraph.pagerank.iterations").unwrap_or(0) >= 1,
+        "pagerank iterations should be >= 1: {json}"
+    );
+    assert!(snap.counter("citegraph.pagerank.runs").unwrap_or(0) >= 1);
+
+    // search --metrics: the online-phase breakdown.
+    let search_metrics = dir.join("search_metrics.json");
+    let out = litsearch(&[
+        "search",
+        "--data",
+        data,
+        "--kind",
+        "pattern",
+        "--function",
+        "citation",
+        "--query",
+        "biological process",
+        "--limit",
+        "3",
+        "--repeat",
+        "3",
+        "--metrics",
+        search_metrics.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "search: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("latency breakdown"),
+        "expected breakdown, got: {stderr}"
+    );
+    let json = std::fs::read_to_string(&search_metrics).expect("metrics file written");
+    let snap = obs::MetricsSnapshot::from_json(&json).expect("metrics file parses");
+    for name in [
+        "engine.search",
+        "search.select_contexts",
+        "search.keyword_match",
+        "search.relevancy",
+    ] {
+        let span = snap
+            .span(name)
+            .unwrap_or_else(|| panic!("span {name} missing"));
+        assert!(
+            span.count >= 3,
+            "span {name} should cover all --repeat runs"
+        );
+    }
 
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -7,7 +7,12 @@ use litsearch::eval::{separability_sd, top_k_percent_overlap};
 use litsearch::ontology::{generate_ontology, GeneratorConfig};
 use proptest::prelude::*;
 
-fn tiny_engine(ont_seed: u64, corp_seed: u64, n_terms: usize, n_papers: usize) -> ContextSearchEngine {
+fn tiny_engine(
+    ont_seed: u64,
+    corp_seed: u64,
+    n_terms: usize,
+    n_papers: usize,
+) -> ContextSearchEngine {
     let onto = generate_ontology(&GeneratorConfig {
         n_terms,
         seed: ont_seed,

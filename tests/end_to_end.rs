@@ -96,8 +96,7 @@ fn citation_scores_tie_more_than_text_scores() {
         let (mut total, mut distinct) = (0usize, 0usize);
         for c in tsets.contexts_with_min_size(10) {
             let values = p.score_values(c);
-            let set: std::collections::HashSet<u64> =
-                values.iter().map(|v| v.to_bits()).collect();
+            let set: std::collections::HashSet<u64> = values.iter().map(|v| v.to_bits()).collect();
             total += values.len();
             distinct += set.len();
         }

@@ -37,7 +37,9 @@ fn generated_ontology_round_trips_through_obo() {
     assert_eq!(again.len(), onto.len());
     for t in onto.term_ids() {
         let orig = onto.term(t);
-        let t2 = again.find_by_accession(&orig.accession).expect("accession kept");
+        let t2 = again
+            .find_by_accession(&orig.accession)
+            .expect("accession kept");
         assert_eq!(again.term(t2).name, orig.name);
         assert_eq!(again.level(t2), onto.level(t));
         assert_eq!(again.parents(t2).len(), onto.parents(t).len());
@@ -49,7 +51,11 @@ fn generated_corpus_round_trips_through_medline() {
     let onto = small_ontology();
     let corpus = small_corpus(&onto);
     let names: Vec<String> = (0..corpus.n_authors())
-        .map(|i| corpus.author_name(litsearch::corpus::AuthorId(i as u32)).to_string())
+        .map(|i| {
+            corpus
+                .author_name(litsearch::corpus::AuthorId(i as u32))
+                .to_string()
+        })
         .collect();
     let text = write_medline(corpus.papers(), |a| names[a.index()].clone());
     let imported = parse_medline(&text).expect("generated MEDLINE parses");
@@ -71,7 +77,11 @@ fn engine_runs_on_medline_imported_corpus() {
     let onto = small_ontology();
     let corpus = small_corpus(&onto);
     let names: Vec<String> = (0..corpus.n_authors())
-        .map(|i| corpus.author_name(litsearch::corpus::AuthorId(i as u32)).to_string())
+        .map(|i| {
+            corpus
+                .author_name(litsearch::corpus::AuthorId(i as u32))
+                .to_string()
+        })
         .collect();
     let text = write_medline(corpus.papers(), |a| names[a.index()].clone());
     let imported = parse_medline(&text).unwrap();

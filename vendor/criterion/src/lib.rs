@@ -1,0 +1,238 @@
+//! Offline drop-in subset of `criterion`.
+//!
+//! Implements the benchmark-definition API the workspace's bench
+//! targets use (`Criterion`, `benchmark_group`, `Bencher::iter`,
+//! `iter_batched`, the `criterion_group!`/`criterion_main!` macros) with
+//! a plain wall-clock harness: per sample it auto-calibrates an
+//! iteration count, then reports min/median/mean nanoseconds per
+//! iteration. Run under `cargo bench` for real measurements; under
+//! `cargo test` (no `--bench` flag) every routine executes exactly once
+//! as a smoke check, like real criterion's test mode.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup cost (accepted for API
+/// compatibility; the stub times each routine call individually either way).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per sample.
+    PerIteration,
+}
+
+/// Whether we're under `cargo bench` (which passes `--bench`) or a
+/// plain test build.
+fn bench_mode() -> bool {
+    std::env::args().any(|a| a == "--bench")
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Run one named benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(id, self.sample_size, &mut f);
+        self
+    }
+
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.sample_size,
+            _parent: self,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Run one named benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_bench(&full, self.sample_size, &mut f);
+        self
+    }
+
+    /// Finish the group (printing is per-benchmark; nothing to flush).
+    pub fn finish(self) {}
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(id: &str, sample_size: usize, f: &mut F) {
+    let mut b = Bencher {
+        mode: if bench_mode() {
+            Mode::Measure {
+                sample_size,
+                samples_ns: Vec::new(),
+            }
+        } else {
+            Mode::Smoke
+        },
+    };
+    f(&mut b);
+    if let Mode::Measure { samples_ns, .. } = &mut b.mode {
+        if samples_ns.is_empty() {
+            return;
+        }
+        samples_ns.sort_unstable();
+        let min = samples_ns[0];
+        let median = samples_ns[samples_ns.len() / 2];
+        let mean = samples_ns.iter().sum::<u128>() / samples_ns.len() as u128;
+        println!(
+            "{id:<45} time: [min {} median {} mean {}]",
+            fmt_ns(min),
+            fmt_ns(median),
+            fmt_ns(mean)
+        );
+    }
+}
+
+fn fmt_ns(ns: u128) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+enum Mode {
+    /// Execute the routine once, untimed (cargo test).
+    Smoke,
+    /// Calibrate and record per-iteration nanoseconds.
+    Measure {
+        sample_size: usize,
+        samples_ns: Vec<u128>,
+    },
+}
+
+/// Handle passed to each benchmark closure.
+pub struct Bencher {
+    mode: Mode,
+}
+
+impl Bencher {
+    /// Time `routine` (the whole closure body is the measured unit).
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        match &mut self.mode {
+            Mode::Smoke => {
+                black_box(routine());
+            }
+            Mode::Measure {
+                sample_size,
+                samples_ns,
+            } => {
+                // Calibrate: find an iteration count taking ≥ ~5 ms.
+                let mut iters: u64 = 1;
+                let per_iter = loop {
+                    let t = Instant::now();
+                    for _ in 0..iters {
+                        black_box(routine());
+                    }
+                    let elapsed = t.elapsed();
+                    if elapsed >= Duration::from_millis(5) || iters >= 1 << 22 {
+                        break elapsed.as_nanos() / iters as u128;
+                    }
+                    iters *= 2;
+                };
+                // Aim for ~10 ms per sample.
+                let per_sample = ((10_000_000 / per_iter.max(1)) as u64).clamp(1, 1 << 22);
+                for _ in 0..*sample_size {
+                    let t = Instant::now();
+                    for _ in 0..per_sample {
+                        black_box(routine());
+                    }
+                    samples_ns.push(t.elapsed().as_nanos() / per_sample as u128);
+                }
+            }
+        }
+    }
+
+    /// Time `routine` over inputs produced by an untimed `setup`.
+    pub fn iter_batched<S, R, Setup, Routine>(
+        &mut self,
+        mut setup: Setup,
+        mut routine: Routine,
+        _size: BatchSize,
+    ) where
+        Setup: FnMut() -> S,
+        Routine: FnMut(S) -> R,
+    {
+        match &mut self.mode {
+            Mode::Smoke => {
+                black_box(routine(setup()));
+            }
+            Mode::Measure {
+                sample_size,
+                samples_ns,
+            } => {
+                let sample_size = *sample_size;
+                for _ in 0..sample_size {
+                    let input = setup();
+                    let t = Instant::now();
+                    black_box(routine(input));
+                    samples_ns.push(t.elapsed().as_nanos());
+                }
+            }
+        }
+    }
+}
+
+/// Collect benchmark functions into a runner (stub keeps the names).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+    ($group:ident; $($rest:tt)*) => {
+        compile_error!("criterion stub supports only criterion_group!(name, fn, ...)");
+    };
+}
+
+/// Entry point running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

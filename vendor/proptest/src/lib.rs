@@ -1,0 +1,318 @@
+//! Offline drop-in subset of `proptest`.
+//!
+//! Supports the strategy surface this workspace uses — integer and
+//! float ranges (half-open and inclusive), simple `[class]{m,n}` /
+//! `\PC{m,n}` string patterns, strategy tuples, and
+//! [`collection::vec`] — plus the [`proptest!`] macro with an optional
+//! `#![proptest_config(...)]` header and [`prop_assert!`] /
+//! [`prop_assert_eq!`]. Cases are generated deterministically from the
+//! test name; there is no shrinking (failures report the raw inputs).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::ops::{Range, RangeInclusive};
+
+pub mod collection;
+pub mod prelude;
+
+/// Per-test configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // The real default is 256; 64 keeps the heavier engine-building
+        // properties fast while still exercising plenty of inputs.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Deterministic per-case random source.
+pub struct TestRng(SmallRng);
+
+impl TestRng {
+    /// RNG for one (test, case) pair: stable across runs.
+    pub fn for_case(test_name: &str, case: u32) -> Self {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        TestRng(SmallRng::seed_from_u64(h ^ ((case as u64) << 32 | 0x9e37)))
+    }
+
+    fn rng(&mut self) -> &mut SmallRng {
+        &mut self.0
+    }
+}
+
+/// A generator of random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.rng().gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.rng().gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A:0, B:1);
+impl_tuple_strategy!(A:0, B:1, C:2);
+impl_tuple_strategy!(A:0, B:1, C:2, D:3);
+
+/// String-pattern strategy: a `&str` used as a strategy generates
+/// strings matching a small regex subset — `[class]{m,n}` (classes with
+/// literal chars and `a-z` ranges) and `\PC{m,n}` (printable chars).
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (choices, min, max) = parse_pattern(self);
+        let len = if min == max {
+            min
+        } else {
+            rng.rng().gen_range(min..=max)
+        };
+        (0..len)
+            .map(|_| choices[rng.rng().gen_range(0..choices.len())])
+            .collect()
+    }
+}
+
+/// Printable sample set for `\PC`: ASCII printable plus a few multibyte
+/// characters so unicode handling gets exercised.
+fn printable_chars() -> Vec<char> {
+    let mut v: Vec<char> = (0x20u8..=0x7e).map(|b| b as char).collect();
+    v.extend(['é', 'ß', 'λ', 'Ж', '中', '🦀']);
+    v
+}
+
+fn parse_pattern(pat: &str) -> (Vec<char>, usize, usize) {
+    let chars: Vec<char> = pat.chars().collect();
+    let mut i;
+    let choices: Vec<char> = if pat.starts_with("\\PC") {
+        i = 3;
+        printable_chars()
+    } else if chars.first() == Some(&'[') {
+        i = 1;
+        let mut set = Vec::new();
+        while i < chars.len() && chars[i] != ']' {
+            let c = chars[i];
+            // `a-z` range (a `-` that is not first/last in the class).
+            if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                let (lo, hi) = (c as u32, chars[i + 2] as u32);
+                assert!(lo <= hi, "bad range in pattern {pat:?}");
+                for cp in lo..=hi {
+                    if let Some(ch) = char::from_u32(cp) {
+                        set.push(ch);
+                    }
+                }
+                i += 3;
+            } else {
+                set.push(c);
+                i += 1;
+            }
+        }
+        assert!(
+            chars.get(i) == Some(&']'),
+            "unterminated class in pattern {pat:?}"
+        );
+        i += 1;
+        set
+    } else {
+        panic!("unsupported string pattern {pat:?} (stub supports [class]{{m,n}} and \\PC{{m,n}})");
+    };
+    // Optional {m,n} / {m} counter; default exactly one.
+    let (min, max) = if chars.get(i) == Some(&'{') {
+        let rest: String = chars[i + 1..].iter().collect();
+        let close = rest.find('}').expect("unterminated counter");
+        let counter = &rest[..close];
+        assert!(
+            i + 2 + close == chars.len(),
+            "trailing junk in pattern {pat:?}"
+        );
+        match counter.split_once(',') {
+            Some((m, n)) => (
+                m.trim().parse().expect("bad counter"),
+                n.trim().parse().expect("bad counter"),
+            ),
+            None => {
+                let m = counter.trim().parse().expect("bad counter");
+                (m, m)
+            }
+        }
+    } else {
+        assert!(i == chars.len(), "trailing junk in pattern {pat:?}");
+        (1, 1)
+    };
+    assert!(min <= max, "bad counter in pattern {pat:?}");
+    (choices, min, max)
+}
+
+/// The core macro: run each embedded test function over many generated
+/// cases. Mirrors real proptest's surface syntax.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $(
+        $(#[$attr:meta])*
+        fn $name:ident ( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+    )*) => {$(
+        $(#[$attr])*
+        fn $name() {
+            let __cfg: $crate::ProptestConfig = $cfg;
+            for __case in 0..__cfg.cases {
+                let mut __rng = $crate::TestRng::for_case(stringify!($name), __case);
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)*
+                let __inputs = format!(
+                    concat!($(stringify!($arg), " = {:?}; ",)*),
+                    $(&$arg),*
+                );
+                let __result: ::std::result::Result<(), ::std::string::String> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                if let ::std::result::Result::Err(e) = __result {
+                    panic!(
+                        "proptest {} failed at case {}: {}\n  inputs: {}",
+                        stringify!($name), __case, e, __inputs
+                    );
+                }
+            }
+        }
+    )*};
+}
+
+/// Assert inside a [`proptest!`] body; failures report the generated
+/// inputs instead of unwinding immediately.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err(format!($($fmt)*));
+        }
+    };
+}
+
+/// Equality assert inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err(
+                format!("assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                    stringify!($left), stringify!($right), l, r));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err(format!($($fmt)*));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Strategy;
+
+    #[test]
+    fn range_strategies_stay_in_bounds() {
+        let mut rng = crate::TestRng::for_case("range", 0);
+        for _ in 0..1000 {
+            let x = (3u32..9).generate(&mut rng);
+            assert!((3..9).contains(&x));
+            let f = (0.0f64..=1.0).generate(&mut rng);
+            assert!((0.0..=1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn string_patterns_match_their_class() {
+        let mut rng = crate::TestRng::for_case("strings", 1);
+        for _ in 0..200 {
+            let s = "[a-z ]{1,30}".generate(&mut rng);
+            assert!((1..=30).contains(&s.chars().count()));
+            assert!(s.chars().all(|c| c == ' ' || c.is_ascii_lowercase()));
+            let t = "[\x20-\x7e\n]{0,40}".generate(&mut rng);
+            assert!(t.chars().all(|c| c == '\n' || (' '..='~').contains(&c)));
+            let u = "\\PC{0,20}".generate(&mut rng);
+            assert!(u.chars().count() <= 20);
+        }
+    }
+
+    #[test]
+    fn vec_strategy_obeys_size_and_elements() {
+        let mut rng = crate::TestRng::for_case("vecs", 2);
+        for _ in 0..200 {
+            let v = crate::collection::vec((0u32..5, 0.0f64..1.0), 2..7).generate(&mut rng);
+            assert!((2..7).contains(&v.len()));
+            for &(a, b) in &v {
+                assert!(a < 5 && (0.0..1.0).contains(&b));
+            }
+        }
+    }
+
+    crate::proptest! {
+        #![proptest_config(crate::ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn the_macro_itself_works(
+            x in 0u32..10,
+            v in crate::collection::vec(0u32..10, 0..5),
+        ) {
+            crate::prop_assert!(x < 10);
+            crate::prop_assert_eq!(v.len(), v.iter().copied().count());
+        }
+    }
+}

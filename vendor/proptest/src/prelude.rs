@@ -1,0 +1,10 @@
+//! The glob-import surface (`use proptest::prelude::*`).
+
+pub use crate::collection;
+pub use crate::{prop_assert, prop_assert_eq, proptest};
+pub use crate::{ProptestConfig, Strategy, TestRng};
+
+/// `prop::collection::...` paths, as re-exported by the real prelude.
+pub mod prop {
+    pub use crate::collection;
+}

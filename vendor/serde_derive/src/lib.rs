@@ -1,0 +1,260 @@
+//! Offline drop-in subset of `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! shapes this workspace uses — named-field structs, tuple structs, and
+//! unit-variant enums, all non-generic — by walking the raw
+//! `proc_macro::TokenStream` (no `syn`/`quote`, which are unavailable
+//! offline) and emitting impls of the value-tree traits in the vendored
+//! `serde` crate.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    /// `struct S { a: T, b: U }` — field names in declaration order.
+    NamedStruct(Vec<String>),
+    /// `struct S(T, U);` — field count.
+    TupleStruct(usize),
+    /// `enum E { A, B }` — unit variant names.
+    UnitEnum(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+/// Skip a `#` punct plus its following bracketed group (an attribute).
+/// Returns true if `tokens[i]` started an attribute.
+fn skip_attr(tokens: &[TokenTree], i: &mut usize) -> bool {
+    if let Some(TokenTree::Punct(p)) = tokens.get(*i) {
+        if p.as_char() == '#' {
+            *i += 1;
+            // Inner attributes have a `!` between `#` and `[...]`.
+            if let Some(TokenTree::Punct(q)) = tokens.get(*i) {
+                if q.as_char() == '!' {
+                    *i += 1;
+                }
+            }
+            if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+            {
+                *i += 1;
+            }
+            return true;
+        }
+    }
+    false
+}
+
+/// Skip `pub`, `pub(crate)`, `pub(in ...)` etc.
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(tokens.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1;
+        }
+    }
+}
+
+/// Count top-level comma-separated entries in a field/variant list,
+/// treating `<...>` angle runs as nested (their commas don't split).
+fn split_top_level(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out: Vec<Vec<TokenTree>> = Vec::new();
+    let mut cur: Vec<TokenTree> = Vec::new();
+    let mut angle_depth = 0i32;
+    for t in tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    out.push(std::mem::take(&mut cur));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        cur.push(t.clone());
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    while skip_attr(&tokens, &mut i) {}
+    skip_visibility(&tokens, &mut i);
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected type name, got {other:?}"),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde derive stub does not support generic type `{name}`");
+    }
+    match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                let mut fields = Vec::new();
+                for field in split_top_level(&inner) {
+                    let mut j = 0;
+                    while skip_attr(&field, &mut j) {}
+                    skip_visibility(&field, &mut j);
+                    match field.get(j) {
+                        Some(TokenTree::Ident(id)) => fields.push(id.to_string()),
+                        None => continue, // trailing comma
+                        other => panic!("serde derive: expected field name, got {other:?}"),
+                    }
+                }
+                Item {
+                    name,
+                    shape: Shape::NamedStruct(fields),
+                }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                let n = split_top_level(&inner)
+                    .into_iter()
+                    .filter(|f| !f.is_empty())
+                    .count();
+                Item {
+                    name,
+                    shape: Shape::TupleStruct(n),
+                }
+            }
+            other => panic!("serde derive: unsupported struct body {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                let mut variants = Vec::new();
+                for variant in split_top_level(&inner) {
+                    let mut j = 0;
+                    while skip_attr(&variant, &mut j) {}
+                    match variant.get(j) {
+                        Some(TokenTree::Ident(id)) => {
+                            let vname = id.to_string();
+                            if variant.len() > j + 1 {
+                                panic!(
+                                    "serde derive stub supports only unit enum variants \
+                                     ({name}::{vname} has data)"
+                                );
+                            }
+                            variants.push(vname);
+                        }
+                        None => continue,
+                        other => panic!("serde derive: expected variant name, got {other:?}"),
+                    }
+                }
+                Item {
+                    name,
+                    shape: Shape::UnitEnum(variants),
+                }
+            }
+            other => panic!("serde derive: unsupported enum body {other:?}"),
+        },
+        other => panic!("serde derive: expected struct or enum, got `{other}`"),
+    }
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let entries: String = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})),"))
+                .collect();
+            format!("::serde::Value::Map(vec![{entries}])")
+        }
+        Shape::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let entries: String = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i}),"))
+                .collect();
+            format!("::serde::Value::Seq(vec![{entries}])")
+        }
+        Shape::UnitEnum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => ::serde::Value::Str(\"{v}\".to_string()),"))
+                .collect();
+            format!("match *self {{ {arms} }}")
+        }
+    };
+    let out = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    );
+    out.parse().expect("derived Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!("{f}: ::serde::Deserialize::from_value(::serde::field(v, \"{f}\")?)?,")
+                })
+                .collect();
+            format!("::std::result::Result::Ok({name} {{ {inits} }})")
+        }
+        Shape::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Shape::TupleStruct(n) => {
+            let inits: String = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?,"))
+                .collect();
+            format!(
+                "match v {{\n\
+                     ::serde::Value::Seq(items) if items.len() == {n} => \
+                         ::std::result::Result::Ok({name}({inits})),\n\
+                     other => ::std::result::Result::Err(::serde::Error::msg(\
+                         format!(\"expected array of {n} elements, got {{other:?}}\"))),\n\
+                 }}"
+            )
+        }
+        Shape::UnitEnum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("\"{v}\" => ::std::result::Result::Ok({name}::{v}),"))
+                .collect();
+            format!(
+                "match v {{\n\
+                     ::serde::Value::Str(s) => match s.as_str() {{\n\
+                         {arms}\n\
+                         other => ::std::result::Result::Err(::serde::Error::msg(\
+                             format!(\"unknown variant {{other:?}} for {name}\"))),\n\
+                     }},\n\
+                     other => ::std::result::Result::Err(::serde::Error::msg(\
+                         format!(\"expected string variant for {name}, got {{other:?}}\"))),\n\
+                 }}"
+            )
+        }
+    };
+    let out = format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    );
+    out.parse().expect("derived Deserialize impl parses")
+}
