@@ -1,0 +1,109 @@
+//! `metrics-diff` — CI perf-regression gate over two telemetry
+//! snapshots.
+//!
+//! ```text
+//! metrics-diff <baseline.json> <current.json>
+//!     [--max-regression PCT]   allowed p50 growth for gated spans
+//!                              (percent, default 300)
+//!     [--min-baseline-ns NS]   noise floor; smaller baselines are
+//!                              never gated (default 10000)
+//!     [--gate SPAN]            replace the default gated-span set
+//!                              (repeatable)
+//!     [--span-threshold SPAN=PCT]  per-span override (repeatable)
+//! ```
+//!
+//! Exit code 0 when every gated span stays within threshold, 1 on any
+//! regression or a gated span missing from the current snapshot, 2 on
+//! usage/IO errors.
+
+use bench::diff::{diff_snapshots, DiffThresholds};
+use obs::MetricsSnapshot;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run() -> Result<bool, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths = Vec::new();
+    let mut thresholds = DiffThresholds::default();
+    let mut custom_gates: Option<Vec<String>> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--max-regression" => {
+                i += 1;
+                let pct: f64 = next(&args, i, "--max-regression PCT")?
+                    .parse()
+                    .map_err(|_| "--max-regression must be a percentage".to_string())?;
+                thresholds.max_regression = pct / 100.0;
+            }
+            "--min-baseline-ns" => {
+                i += 1;
+                thresholds.min_baseline_ns = next(&args, i, "--min-baseline-ns NS")?
+                    .parse()
+                    .map_err(|_| "--min-baseline-ns must be an integer".to_string())?;
+            }
+            "--gate" => {
+                i += 1;
+                custom_gates
+                    .get_or_insert_with(Vec::new)
+                    .push(next(&args, i, "--gate SPAN")?.to_string());
+            }
+            "--span-threshold" => {
+                i += 1;
+                let spec = next(&args, i, "--span-threshold SPAN=PCT")?;
+                let (span, pct) = spec
+                    .split_once('=')
+                    .ok_or_else(|| format!("--span-threshold wants SPAN=PCT, got {spec:?}"))?;
+                let pct: f64 = pct
+                    .parse()
+                    .map_err(|_| format!("bad percentage in {spec:?}"))?;
+                thresholds.per_span.push((span.to_string(), pct / 100.0));
+            }
+            flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
+            path => paths.push(path.to_string()),
+        }
+        i += 1;
+    }
+    if let Some(gates) = custom_gates {
+        thresholds.gated = gates;
+    }
+    let [baseline_path, current_path] = paths.as_slice() else {
+        return Err("usage: metrics-diff <baseline.json> <current.json> [flags]".to_string());
+    };
+
+    let baseline = load(baseline_path)?;
+    let current = load(current_path)?;
+    let report = diff_snapshots(&baseline, &current, &thresholds);
+    print!("{}", report.render());
+    if report.passed() {
+        println!("\nperf gate PASSED");
+        Ok(true)
+    } else {
+        println!("\nperf gate FAILED:");
+        for f in report.failures() {
+            println!("  {}: {:?}", f.name, f.verdict);
+        }
+        Ok(false)
+    }
+}
+
+fn next<'a>(args: &'a [String], i: usize, what: &str) -> Result<&'a str, String> {
+    args.get(i)
+        .map(|s| s.as_str())
+        .ok_or_else(|| format!("{what}: missing value"))
+}
+
+fn load(path: &str) -> Result<MetricsSnapshot, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    MetricsSnapshot::from_json(&text).map_err(|e| format!("{path}: not a MetricsSnapshot: {e}"))
+}

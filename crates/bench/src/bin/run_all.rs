@@ -14,26 +14,51 @@ fn main() -> ExitCode {
     }
 }
 
+type Experiment = fn(&bench::Setup) -> Vec<eval::report::Table>;
+
+const EXPERIMENTS: &[(&str, Experiment)] = &[
+    ("testbed_stats", bench::testbed_stats),
+    ("fig5_1", bench::fig5_1),
+    ("fig5_2", bench::fig5_2),
+    ("fig5_3", bench::fig5_3),
+    ("fig5_4", bench::fig5_4),
+    ("fig5_5", bench::fig5_5),
+    ("fig5_6", bench::fig5_6),
+    ("fig5_7", bench::fig5_7),
+    ("baseline_vs_context", bench::baseline_vs_context),
+    ("related_gopubmed", bench::related_gopubmed),
+    ("sparsity_analysis", bench::sparsity_analysis),
+    ("ablations", bench::ablations),
+];
+
 fn run() -> Result<(), String> {
     obs::enable();
     let config = bench::ExpConfig::from_args();
+    let trace_dir = config.trace_dir.clone();
+    if let Some(dir) = &trace_dir {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+    }
     let setup = bench::Setup::build(config);
     let mut all = Vec::new();
-    for (name, tables) in [
-        ("testbed_stats", bench::testbed_stats(&setup)),
-        ("fig5_1", bench::fig5_1(&setup)),
-        ("fig5_2", bench::fig5_2(&setup)),
-        ("fig5_3", bench::fig5_3(&setup)),
-        ("fig5_4", bench::fig5_4(&setup)),
-        ("fig5_5", bench::fig5_5(&setup)),
-        ("fig5_6", bench::fig5_6(&setup)),
-        ("fig5_7", bench::fig5_7(&setup)),
-        ("baseline_vs_context", bench::baseline_vs_context(&setup)),
-        ("related_gopubmed", bench::related_gopubmed(&setup)),
-        ("sparsity_analysis", bench::sparsity_analysis(&setup)),
-        ("ablations", bench::ablations(&setup)),
-    ] {
+    for &(name, experiment) in EXPERIMENTS {
         obs::progress(&format!("[run_all] {name}"));
+        if trace_dir.is_some() {
+            obs::trace_start();
+        }
+        let tables = experiment(&setup);
+        if let Some(dir) = &trace_dir {
+            let data = obs::trace_finish().expect("trace active");
+            let path = dir.join(format!("{name}.json"));
+            data.write_chrome(&path)
+                .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+            obs::progress(&format!(
+                "[run_all] trace {} ({} events) -> {}",
+                data.trace_id,
+                data.events.len(),
+                path.display()
+            ));
+        }
         bench::setup::emit(name, &tables)?;
         all.extend(tables);
     }

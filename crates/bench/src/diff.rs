@@ -1,0 +1,343 @@
+//! Comparing two [`MetricsSnapshot`]s for performance regressions.
+//!
+//! `metrics-diff <baseline.json> <current.json>` compares the per-span
+//! p50 latencies of a current run against a checked-in baseline and
+//! exits nonzero when a *gated* span regresses past its threshold. The
+//! report prints every span present in either snapshot, so the gate
+//! doubles as a quick before/after latency table.
+//!
+//! Thresholds are relative and deliberately generous by default (CI
+//! runners vary wildly in absolute speed); the gate catches order-of-
+//! magnitude regressions — an accidentally quadratic loop, a lock in
+//! the hot path — not single-digit-percent noise. Spans whose baseline
+//! p50 sits below the noise floor are reported but never gated.
+
+use obs::MetricsSnapshot;
+
+/// Spans gated by default: the per-query path the paper's §5 latency
+/// claims rest on, plus the offline stages big enough to be stable.
+pub const DEFAULT_GATED: &[&str] = &[
+    "engine.search",
+    "search.select_contexts",
+    "search.keyword_match",
+    "search.relevancy",
+];
+
+/// Tunable comparison policy.
+#[derive(Debug, Clone)]
+pub struct DiffThresholds {
+    /// Allowed relative p50 growth for gated spans, as a fraction:
+    /// `3.0` means "fail if current p50 > 4× baseline p50".
+    pub max_regression: f64,
+    /// Per-span overrides of [`max_regression`](Self::max_regression).
+    pub per_span: Vec<(String, f64)>,
+    /// Span names that participate in the pass/fail decision. A gated
+    /// span missing from the current snapshot fails the gate (the
+    /// instrumentation was lost); one missing from the baseline is
+    /// reported as new but passes.
+    pub gated: Vec<String>,
+    /// Baseline p50s at or below this many nanoseconds are too noisy
+    /// to gate — the span is still listed in the report.
+    pub min_baseline_ns: u64,
+}
+
+impl Default for DiffThresholds {
+    fn default() -> Self {
+        Self {
+            max_regression: 3.0,
+            per_span: Vec::new(),
+            gated: DEFAULT_GATED.iter().map(|s| s.to_string()).collect(),
+            min_baseline_ns: 10_000,
+        }
+    }
+}
+
+impl DiffThresholds {
+    fn threshold_for(&self, span: &str) -> f64 {
+        self.per_span
+            .iter()
+            .find(|(name, _)| name == span)
+            .map(|&(_, t)| t)
+            .unwrap_or(self.max_regression)
+    }
+}
+
+/// Verdict for one span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanVerdict {
+    /// Within threshold (or not gated / below the noise floor).
+    Ok,
+    /// Gated and past threshold.
+    Regressed,
+    /// Gated but absent from the current snapshot.
+    MissingInCurrent,
+    /// Present in current only — informational.
+    NewInCurrent,
+}
+
+/// One row of the comparison.
+#[derive(Debug, Clone)]
+pub struct SpanDiff {
+    /// Span name.
+    pub name: String,
+    /// Baseline median, ns (0 when missing from the baseline).
+    pub baseline_p50_ns: u64,
+    /// Current median, ns (0 when missing from the current snapshot).
+    pub current_p50_ns: u64,
+    /// `current/baseline − 1`; `None` when either side is missing or
+    /// the baseline p50 is zero.
+    pub change: Option<f64>,
+    /// Whether this span participates in the pass/fail decision.
+    pub gated: bool,
+    /// The relative threshold applied (gated spans only).
+    pub threshold: f64,
+    /// The verdict.
+    pub verdict: SpanVerdict,
+}
+
+/// Full comparison result.
+#[derive(Debug, Clone)]
+pub struct DiffReport {
+    /// Every span in either snapshot, baseline order first.
+    pub spans: Vec<SpanDiff>,
+}
+
+impl DiffReport {
+    /// True when no gated span regressed or went missing.
+    pub fn passed(&self) -> bool {
+        !self.spans.iter().any(|d| {
+            matches!(
+                d.verdict,
+                SpanVerdict::Regressed | SpanVerdict::MissingInCurrent
+            )
+        })
+    }
+
+    /// The failing rows.
+    pub fn failures(&self) -> Vec<&SpanDiff> {
+        self.spans
+            .iter()
+            .filter(|d| {
+                matches!(
+                    d.verdict,
+                    SpanVerdict::Regressed | SpanVerdict::MissingInCurrent
+                )
+            })
+            .collect()
+    }
+
+    /// Plain-text table: one row per span, failures flagged.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<34} {:>12} {:>12} {:>9}  verdict\n",
+            "span", "base p50", "cur p50", "change"
+        ));
+        for d in &self.spans {
+            let change = match d.change {
+                Some(c) => format!("{:+.1}%", c * 100.0),
+                None => "-".to_string(),
+            };
+            let verdict = match d.verdict {
+                SpanVerdict::Ok => {
+                    if d.gated {
+                        format!("ok (gate ≤ +{:.0}%)", d.threshold * 100.0)
+                    } else {
+                        "ok".to_string()
+                    }
+                }
+                SpanVerdict::Regressed => {
+                    format!("REGRESSED (gate ≤ +{:.0}%)", d.threshold * 100.0)
+                }
+                SpanVerdict::MissingInCurrent => "MISSING in current".to_string(),
+                SpanVerdict::NewInCurrent => "new".to_string(),
+            };
+            out.push_str(&format!(
+                "{:<34} {:>12} {:>12} {:>9}  {}\n",
+                d.name,
+                fmt_ns(d.baseline_p50_ns),
+                fmt_ns(d.current_p50_ns),
+                change,
+                verdict
+            ));
+        }
+        out
+    }
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns == 0 {
+        "-".to_string()
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// Compare `current` against `baseline` under `thresholds`.
+pub fn diff_snapshots(
+    baseline: &MetricsSnapshot,
+    current: &MetricsSnapshot,
+    thresholds: &DiffThresholds,
+) -> DiffReport {
+    let mut spans = Vec::new();
+    for b in &baseline.spans {
+        let gated = thresholds.gated.iter().any(|g| g == &b.name);
+        let threshold = thresholds.threshold_for(&b.name);
+        match current.span(&b.name) {
+            Some(c) => {
+                let change = if b.p50_ns > 0 {
+                    Some(c.p50_ns as f64 / b.p50_ns as f64 - 1.0)
+                } else {
+                    None
+                };
+                let noisy = b.p50_ns <= thresholds.min_baseline_ns;
+                let regressed = gated && !noisy && change.is_some_and(|ch| ch > threshold);
+                spans.push(SpanDiff {
+                    name: b.name.clone(),
+                    baseline_p50_ns: b.p50_ns,
+                    current_p50_ns: c.p50_ns,
+                    change,
+                    gated,
+                    threshold,
+                    verdict: if regressed {
+                        SpanVerdict::Regressed
+                    } else {
+                        SpanVerdict::Ok
+                    },
+                });
+            }
+            None => spans.push(SpanDiff {
+                name: b.name.clone(),
+                baseline_p50_ns: b.p50_ns,
+                current_p50_ns: 0,
+                change: None,
+                gated,
+                threshold,
+                verdict: if gated {
+                    SpanVerdict::MissingInCurrent
+                } else {
+                    SpanVerdict::Ok
+                },
+            }),
+        }
+    }
+    for c in &current.spans {
+        if baseline.span(&c.name).is_none() {
+            spans.push(SpanDiff {
+                name: c.name.clone(),
+                baseline_p50_ns: 0,
+                current_p50_ns: c.p50_ns,
+                change: None,
+                gated: false,
+                threshold: thresholds.max_regression,
+                verdict: SpanVerdict::NewInCurrent,
+            });
+        }
+    }
+    DiffReport { spans }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obs::{MetricsSnapshot, SpanSnapshot};
+
+    fn snap(spans: &[(&str, u64)]) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: Vec::new(),
+            gauges: Vec::new(),
+            histograms: Vec::new(),
+            spans: spans
+                .iter()
+                .map(|&(name, p50)| SpanSnapshot {
+                    name: name.to_string(),
+                    count: 10,
+                    total_ns: p50 * 10,
+                    self_ns: p50 * 10,
+                    p50_ns: p50,
+                    p95_ns: p50 * 2,
+                    p99_ns: p50 * 3,
+                })
+                .collect(),
+        }
+    }
+
+    fn gate_on(names: &[&str]) -> DiffThresholds {
+        DiffThresholds {
+            gated: names.iter().map(|s| s.to_string()).collect(),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn within_threshold_passes() {
+        let base = snap(&[("engine.search", 1_000_000)]);
+        let cur = snap(&[("engine.search", 3_500_000)]);
+        let report = diff_snapshots(&base, &cur, &gate_on(&["engine.search"]));
+        assert!(report.passed(), "{}", report.render());
+    }
+
+    #[test]
+    fn past_threshold_fails_only_when_gated() {
+        let base = snap(&[("engine.search", 1_000_000), ("other.span", 1_000_000)]);
+        let cur = snap(&[("engine.search", 9_000_000), ("other.span", 9_000_000)]);
+        let report = diff_snapshots(&base, &cur, &gate_on(&["engine.search"]));
+        assert!(!report.passed());
+        let failures = report.failures();
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].name, "engine.search");
+        assert_eq!(failures[0].verdict, SpanVerdict::Regressed);
+    }
+
+    #[test]
+    fn missing_gated_span_fails() {
+        let base = snap(&[("engine.search", 1_000_000)]);
+        let cur = snap(&[]);
+        let report = diff_snapshots(&base, &cur, &gate_on(&["engine.search"]));
+        assert!(!report.passed());
+        assert_eq!(report.failures()[0].verdict, SpanVerdict::MissingInCurrent);
+    }
+
+    #[test]
+    fn noise_floor_suppresses_tiny_baselines() {
+        // 5µs baseline is below the 10µs floor: a 10× blowup passes.
+        let base = snap(&[("engine.search", 5_000)]);
+        let cur = snap(&[("engine.search", 50_000)]);
+        let report = diff_snapshots(&base, &cur, &gate_on(&["engine.search"]));
+        assert!(report.passed(), "{}", report.render());
+    }
+
+    #[test]
+    fn per_span_override_takes_precedence() {
+        let base = snap(&[("engine.search", 1_000_000)]);
+        let cur = snap(&[("engine.search", 1_500_000)]);
+        let mut t = gate_on(&["engine.search"]);
+        t.per_span.push(("engine.search".to_string(), 0.2));
+        let report = diff_snapshots(&base, &cur, &t);
+        assert!(!report.passed(), "+50% must fail a 20% gate");
+    }
+
+    #[test]
+    fn new_span_in_current_is_informational() {
+        let base = snap(&[]);
+        let cur = snap(&[("brand.new", 1_000_000)]);
+        let report = diff_snapshots(&base, &cur, &DiffThresholds::default());
+        assert!(report.passed());
+        assert_eq!(report.spans[0].verdict, SpanVerdict::NewInCurrent);
+    }
+
+    #[test]
+    fn report_renders_every_span() {
+        let base = snap(&[("a", 1_000), ("b", 2_000_000)]);
+        let cur = snap(&[("b", 2_100_000), ("c", 10)]);
+        let report = diff_snapshots(&base, &cur, &DiffThresholds::default());
+        let text = report.render();
+        for name in ["a", "b", "c"] {
+            assert!(text.contains(name), "missing {name} in:\n{text}");
+        }
+    }
+}

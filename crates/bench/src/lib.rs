@@ -9,8 +9,10 @@
 //! `--terms N`, `--papers N`, `--queries N`, `--seed N`,
 //! `--min-context N` override individual knobs.
 
+pub mod diff;
 pub mod experiments;
 pub mod setup;
 
+pub use diff::{diff_snapshots, DiffReport, DiffThresholds, SpanDiff, SpanVerdict};
 pub use experiments::*;
 pub use setup::{ExpConfig, Setup};

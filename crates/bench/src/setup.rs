@@ -29,6 +29,9 @@ pub struct ExpConfig {
     pub levels: Vec<u32>,
     /// Top-k percentages for the overlap figure.
     pub k_pcts: Vec<f64>,
+    /// When set, `run_all` captures one Chrome-format trace per
+    /// experiment into this directory (`<dir>/<experiment>.json`).
+    pub trace_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for ExpConfig {
@@ -42,13 +45,15 @@ impl Default for ExpConfig {
             thresholds: (0..=10).map(|i| i as f64 * 0.05).collect(),
             levels: vec![3, 5, 7],
             k_pcts: vec![0.05, 0.10, 0.15, 0.20],
+            trace_dir: None,
         }
     }
 }
 
 impl ExpConfig {
     /// Parse CLI args: `--paper-scale`, `--terms N`, `--papers N`,
-    /// `--queries N`, `--seed N`, `--min-context N`, `--quick`.
+    /// `--queries N`, `--seed N`, `--min-context N`, `--quick`,
+    /// `--trace-dir DIR`.
     pub fn from_args() -> Self {
         let mut cfg = Self::default();
         let args: Vec<String> = std::env::args().collect();
@@ -85,6 +90,10 @@ impl ExpConfig {
                 "--min-context" => {
                     i += 1;
                     cfg.min_context_size = args[i].parse().expect("--min-context N");
+                }
+                "--trace-dir" => {
+                    i += 1;
+                    cfg.trace_dir = Some(std::path::PathBuf::from(&args[i]));
                 }
                 other => panic!("unknown flag {other}"),
             }

@@ -66,6 +66,17 @@ fn context_pagerank(
         "prestige.context_pagerank.converged_contexts",
         result.converged as u64,
     );
+    if obs::trace_enabled() {
+        obs::trace_instant(
+            "prestige.context",
+            vec![
+                ("context".to_string(), context.index().into()),
+                ("members".to_string(), members.len().into()),
+                ("iterations".to_string(), (result.iterations as u64).into()),
+                ("converged".to_string(), result.converged.into()),
+            ],
+        );
+    }
     let n = node_map.len() as f64;
     node_map
         .into_iter()

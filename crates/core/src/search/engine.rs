@@ -136,6 +136,17 @@ impl ContextSearchEngine {
         propagate: bool,
     ) -> PrestigeScores {
         let _span = obs::span("engine.prestige");
+        if obs::trace_enabled() {
+            obs::trace_instant(
+                "prestige.compute",
+                vec![
+                    ("function".to_string(), format!("{function:?}").into()),
+                    ("n_contexts".to_string(), sets.n_contexts().into()),
+                    ("simplified".to_string(), simplified.into()),
+                    ("propagate".to_string(), propagate.into()),
+                ],
+            );
+        }
         let mut scores = match function {
             ScoreFunction::Citation => {
                 let _s = obs::span("prestige.citation");
@@ -170,7 +181,33 @@ impl ContextSearchEngine {
     pub fn select_contexts(&self, query: &str, sets: &ContextPaperSets) -> Vec<(ContextId, f64)> {
         let _span = obs::span("search.select_contexts");
         let tokens = self.corpus.analyze_known(query);
-        select_contexts(&tokens, &self.index, sets, &self.config.selection)
+        let selected = select_contexts(&tokens, &self.index, sets, &self.config.selection);
+        if obs::trace_enabled() {
+            obs::trace_instant(
+                "search.contexts_selected",
+                vec![
+                    ("query_tokens".to_string(), tokens.len().into()),
+                    ("n_selected".to_string(), selected.len().into()),
+                ],
+            );
+            for (rank, &(c, score)) in selected.iter().enumerate() {
+                obs::trace_instant(
+                    "search.context",
+                    vec![
+                        ("rank".to_string(), (rank + 1).into()),
+                        ("context".to_string(), c.index().into()),
+                        (
+                            "name".to_string(),
+                            self.ontology.term(c).name.as_str().into(),
+                        ),
+                        ("level".to_string(), self.ontology.level(c).into()),
+                        ("match_score".to_string(), score.into()),
+                        ("members".to_string(), sets.members(c).len().into()),
+                    ],
+                );
+            }
+        }
+        selected
     }
 
     /// Tasks 4 + 5: search within the selected contexts and rank by
@@ -185,20 +222,40 @@ impl ContextSearchEngine {
     ) -> Vec<SearchResult> {
         let _span = obs::span("engine.search");
         obs::counter("engine.queries", 1);
+        let tracing = obs::trace_enabled();
+        if tracing {
+            obs::trace_instant(
+                "search.query",
+                vec![
+                    ("query".to_string(), query.into()),
+                    ("limit".to_string(), limit.into()),
+                ],
+            );
+        }
         let qvec = self.index.query_vector(&self.corpus, query);
         let contexts = self.select_contexts(query, sets);
         let matching: HashMap<PaperId, f64> = {
             let _s = obs::span("search.keyword_match");
             self.index.keyword_search(&qvec, 0.0).into_iter().collect()
         };
+        if tracing {
+            obs::trace_instant(
+                "search.keyword_candidates",
+                vec![("matched_papers".to_string(), matching.len().into())],
+            );
+        }
 
         let _scoring = obs::span("search.relevancy");
         let mut best: HashMap<PaperId, SearchResult> = HashMap::new();
+        let mut scored_pairs = 0u64;
         for (context, _ctx_score) in contexts {
             for &(paper, pscore) in prestige.scores(context) {
                 let Some(&m) = matching.get(&paper) else {
                     continue; // no text match at all → not in the output
                 };
+                if tracing {
+                    scored_pairs += 1;
+                }
                 let r = relevancy(pscore, m, &self.config.relevancy);
                 let candidate = SearchResult {
                     paper,
@@ -223,12 +280,54 @@ impl ContextSearchEngine {
                 .unwrap_or(std::cmp::Ordering::Equal)
                 .then(a.paper.cmp(&b.paper))
         });
+        if tracing {
+            obs::trace_instant(
+                "search.relevancy_candidates",
+                vec![
+                    ("scored_pairs".to_string(), scored_pairs.into()),
+                    ("distinct_papers".to_string(), out.len().into()),
+                ],
+            );
+        }
         if limit > 0 {
             out.truncate(limit);
         }
         drop(_scoring);
+        if tracing {
+            self.trace_explain_hits(&out);
+        }
         obs::observe_ns("engine.search.results", out.len() as u64);
         out
+    }
+
+    /// Emit one `explain.hit` instant per top result: the context that
+    /// won, both relevancy components with their weights, and the
+    /// context's place in the hierarchy — the per-query evidence behind
+    /// the paper's precision/separability numbers.
+    fn trace_explain_hits(&self, hits: &[SearchResult]) {
+        const EXPLAIN_TOP_K: usize = 10;
+        let w = &self.config.relevancy;
+        for (rank, h) in hits.iter().take(EXPLAIN_TOP_K).enumerate() {
+            let term = self.ontology.term(h.context);
+            obs::trace_instant(
+                "explain.hit",
+                vec![
+                    ("rank".to_string(), (rank + 1).into()),
+                    ("paper".to_string(), h.paper.index().into()),
+                    ("relevancy".to_string(), h.relevancy.into()),
+                    ("prestige".to_string(), h.prestige.into()),
+                    ("matching".to_string(), h.matching.into()),
+                    ("w_prestige".to_string(), w.prestige.into()),
+                    ("w_matching".to_string(), w.matching.into()),
+                    ("context".to_string(), h.context.index().into()),
+                    ("context_name".to_string(), term.name.as_str().into()),
+                    (
+                        "context_level".to_string(),
+                        self.ontology.level(h.context).into(),
+                    ),
+                ],
+            );
+        }
     }
 
     /// The PubMed-style keyword-search baseline over the whole corpus.

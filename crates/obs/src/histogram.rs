@@ -95,12 +95,20 @@ impl Histogram {
         }
     }
 
-    /// Approximate quantile `q` in `[0, 1]`: the representative value of
-    /// the bucket containing the `ceil(q·count)`-th smallest sample,
-    /// clamped to the observed min/max so q=0/q=1 are exact.
+    /// Approximate quantile `q`: the representative value of the bucket
+    /// containing the `ceil(q·count)`-th smallest sample, clamped to
+    /// the observed min/max so q=0/q=1 are exact. Out-of-range inputs
+    /// clamp rather than misbehave: `q ≤ 0` (and NaN) → min, `q ≥ 1` →
+    /// max, empty histogram → 0.
     pub fn quantile(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
+        }
+        if q.is_nan() || q <= 0.0 {
+            return self.min;
+        }
+        if q >= 1.0 {
+            return self.max;
         }
         let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
         if rank == 1 {
@@ -125,7 +133,10 @@ impl Histogram {
         self.max
     }
 
-    /// Merge another histogram into this one.
+    /// Merge another histogram into this one. `min`/`max` stay exact:
+    /// an empty side contributes nothing (its zeroed extremes are never
+    /// mixed in), and two non-empty sides take the true elementwise
+    /// extremes.
     pub fn merge(&mut self, other: &Histogram) {
         if other.count == 0 {
             return;
@@ -175,6 +186,51 @@ mod tests {
         }
         assert_eq!(h.quantile(0.0), 1);
         assert_eq!(h.quantile(1.0), 10_000);
+    }
+
+    #[test]
+    fn quantile_clamps_out_of_range_q() {
+        let mut h = Histogram::new();
+        for v in [10u64, 20, 30] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(-1.0), 10);
+        assert_eq!(h.quantile(0.0), 10);
+        assert_eq!(h.quantile(1.0), 30);
+        assert_eq!(h.quantile(2.0), 30);
+        assert_eq!(h.quantile(f64::NAN), 10);
+        assert_eq!(h.quantile(f64::INFINITY), 30);
+        assert_eq!(h.quantile(f64::NEG_INFINITY), 10);
+        // Empty histogram: every quantile is 0, no panic.
+        let empty = Histogram::new();
+        for q in [-1.0, 0.0, 0.5, 1.0, 2.0, f64::NAN] {
+            assert_eq!(empty.quantile(q), 0);
+        }
+    }
+
+    #[test]
+    fn merge_preserves_exact_min_max() {
+        let mut a = Histogram::new();
+        for v in [500u64, 900] {
+            a.record(v);
+        }
+        let mut b = Histogram::new();
+        for v in [3u64, 1_000_000] {
+            b.record(v);
+        }
+        a.merge(&b);
+        assert_eq!((a.min(), a.max(), a.count()), (3, 1_000_000, 4));
+
+        // Merging an empty histogram must not drag min toward 0.
+        let before = (a.min(), a.max(), a.count());
+        a.merge(&Histogram::new());
+        assert_eq!((a.min(), a.max(), a.count()), before);
+
+        // Merging into an empty histogram adopts the source exactly.
+        let mut empty = Histogram::new();
+        empty.merge(&a);
+        assert_eq!((empty.min(), empty.max(), empty.count()), before);
+        assert_eq!(empty.sum(), a.sum());
     }
 
     #[test]

@@ -18,6 +18,12 @@
 //! site when telemetry is disabled. Call [`enable`] (the CLI and bench
 //! binaries do this when metrics output is requested), then [`snapshot`]
 //! to export a [`MetricsSnapshot`] as JSON or markdown.
+//!
+//! The [`trace`] module adds the orthogonal per-request view: when a
+//! trace is active ([`trace_start`]), every [`span`] additionally emits
+//! individual begin/end events into a bounded sink, and instrumented
+//! code can attach typed attributes with [`trace_instant`] — exported
+//! as JSONL or Chrome trace format (see [`TraceData`]).
 
 use std::cell::RefCell;
 use std::collections::BTreeMap;
@@ -28,10 +34,14 @@ use parking_lot::Mutex;
 
 mod histogram;
 mod snapshot;
+pub mod trace;
 
 pub use histogram::Histogram;
 pub use snapshot::{
     CounterSnapshot, GaugeSnapshot, HistogramSnapshot, MetricsSnapshot, SpanSnapshot,
+};
+pub use trace::{
+    AttrValue, SummaryNode, TraceData, TraceEvent, TraceId, TracePhase, TraceSummary, Tracer,
 };
 
 /// Aggregated timing state for one span name.
@@ -264,6 +274,43 @@ pub fn write_json(path: &std::path::Path) -> std::io::Result<()> {
     std::fs::write(path, snapshot().to_json())
 }
 
+// ---------------------------------------------------------------------
+// Per-request tracing (free functions over trace::global())
+// ---------------------------------------------------------------------
+
+/// Start a new per-request trace with the default event capacity;
+/// returns its process-unique id. Every subsequent [`span`] emits
+/// begin/end events until [`trace_finish`] is called.
+pub fn trace_start() -> TraceId {
+    trace::global().start(trace::DEFAULT_CAPACITY)
+}
+
+/// Start a new trace bounded to `capacity` events.
+pub fn trace_start_with_capacity(capacity: usize) -> TraceId {
+    trace::global().start(capacity)
+}
+
+/// Stop tracing and drain the recorded events (`None` when no trace
+/// was in progress).
+pub fn trace_finish() -> Option<TraceData> {
+    trace::global().finish()
+}
+
+/// Whether a trace is currently collecting. Guard attribute
+/// construction with this so disabled tracing costs one relaxed load.
+#[inline]
+pub fn trace_enabled() -> bool {
+    trace::global().is_enabled()
+}
+
+/// Emit an instant event with typed attributes into the active trace
+/// (no-op when tracing is off). Attribute values convert via `Into`:
+/// `("rank", 3usize.into())`, `("context", name.into())`.
+#[inline]
+pub fn trace_instant(name: &str, attrs: Vec<(String, AttrValue)>) {
+    trace::global().record(trace::TracePhase::Instant, name, attrs);
+}
+
 // Per-thread stack of child-time accumulators for open spans. Pushed on
 // span start, popped on drop; the popped total flows into the parent's
 // accumulator so self-time = elapsed − child time.
@@ -272,8 +319,9 @@ thread_local! {
 }
 
 /// RAII timer over the global registry: records duration (and
-/// parent/child attribution) for `name` when dropped. A no-op when
-/// collection was disabled at construction.
+/// parent/child attribution) for `name` when dropped, and emits
+/// begin/end events into the active trace. A no-op when both metrics
+/// and tracing were disabled at construction.
 #[must_use = "a span measures the scope it is alive in"]
 pub struct Span {
     inner: Option<SpanInner>,
@@ -282,19 +330,35 @@ pub struct Span {
 struct SpanInner {
     name: &'static str,
     start: Instant,
+    /// Metrics were enabled at construction (span-stack entry pushed).
+    metrics: bool,
+    /// A trace begin event was emitted and awaits its end event.
+    traced: bool,
 }
 
 /// Open a span named `name` (dotted `stage.substage` convention).
+/// Bind the guard (`let _span = obs::span(...)`) — `let _ = ...` drops
+/// it immediately and records a zero-length span.
+#[must_use = "bind the guard; `let _ = obs::span(..)` drops it immediately"]
 #[inline]
 pub fn span(name: &'static str) -> Span {
-    if !enabled() {
+    let metrics = enabled();
+    let traced = trace_enabled();
+    if !metrics && !traced {
         return Span { inner: None };
     }
-    SPAN_STACK.with(|s| s.borrow_mut().push(0));
+    if metrics {
+        SPAN_STACK.with(|s| s.borrow_mut().push(0));
+    }
+    if traced {
+        trace::global().record(trace::TracePhase::Begin, name, Vec::new());
+    }
     Span {
         inner: Some(SpanInner {
             name,
             start: Instant::now(),
+            metrics,
+            traced,
         }),
     }
 }
@@ -302,6 +366,12 @@ pub fn span(name: &'static str) -> Span {
 impl Drop for Span {
     fn drop(&mut self) {
         if let Some(inner) = self.inner.take() {
+            if inner.traced {
+                trace::global().record(trace::TracePhase::End, inner.name, Vec::new());
+            }
+            if !inner.metrics {
+                return;
+            }
             let total_ns = inner.start.elapsed().as_nanos() as u64;
             let child_ns = SPAN_STACK.with(|s| {
                 let mut stack = s.borrow_mut();

@@ -1,0 +1,66 @@
+//! Property tests for the log-scale histogram: quantiles are monotone
+//! in `q`, bounded by the exact `[min, max]`, and `merge` behaves like
+//! recording the concatenation of both sample sets.
+
+use obs::Histogram;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn quantile_is_monotone_in_q_and_bounded(
+        values in proptest::collection::vec(0u64..2_000_000, 1..200),
+        qs in proptest::collection::vec(-0.5f64..1.5, 2..20),
+    ) {
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let lo = *values.iter().min().unwrap();
+        let hi = *values.iter().max().unwrap();
+        prop_assert_eq!(h.min(), lo);
+        prop_assert_eq!(h.max(), hi);
+
+        let mut sorted = qs.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut prev = None;
+        for &q in &sorted {
+            let v = h.quantile(q);
+            prop_assert!(v >= lo && v <= hi, "q={} -> {} outside [{}, {}]", q, v, lo, hi);
+            if let Some(p) = prev {
+                prop_assert!(v >= p, "quantile not monotone: q={} gave {} after {}", q, v, p);
+            }
+            prev = Some(v);
+        }
+        prop_assert_eq!(h.quantile(0.0), lo);
+        prop_assert_eq!(h.quantile(1.0), hi);
+    }
+
+    #[test]
+    fn merge_equals_recording_the_union(
+        a in proptest::collection::vec(0u64..1_000_000, 0..100),
+        b in proptest::collection::vec(0u64..1_000_000, 0..100),
+    ) {
+        let mut ha = Histogram::new();
+        for &v in &a {
+            ha.record(v);
+        }
+        let mut hb = Histogram::new();
+        for &v in &b {
+            hb.record(v);
+        }
+        let mut union = Histogram::new();
+        for &v in a.iter().chain(&b) {
+            union.record(v);
+        }
+        ha.merge(&hb);
+        prop_assert_eq!(ha.count(), union.count());
+        prop_assert_eq!(ha.sum(), union.sum());
+        prop_assert_eq!(ha.min(), union.min());
+        prop_assert_eq!(ha.max(), union.max());
+        for q in [0.0, 0.25, 0.5, 0.9, 1.0] {
+            prop_assert_eq!(ha.quantile(q), union.quantile(q), "q={}", q);
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Integration tests of the tracing public API: span guards emitting
+//! begin/end events into the global sink, instants with attributes,
+//! exporters, and the interaction with the metrics registry.
+
+use std::sync::Mutex;
+
+/// Tests drive the process-global tracer; they must not interleave.
+static GLOBAL_STATE: Mutex<()> = Mutex::new(());
+
+#[test]
+fn spans_emit_balanced_begin_end_events() {
+    let _guard = GLOBAL_STATE.lock().unwrap();
+    obs::disable();
+    let id = obs::trace_start();
+    {
+        let _outer = obs::span("tracetest.outer");
+        let _inner = obs::span("tracetest.inner");
+    }
+    let data = obs::trace_finish().expect("trace active");
+    assert_eq!(data.trace_id, id);
+    let phases: Vec<(obs::TracePhase, &str)> = data
+        .events
+        .iter()
+        .map(|e| (e.phase, e.name.as_str()))
+        .collect();
+    assert_eq!(
+        phases,
+        vec![
+            (obs::TracePhase::Begin, "tracetest.outer"),
+            (obs::TracePhase::Begin, "tracetest.inner"),
+            (obs::TracePhase::End, "tracetest.inner"),
+            (obs::TracePhase::End, "tracetest.outer"),
+        ]
+    );
+}
+
+#[test]
+fn tracing_works_without_metrics_and_vice_versa() {
+    let _guard = GLOBAL_STATE.lock().unwrap();
+    // Tracing on, metrics off: events recorded, registry untouched.
+    obs::disable();
+    obs::reset();
+    obs::trace_start();
+    {
+        let _s = obs::span("tracemix.only_traced");
+    }
+    let data = obs::trace_finish().unwrap();
+    assert_eq!(data.events.len(), 2);
+    obs::enable();
+    assert!(obs::snapshot().span("tracemix.only_traced").is_none());
+
+    // Metrics on, tracing off: registry records, no trace exists.
+    {
+        let _s = obs::span("tracemix.only_metered");
+    }
+    obs::disable();
+    assert!(obs::snapshot().span("tracemix.only_metered").is_some());
+    assert!(obs::trace_finish().is_none());
+    obs::reset();
+}
+
+#[test]
+fn instants_carry_attributes_into_chrome_export() {
+    let _guard = GLOBAL_STATE.lock().unwrap();
+    obs::trace_start();
+    if obs::trace_enabled() {
+        obs::trace_instant(
+            "explain.hit",
+            vec![
+                ("rank".to_string(), 1usize.into()),
+                ("context".to_string(), "signal transduction".into()),
+                ("relevancy".to_string(), 0.8125f64.into()),
+            ],
+        );
+    }
+    let data = obs::trace_finish().unwrap();
+    let chrome = data.to_chrome_json();
+    let back = obs::TraceData::from_chrome_json(&chrome).expect("chrome export parses");
+    let hit = &back.events[0];
+    assert_eq!(hit.name, "explain.hit");
+    assert_eq!(hit.phase, obs::TracePhase::Instant);
+    assert!(hit
+        .attrs
+        .iter()
+        .any(|(k, v)| k == "context" && *v == obs::AttrValue::Str("signal transduction".into())));
+    assert!(hit
+        .attrs
+        .iter()
+        .any(|(k, v)| k == "relevancy" && *v == obs::AttrValue::F64(0.8125)));
+}
+
+#[test]
+fn concurrent_threads_get_distinct_tids_and_lose_no_events() {
+    let _guard = GLOBAL_STATE.lock().unwrap();
+    obs::trace_start();
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            scope.spawn(|| {
+                for _ in 0..50 {
+                    let _s = obs::span("tracepar.work");
+                }
+            });
+        }
+    });
+    let data = obs::trace_finish().unwrap();
+    assert_eq!(data.events.len(), 4 * 50 * 2);
+    assert_eq!(data.dropped, 0);
+    let tids: std::collections::HashSet<u64> = data.events.iter().map(|e| e.tid).collect();
+    assert_eq!(tids.len(), 4, "one tid per worker thread");
+    // Per tid, begins and ends balance.
+    for tid in tids {
+        let (b, e) = data
+            .events
+            .iter()
+            .filter(|ev| ev.tid == tid)
+            .fold((0, 0), |(b, e), ev| match ev.phase {
+                obs::TracePhase::Begin => (b + 1, e),
+                obs::TracePhase::End => (b, e + 1),
+                obs::TracePhase::Instant => (b, e),
+            });
+        assert_eq!(b, e, "balanced events on tid {tid}");
+    }
+    let summary = data.summary();
+    let node = summary.find("tracepar.work").expect("aggregated");
+    assert_eq!(node.count, 200);
+}
+
+#[test]
+fn successive_traces_have_distinct_ids() {
+    let _guard = GLOBAL_STATE.lock().unwrap();
+    let a = obs::trace_start();
+    let _ = obs::trace_finish();
+    let b = obs::trace_start();
+    let _ = obs::trace_finish();
+    assert_ne!(a, b);
+}

@@ -47,12 +47,22 @@ fn main() -> ExitCode {
     if metrics_path.is_some() {
         obs::enable();
     }
+    // Global flags: `--trace PATH` (Chrome trace format, loadable in
+    // Perfetto / chrome://tracing) and `--trace-jsonl PATH` (one event
+    // per line) capture per-query explain traces for any command.
+    let trace_path = flags.get("trace").map(PathBuf::from);
+    let trace_jsonl_path = flags.get("trace-jsonl").map(PathBuf::from);
+    if trace_path.is_some() || trace_jsonl_path.is_some() {
+        let id = obs::trace_start();
+        eprintln!("tracing enabled (trace id {id})");
+    }
     let result = match command.as_str() {
         "generate" => cmd_generate(&flags),
         "assign" => cmd_assign(&flags),
         "prestige" => cmd_prestige(&flags),
         "search" => cmd_search(&flags),
         "stats" => cmd_stats(&flags),
+        "trace" => cmd_trace(&flags),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -68,6 +78,36 @@ fn main() -> ExitCode {
                 }
                 eprintln!("metrics written to {}", path.display());
             }
+            if trace_path.is_some() || trace_jsonl_path.is_some() {
+                let Some(data) = obs::trace_finish() else {
+                    eprintln!("error: trace was started but no data collected");
+                    return ExitCode::FAILURE;
+                };
+                if data.dropped > 0 {
+                    eprintln!(
+                        "warning: trace buffer overflowed, {} event(s) dropped",
+                        data.dropped
+                    );
+                }
+                for (path, chrome) in [(&trace_path, true), (&trace_jsonl_path, false)] {
+                    let Some(path) = path else { continue };
+                    let res = if chrome {
+                        data.write_chrome(path)
+                    } else {
+                        data.write_jsonl(path)
+                    };
+                    if let Err(e) = res {
+                        eprintln!("error: cannot write trace to {}: {e}", path.display());
+                        return ExitCode::FAILURE;
+                    }
+                    eprintln!(
+                        "trace {} ({} events) written to {}",
+                        data.trace_id,
+                        data.events.len(),
+                        path.display()
+                    );
+                }
+            }
             ExitCode::SUCCESS
         }
         Err(e) => {
@@ -75,6 +115,17 @@ fn main() -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// `litsearch trace --file PATH`: summarize a previously captured
+/// Chrome-format trace into a per-span self-time tree.
+fn cmd_trace(flags: &Flags) -> Result<(), String> {
+    let path = flags.require("file")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let data = obs::TraceData::from_chrome_json(&text)
+        .map_err(|e| format!("{path} is not a Chrome trace: {e}"))?;
+    print!("{}", data.summary().render());
+    Ok(())
 }
 
 const USAGE: &str = "\
@@ -87,12 +138,20 @@ USAGE:
   litsearch search   --data DIR --kind text|pattern --function citation|text|pattern
                      --query TEXT [--limit N] [--repeat N]
   litsearch stats    --data DIR
+  litsearch trace    --file PATH
   litsearch help
 
 Any command also accepts `--metrics PATH`: collect telemetry (spans,
 counters, latency histograms) and write a JSON snapshot to PATH.
 `search --repeat N` re-runs the query N times so the snapshot carries
-p50/p95/p99 latency percentiles per pipeline stage.";
+p50/p95/p99 latency percentiles per pipeline stage.
+
+Any command also accepts `--trace PATH` (Chrome trace format, open in
+Perfetto or chrome://tracing) and/or `--trace-jsonl PATH` (one event
+per line): capture begin/end span events plus explain instants — the
+selected contexts, candidate counts per stage, and per-function score
+components for the top results. `litsearch trace --file PATH` prints
+a self-time tree summarizing a captured Chrome trace.";
 
 /// Minimal `--flag value` parser (no external dependencies).
 struct Flags {

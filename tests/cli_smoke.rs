@@ -201,6 +201,129 @@ fn metrics_flag_writes_telemetry_snapshots() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// `--trace <path>` writes a valid Chrome-trace JSON file: balanced
+/// begin/end events per thread, a stable trace ID across the file and
+/// the CLI announcement, and the explain instants of the query path.
+/// `litsearch trace --file <path>` then summarizes it.
+#[test]
+fn trace_flag_writes_chrome_trace() {
+    let dir = std::env::temp_dir().join(format!("litsearch_trace_test_{}", std::process::id()));
+    let data = dir.to_str().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    for args in [
+        vec![
+            "generate", "--out", data, "--terms", "60", "--papers", "120", "--seed", "7",
+        ],
+        vec!["assign", "--data", data, "--kind", "pattern"],
+        vec![
+            "prestige",
+            "--data",
+            data,
+            "--kind",
+            "pattern",
+            "--function",
+            "citation",
+        ],
+    ] {
+        let out = litsearch(&args);
+        assert!(
+            out.status.success(),
+            "{:?}: {}",
+            args[0],
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+
+    let trace_path = dir.join("trace.json");
+    let jsonl_path = dir.join("trace.jsonl");
+    let out = litsearch(&[
+        "search",
+        "--data",
+        data,
+        "--kind",
+        "pattern",
+        "--function",
+        "citation",
+        "--query",
+        "biological process",
+        "--limit",
+        "3",
+        "--trace",
+        trace_path.to_str().unwrap(),
+        "--trace-jsonl",
+        jsonl_path.to_str().unwrap(),
+    ]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "search: {stderr}");
+
+    // The announced trace ID is the one in the file.
+    let announced = stderr
+        .lines()
+        .find_map(|l| l.strip_prefix("tracing enabled (trace id "))
+        .and_then(|rest| rest.strip_suffix(')'))
+        .expect("CLI announces the trace id");
+    let text = std::fs::read_to_string(&trace_path).expect("trace file written");
+    let data = obs::TraceData::from_chrome_json(&text).expect("valid Chrome trace JSON");
+    assert_eq!(data.trace_id.to_string(), announced, "stable trace id");
+    assert_eq!(data.dropped, 0);
+    assert!(!data.events.is_empty());
+
+    // Begin/end events balance per thread, and ends never precede
+    // their begins (a stack suffices because events are in order).
+    let tids: std::collections::HashSet<u64> = data.events.iter().map(|e| e.tid).collect();
+    for tid in tids {
+        let mut depth = 0i64;
+        for e in data.events.iter().filter(|e| e.tid == tid) {
+            match e.phase {
+                obs::TracePhase::Begin => depth += 1,
+                obs::TracePhase::End => {
+                    depth -= 1;
+                    assert!(depth >= 0, "unbalanced end on tid {tid}");
+                }
+                obs::TracePhase::Instant => {}
+            }
+        }
+        assert_eq!(depth, 0, "unclosed spans on tid {tid}");
+    }
+
+    // The query path and its explain instants are in the trace.
+    for name in [
+        "engine.search",
+        "search.keyword_match",
+        "search.contexts_selected",
+        "search.keyword_candidates",
+        "search.relevancy_candidates",
+    ] {
+        assert!(
+            data.events.iter().any(|e| e.name == name),
+            "missing {name} in trace"
+        );
+    }
+
+    // Every JSONL line is an object carrying the same trace id.
+    let jsonl = std::fs::read_to_string(&jsonl_path).expect("jsonl written");
+    for line in jsonl.lines() {
+        assert!(
+            line.contains(announced),
+            "jsonl line lost the trace id: {line}"
+        );
+    }
+
+    // The summary subcommand renders a self-time tree from the file.
+    let out = litsearch(&["trace", "--file", trace_path.to_str().unwrap()]);
+    assert!(
+        out.status.success(),
+        "trace summary: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("engine.search"), "{stdout}");
+    assert!(stdout.contains(announced), "{stdout}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn helpful_errors_for_bad_usage() {
     // Unknown command.
