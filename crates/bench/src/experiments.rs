@@ -19,7 +19,7 @@ fn run_query(
     query: &str,
 ) -> Vec<(u32, f64)> {
     setup
-        .engine
+        .searcher
         .search(query, sets, prestige, 0)
         .into_iter()
         .map(|h| (h.paper.0, h.relevancy))
@@ -36,7 +36,7 @@ fn precision_curves(
     let mut per_query: Vec<Vec<f64>> = Vec::new();
     for q in &setup.queries {
         let truth: HashSet<u32> = setup
-            .engine
+            .searcher
             .ac_answer_set(&q.text)
             .into_iter()
             .map(|p| p.0)
@@ -333,7 +333,7 @@ pub fn baseline_vs_context(setup: &Setup) -> Vec<Table> {
     let (mut kw_rec, mut ctx_rec) = (Vec::new(), Vec::new());
     for q in &setup.queries {
         let truth: HashSet<u32> = setup
-            .engine
+            .searcher
             .ac_answer_set(&q.text)
             .into_iter()
             .map(|p| p.0)
@@ -342,7 +342,7 @@ pub fn baseline_vs_context(setup: &Setup) -> Vec<Table> {
             continue;
         }
         let kw: HashSet<u32> = setup
-            .engine
+            .searcher
             .keyword_search(&q.text, 0.10)
             .into_iter()
             .map(|(p, _)| p.0)
@@ -351,7 +351,7 @@ pub fn baseline_vs_context(setup: &Setup) -> Vec<Table> {
         // additionally restricted to members of the selected contexts,
         // which is where the output-size reduction comes from (§1).
         let ctx: HashSet<u32> = setup
-            .engine
+            .searcher
             .search(&q.text, &setup.pattern_sets, &setup.pattern_on_pattern, 0)
             .into_iter()
             .filter(|h| h.matching > 0.10)
@@ -386,7 +386,7 @@ pub fn baseline_vs_context(setup: &Setup) -> Vec<Table> {
 /// — the paper's "citation graphs are sparse within those contexts"
 /// and "as we drill down, citation graph sparseness increases".
 pub fn sparsity_analysis(setup: &Setup) -> Vec<Table> {
-    let engine = &setup.engine;
+    let engine = &setup.searcher;
     let mut t = Table::new(
         "Sparsity — within-context citation graphs per level",
         &[
@@ -440,7 +440,7 @@ pub fn sparsity_analysis(setup: &Setup) -> Vec<Table> {
 /// of the same hits via assignment membership.
 pub fn related_gopubmed(setup: &Setup) -> Vec<Table> {
     use context_search::search::gopubmed::gopubmed_search;
-    let engine = &setup.engine;
+    let engine = &setup.searcher;
     let mut coverages = Vec::new();
     let mut specific_coverages = Vec::new();
     let mut n_categories = Vec::new();
@@ -508,7 +508,7 @@ pub fn related_gopubmed(setup: &Setup) -> Vec<Table> {
 /// Ablations over the design choices DESIGN.md calls out.
 pub fn ablations(setup: &Setup) -> Vec<Table> {
     let mut tables = Vec::new();
-    let engine = &setup.engine;
+    let engine = &setup.searcher;
     let population = setup
         .pattern_sets
         .contexts_with_min_size(setup.config.min_context_size);
@@ -731,8 +731,8 @@ pub fn ablations(setup: &Setup) -> Vec<Table> {
 /// Descriptive statistics of the generated testbed (provenance for
 /// EXPERIMENTS.md).
 pub fn testbed_stats(setup: &Setup) -> Vec<Table> {
-    let stats = corpus::stats::CorpusStats::compute(setup.engine.corpus());
-    let onto = setup.engine.ontology();
+    let stats = corpus::stats::CorpusStats::compute(setup.searcher.corpus());
+    let onto = setup.searcher.ontology();
     let mut t = Table::new("Testbed statistics", &["metric", "value"]);
     let rows: Vec<(&str, String)> = vec![
         ("ontology terms", onto.len().to_string()),

@@ -2,7 +2,8 @@
 //! binary starts from.
 
 use context_search::{
-    ContextPaperSets, ContextSearchEngine, EngineConfig, PrestigeScores, ScoreFunction,
+    ContextPaperSets, ContextSetKind, EngineConfig, EngineSnapshot, PrestigeScores, ScoreFunction,
+    Searcher,
 };
 use corpus::queries::{generate_queries, EvalQuery, QueryConfig};
 use corpus::{generate_corpus, CorpusConfig};
@@ -103,13 +104,15 @@ impl ExpConfig {
     }
 }
 
-/// Fully prepared experiment state: engine, both §4 context paper sets,
-/// prestige under every function, and the evaluation queries.
+/// Fully prepared experiment state: a lock-free [`Searcher`] over the
+/// prepared snapshot, both §4 context paper sets, prestige under every
+/// function, and the evaluation queries.
 pub struct Setup {
     /// The configuration used.
     pub config: ExpConfig,
-    /// The engine (owns ontology + corpus + indexes).
-    pub engine: ContextSearchEngine,
+    /// Lock-free query handle over the prepared snapshot (which owns
+    /// ontology + corpus + indexes + all prepared tables).
+    pub searcher: Searcher,
     /// Text-based context paper set (§4).
     pub text_sets: ContextPaperSets,
     /// Pattern-based context paper set (§4).
@@ -153,46 +156,37 @@ impl Setup {
             t0.elapsed()
         ));
 
+        // The whole offline phase runs as one prepare plan: indexes,
+        // both paper sets, pattern mining, and the five standard
+        // prestige tables (including the Fig 5.3 representative-injected
+        // text-on-pattern pair), with independent stages scheduled
+        // concurrently under `build_threads`.
         let t = Instant::now();
-        let engine = ContextSearchEngine::build(onto, corp, EngineConfig::default());
-        obs::progress(&format!("[setup] engine (indexes) in {:.1?}", t.elapsed()));
-
-        let t = Instant::now();
-        let text_sets = engine.text_context_sets();
+        let snapshot = EngineSnapshot::prepare(onto, corp, EngineConfig::default());
+        let text_sets = snapshot.sets(ContextSetKind::TextBased).clone();
+        let pattern_sets = snapshot.sets(ContextSetKind::PatternBased).clone();
         obs::progress(&format!(
-            "[setup] text-based paper set: {} contexts in {:.1?}",
+            "[setup] prepared snapshot ({} text / {} pattern contexts, {} prestige tables) in {:.1?}",
             text_sets.n_contexts(),
-            t.elapsed()
-        ));
-        let t = Instant::now();
-        let pattern_sets = engine.pattern_context_sets();
-        obs::progress(&format!(
-            "[setup] pattern-based paper set: {} contexts in {:.1?}",
             pattern_sets.n_contexts(),
+            snapshot.pairs().len(),
             t.elapsed()
         ));
-
-        let t = Instant::now();
-        let text_on_text = engine.prestige(&text_sets, ScoreFunction::Text);
-        let citation_on_text = engine.prestige(&text_sets, ScoreFunction::Citation);
-        let pattern_on_pattern = engine.prestige(&pattern_sets, ScoreFunction::Pattern);
-        let citation_on_pattern = engine.prestige(&pattern_sets, ScoreFunction::Citation);
-        // Text scores over the pattern-based set: inject the text set's
-        // representatives (paper: text scores exist only for the ~5,632
-        // contexts with representatives).
-        let text_on_pattern = {
-            let mut sets = pattern_sets.clone();
-            sets.representatives = text_sets.representatives.clone();
-            engine.prestige(&sets, ScoreFunction::Text)
+        let table = |kind, function| {
+            snapshot
+                .prestige(kind, function)
+                .expect("default prepare builds all five tables")
+                .clone()
         };
-        obs::progress(&format!(
-            "[setup] prestige (5 score sets) in {:.1?}",
-            t.elapsed()
-        ));
+        let text_on_text = table(ContextSetKind::TextBased, ScoreFunction::Text);
+        let citation_on_text = table(ContextSetKind::TextBased, ScoreFunction::Citation);
+        let pattern_on_pattern = table(ContextSetKind::PatternBased, ScoreFunction::Pattern);
+        let citation_on_pattern = table(ContextSetKind::PatternBased, ScoreFunction::Citation);
+        let text_on_pattern = table(ContextSetKind::PatternBased, ScoreFunction::Text);
 
         let queries = generate_queries(
-            engine.ontology(),
-            engine.corpus(),
+            snapshot.ontology(),
+            snapshot.corpus(),
             &QueryConfig {
                 n_queries: config.n_queries,
                 seed: config.seed.wrapping_add(2),
@@ -207,7 +201,7 @@ impl Setup {
 
         Self {
             config,
-            engine,
+            searcher: snapshot.searcher(),
             text_sets,
             pattern_sets,
             text_on_text,
@@ -227,11 +221,11 @@ impl Setup {
         sets: &ContextPaperSets,
         level: u32,
     ) -> Vec<context_search::ContextId> {
-        let max = self.engine.ontology().max_level();
+        let max = self.searcher.ontology().max_level();
         let level = level.min(max);
         sets.contexts_with_min_size(self.config.min_context_size)
             .into_iter()
-            .filter(|&c| self.engine.ontology().level(c) == level)
+            .filter(|&c| self.searcher.ontology().level(c) == level)
             .collect()
     }
 }
@@ -284,7 +278,7 @@ mod tests {
     #[test]
     fn setup_builds_all_prestige_variants() {
         let setup = Setup::build(micro());
-        assert_eq!(setup.engine.corpus().len(), 150);
+        assert_eq!(setup.searcher.corpus().len(), 150);
         assert!(setup.text_sets.n_contexts() > 0);
         assert!(setup.pattern_sets.n_contexts() > 0);
         assert!(setup.text_on_text.contexts().count() > 0);
@@ -323,9 +317,9 @@ mod tests {
     fn contexts_at_level_clamps_to_max_level() {
         let setup = Setup::build(micro());
         let deep = setup.contexts_at_level(&setup.pattern_sets, 99);
-        let max = setup.engine.ontology().max_level();
+        let max = setup.searcher.ontology().max_level();
         for c in deep {
-            assert_eq!(setup.engine.ontology().level(c), max);
+            assert_eq!(setup.searcher.ontology().level(c), max);
         }
     }
 }

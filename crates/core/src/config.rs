@@ -120,6 +120,11 @@ pub struct EngineConfig {
     /// Worker threads for per-context computations (0 ⇒ available
     /// parallelism).
     pub threads: usize,
+    /// Worker threads for the prepare-phase stage DAG
+    /// ([`crate::EngineSnapshot::prepare`]): how many independent build
+    /// stages may run concurrently (0 ⇒ available parallelism, 1 ⇒
+    /// deterministic sequential order). Result-identical at any value.
+    pub build_threads: usize,
 }
 
 /// `R(p,q,c) = w_prestige · prestige + w_matching · match` (§3).

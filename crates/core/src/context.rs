@@ -8,13 +8,23 @@ use std::collections::HashMap;
 pub type ContextId = ontology::TermId;
 
 /// Which §4 construction produced a context paper set.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ContextSetKind {
     /// Text-based: similarity to a representative paper.
     TextBased,
     /// Simplified-pattern-based: middle-tuple matching with descendant
     /// aggregation and ancestor fallback.
     PatternBased,
+}
+
+impl ContextSetKind {
+    /// Display name, matching the on-disk file tags ("text"/"pattern").
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::TextBased => "text",
+            Self::PatternBased => "pattern",
+        }
+    }
 }
 
 /// The assignment of papers to contexts.

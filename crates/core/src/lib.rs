@@ -21,7 +21,11 @@
 //! * [`search`] — context selection, relevancy scoring, and the
 //!   end-to-end engine,
 //! * [`ac_answer`] — the §2 AC(artificially-constructed)-answer sets
-//!   used for precision evaluation.
+//!   used for precision evaluation,
+//! * [`plan`] + [`snapshot`] — the prepare/serve architecture: a
+//!   stage-DAG executor that builds an immutable [`EngineSnapshot`]
+//!   served lock-free by [`Searcher`] handles (with save/load in
+//!   [`persist`] for warm starts).
 //!
 //! # Quickstart
 //!
@@ -49,13 +53,17 @@ pub mod config;
 pub mod context;
 pub mod indexes;
 pub mod persist;
+pub mod plan;
 pub mod prestige;
 pub mod search;
+pub mod snapshot;
 
 pub use config::EngineConfig;
 pub use context::{ContextId, ContextPaperSets, ContextSetKind};
 pub use prestige::{PrestigeScores, ScoreFunction};
 pub use search::engine::{ContextSearchEngine, SearchResult};
+pub use search::serve::{Searcher, ServeError};
+pub use snapshot::{EngineSnapshot, PrepareOptions};
 
 /// Map `f` over `items` on up to `threads` worker threads (0 ⇒ available
 /// parallelism), preserving input order. The workhorse for per-context

@@ -4,14 +4,30 @@
 //! computation happen *before* query time (paper §1: "two query
 //! independent pre-processing steps"). This module serializes the two
 //! artifacts — [`ContextPaperSets`] and [`PrestigeScores`] — to a
-//! stable JSON representation so a deployment can compute them once
-//! and load them at search-service startup.
+//! stable JSON representation, and composes them (plus the ontology and
+//! corpus) into a full [`EngineSnapshot`] directory via
+//! [`save_snapshot`] / [`load_snapshot`], so a deployment prepares once
+//! and warm-starts the search service from disk — skipping context
+//! assignment, pattern mining, and every per-context prestige/PageRank
+//! computation on load.
+//!
+//! Snapshot directory layout (versioned by [`SnapshotHeader`]):
+//! `snapshot.json` (header, written last), `ontology.obo`,
+//! `corpus.json`, `sets_{kind}.json`, and one
+//! `prestige_{kind}_{function}.json` per prepared pair — the same file
+//! names and JSON formats the `litsearch` CLI uses for its piecemeal
+//! artifacts, so the two stay mutually readable.
 
+use crate::config::EngineConfig;
 use crate::context::{ContextId, ContextPaperSets, ContextSetKind};
+use crate::indexes::CorpusIndex;
 use crate::prestige::{PrestigeScores, ScoreFunction};
-use corpus::PaperId;
+use crate::snapshot::{EngineSnapshot, PrestigePair};
+use corpus::{Corpus, PaperId};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// Stable on-disk form of [`ContextPaperSets`].
 #[derive(Debug, Serialize, Deserialize)]
@@ -35,6 +51,31 @@ pub struct PrestigeFile {
     pub scores: Vec<(u32, Vec<(u32, f64)>)>,
 }
 
+/// The magic string identifying a snapshot directory's header file.
+pub const SNAPSHOT_MAGIC: &str = "litsearch-snapshot";
+
+/// Current on-disk snapshot format version. Bump on any layout change;
+/// [`load_snapshot`] rejects other versions with a clean
+/// [`PersistError::VersionMismatch`].
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// The `snapshot.json` header of a snapshot directory: identifies the
+/// format, versions it, and records enough shape to cross-check the
+/// payload files against.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct SnapshotHeader {
+    /// Always [`SNAPSHOT_MAGIC`].
+    pub magic: String,
+    /// Always [`SNAPSHOT_VERSION`] for files this build writes.
+    pub version: u32,
+    /// Paper count of the persisted corpus.
+    pub papers: usize,
+    /// Term count of the persisted ontology.
+    pub terms: usize,
+    /// The prepared (kind, function) prestige pairs, by name.
+    pub pairs: Vec<(String, String)>,
+}
+
 /// Errors raised when loading persisted state.
 #[derive(Debug)]
 pub enum PersistError {
@@ -42,6 +83,25 @@ pub enum PersistError {
     Json(serde_json::Error),
     /// An enum discriminant string was unknown.
     UnknownTag(String),
+    /// A snapshot file could not be read or written.
+    Io {
+        /// The file involved.
+        path: PathBuf,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+    /// The header's magic string is not [`SNAPSHOT_MAGIC`] — this is
+    /// not a snapshot directory.
+    BadMagic(String),
+    /// The snapshot was written by an incompatible format version.
+    VersionMismatch {
+        /// Version found in the header.
+        found: u32,
+        /// Version this build expects.
+        expected: u32,
+    },
+    /// A payload file contradicts the header (wrong tag, wrong shape).
+    Corrupt(String),
 }
 
 impl std::fmt::Display for PersistError {
@@ -49,11 +109,31 @@ impl std::fmt::Display for PersistError {
         match self {
             Self::Json(e) => write!(f, "malformed persisted state: {e}"),
             Self::UnknownTag(t) => write!(f, "unknown tag {t:?}"),
+            Self::Io { path, source } => {
+                write!(f, "snapshot I/O failed on {}: {source}", path.display())
+            }
+            Self::BadMagic(m) => write!(
+                f,
+                "not a snapshot: header magic is {m:?}, expected {SNAPSHOT_MAGIC:?}"
+            ),
+            Self::VersionMismatch { found, expected } => write!(
+                f,
+                "snapshot format version {found} is not supported (this build reads {expected})"
+            ),
+            Self::Corrupt(what) => write!(f, "corrupt snapshot: {what}"),
         }
     }
 }
 
-impl std::error::Error for PersistError {}
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Json(e) => Some(e),
+            Self::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
 
 impl From<serde_json::Error> for PersistError {
     fn from(e: serde_json::Error) -> Self {
@@ -161,6 +241,185 @@ pub fn prestige_from_json(json: &str) -> Result<PrestigeScores, PersistError> {
     Ok(PrestigeScores::new(by_context, function))
 }
 
+fn sets_file_name(kind: ContextSetKind) -> String {
+    format!("sets_{}.json", kind.name())
+}
+
+fn prestige_file_name(kind: ContextSetKind, function: ScoreFunction) -> String {
+    format!("prestige_{}_{}.json", kind.name(), function.name())
+}
+
+fn read_file(path: &Path) -> Result<String, PersistError> {
+    std::fs::read_to_string(path).map_err(|source| PersistError::Io {
+        path: path.to_path_buf(),
+        source,
+    })
+}
+
+fn write_file(path: &Path, content: &str) -> Result<(), PersistError> {
+    std::fs::write(path, content).map_err(|source| PersistError::Io {
+        path: path.to_path_buf(),
+        source,
+    })
+}
+
+fn kind_from_name(name: &str) -> Result<ContextSetKind, PersistError> {
+    match name {
+        "text" => Ok(ContextSetKind::TextBased),
+        "pattern" => Ok(ContextSetKind::PatternBased),
+        other => Err(PersistError::UnknownTag(other.to_string())),
+    }
+}
+
+fn function_from_name(name: &str) -> Result<ScoreFunction, PersistError> {
+    match name {
+        "citation" => Ok(ScoreFunction::Citation),
+        "text" => Ok(ScoreFunction::Text),
+        "pattern" => Ok(ScoreFunction::Pattern),
+        other => Err(PersistError::UnknownTag(other.to_string())),
+    }
+}
+
+/// Write a full snapshot directory: header, ontology, corpus, both
+/// context paper sets, and every prepared prestige table.
+///
+/// The header is written last, so a directory interrupted mid-save
+/// never presents itself as loadable. The corpus is serialized with the
+/// ontology's term names (in term-id order) as its extra texts — the
+/// same convention `generate_corpus` and the CLI use — so the rebuilt
+/// vocabulary, and therefore every TF-IDF vector and query analysis, is
+/// bit-identical after [`load_snapshot`].
+pub fn save_snapshot(snapshot: &EngineSnapshot, dir: &Path) -> Result<(), PersistError> {
+    let _span = obs::span("persist.save_snapshot");
+    std::fs::create_dir_all(dir).map_err(|source| PersistError::Io {
+        path: dir.to_path_buf(),
+        source,
+    })?;
+    let ontology = snapshot.ontology();
+    write_file(
+        &dir.join("ontology.obo"),
+        &ontology::obo::write_obo(ontology),
+    )?;
+    let term_names: Vec<String> = ontology
+        .term_ids()
+        .map(|t| ontology.term(t).name.clone())
+        .collect();
+    write_file(
+        &dir.join("corpus.json"),
+        &snapshot.corpus().to_json(&term_names),
+    )?;
+    for kind in [ContextSetKind::TextBased, ContextSetKind::PatternBased] {
+        write_file(
+            &dir.join(sets_file_name(kind)),
+            &context_sets_to_json(snapshot.sets(kind)),
+        )?;
+    }
+    let pairs = snapshot.pairs();
+    for &(kind, function) in &pairs {
+        let table = snapshot
+            .prestige(kind, function)
+            .expect("pairs() lists only prepared tables");
+        write_file(
+            &dir.join(prestige_file_name(kind, function)),
+            &prestige_to_json(table),
+        )?;
+    }
+    let header = SnapshotHeader {
+        magic: SNAPSHOT_MAGIC.to_string(),
+        version: SNAPSHOT_VERSION,
+        papers: snapshot.corpus().len(),
+        terms: ontology.len(),
+        pairs: pairs
+            .iter()
+            .map(|&(k, f)| (k.name().to_string(), f.name().to_string()))
+            .collect(),
+    };
+    write_file(
+        &dir.join("snapshot.json"),
+        &serde_json::to_string_pretty(&header).expect("serializable"),
+    )?;
+    obs::counter("persist.snapshots_saved", 1);
+    Ok(())
+}
+
+/// Warm-start: load a snapshot directory written by [`save_snapshot`].
+///
+/// Rebuilds only the query-time index (tokenization, TF-IDF vectors,
+/// the citation graph, and one global PageRank) — context assignment,
+/// pattern mining, and every per-context prestige/PageRank computation
+/// are read back from disk instead of recomputed. The returned snapshot
+/// has `patterns() == None`.
+pub fn load_snapshot(
+    dir: &Path,
+    config: EngineConfig,
+) -> Result<Arc<EngineSnapshot>, PersistError> {
+    let _span = obs::span("persist.load_snapshot");
+    let header: SnapshotHeader = serde_json::from_str(&read_file(&dir.join("snapshot.json"))?)?;
+    if header.magic != SNAPSHOT_MAGIC {
+        return Err(PersistError::BadMagic(header.magic));
+    }
+    if header.version != SNAPSHOT_VERSION {
+        return Err(PersistError::VersionMismatch {
+            found: header.version,
+            expected: SNAPSHOT_VERSION,
+        });
+    }
+    let ontology = ontology::obo::parse_obo(&read_file(&dir.join("ontology.obo"))?)
+        .map_err(|e| PersistError::Corrupt(format!("ontology.obo: {e}")))?;
+    let corpus = Corpus::from_json(&read_file(&dir.join("corpus.json"))?)?;
+    if corpus.len() != header.papers || ontology.len() != header.terms {
+        return Err(PersistError::Corrupt(format!(
+            "header promises {} papers / {} terms, payload has {} / {}",
+            header.papers,
+            header.terms,
+            corpus.len(),
+            ontology.len()
+        )));
+    }
+    let index = CorpusIndex::build(&ontology, &corpus, &config.pagerank);
+    let mut sets_by_kind: HashMap<ContextSetKind, ContextPaperSets> = HashMap::new();
+    for kind in [ContextSetKind::TextBased, ContextSetKind::PatternBased] {
+        let name = sets_file_name(kind);
+        let sets = context_sets_from_json(&read_file(&dir.join(&name))?)?;
+        if sets.kind != kind {
+            return Err(PersistError::Corrupt(format!(
+                "{name} holds a {:?} set",
+                sets.kind
+            )));
+        }
+        sets_by_kind.insert(kind, sets);
+    }
+    let mut prestige: HashMap<PrestigePair, PrestigeScores> = HashMap::new();
+    for (kind_name, function_name) in &header.pairs {
+        let kind = kind_from_name(kind_name)?;
+        let function = function_from_name(function_name)?;
+        let name = prestige_file_name(kind, function);
+        let table = prestige_from_json(&read_file(&dir.join(&name))?)?;
+        if table.function != function {
+            return Err(PersistError::Corrupt(format!(
+                "{name} holds a {} table",
+                table.function.name()
+            )));
+        }
+        prestige.insert((kind, function), table);
+    }
+    obs::counter("persist.snapshots_loaded", 1);
+    Ok(Arc::new(EngineSnapshot::from_parts(
+        ontology,
+        corpus,
+        config,
+        index,
+        sets_by_kind
+            .remove(&ContextSetKind::TextBased)
+            .expect("inserted above"),
+        sets_by_kind
+            .remove(&ContextSetKind::PatternBased)
+            .expect("inserted above"),
+        prestige,
+        None,
+    )))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -225,5 +484,61 @@ mod tests {
         assert_eq!(a, b, "serialization must be deterministic");
         // Context 3 precedes context 7 in the output.
         assert!(a.find("[3,").unwrap() < a.find("[7,").unwrap());
+    }
+
+    fn scratch_dir(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("litsearch_persist_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn header_json(magic: &str, version: u32) -> String {
+        format!(r#"{{"magic":{magic:?},"version":{version},"papers":0,"terms":0,"pairs":[]}}"#)
+    }
+
+    #[test]
+    fn loading_a_non_snapshot_is_a_clean_error() {
+        let dir = scratch_dir("badmagic");
+        std::fs::write(dir.join("snapshot.json"), header_json("not-a-snapshot", 1)).unwrap();
+        let err = load_snapshot(&dir, EngineConfig::default()).unwrap_err();
+        assert!(matches!(err, PersistError::BadMagic(_)), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn loading_a_future_version_is_a_clean_error() {
+        let dir = scratch_dir("version");
+        std::fs::write(dir.join("snapshot.json"), header_json(SNAPSHOT_MAGIC, 99)).unwrap();
+        let err = load_snapshot(&dir, EngineConfig::default()).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                PersistError::VersionMismatch {
+                    found: 99,
+                    expected: SNAPSHOT_VERSION
+                }
+            ),
+            "{err}"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_and_garbled_snapshot_files_are_clean_errors() {
+        // No header at all → Io, not a panic.
+        let dir = scratch_dir("missing");
+        let err = load_snapshot(&dir, EngineConfig::default()).unwrap_err();
+        assert!(matches!(err, PersistError::Io { .. }), "{err}");
+        // A valid header over garbage payloads → Json/Corrupt, not a panic.
+        std::fs::write(dir.join("snapshot.json"), header_json(SNAPSHOT_MAGIC, 1)).unwrap();
+        std::fs::write(dir.join("ontology.obo"), "[Term]\nthis is not obo").unwrap();
+        let err = load_snapshot(&dir, EngineConfig::default()).unwrap_err();
+        assert!(
+            matches!(err, PersistError::Corrupt(_) | PersistError::Io { .. }),
+            "{err}"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -1,0 +1,396 @@
+//! A small stage-DAG executor for the offline prepare phase.
+//!
+//! The paradigm's expensive work — corpus indexing, context-set
+//! construction, pattern mining, and the three prestige functions — is
+//! a dependency graph of pure stages, not a pipeline: text sets and
+//! pattern mining only need the index; the per-(set, function) prestige
+//! tables only need their sets. [`Plan`] captures that graph explicitly
+//! and runs independent stages concurrently on a small worker pool
+//! (`build_threads` in [`crate::EngineConfig`]), with one `obs` span
+//! per stage so the schedule is visible in metrics and traces.
+//!
+//! Stages communicate through write-once slots owned by the caller
+//! (`std::sync::OnceLock` for multi-consumer outputs, [`Slot`] for
+//! single-consumer handoffs that need mutation); the executor itself
+//! only sequences closures. Because every stage is a pure function of
+//! its inputs, the parallel schedule is result-identical to the
+//! sequential one (`threads == 1` runs stages in deterministic
+//! topological order) — the property the snapshot tests assert.
+
+use parking_lot::Mutex;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+// The vendored parking_lot shim wraps std's Mutex (its guard IS
+// std::sync::MutexGuard), so std's Condvar pairs with it directly.
+use std::sync::Condvar;
+
+/// A write-once, take-once handoff cell for single-consumer stage
+/// outputs (e.g. a raw prestige table consumed by its propagation
+/// stage). Multi-consumer outputs should use `std::sync::OnceLock`.
+pub struct Slot<T>(Mutex<Option<T>>);
+
+impl<T> Slot<T> {
+    /// An empty slot.
+    pub const fn new() -> Self {
+        Self(Mutex::new(None))
+    }
+
+    /// Store a value (panics if the slot is already full — a plan
+    /// wiring bug, not a runtime condition).
+    pub fn put(&self, value: T) {
+        let mut guard = self.0.lock();
+        assert!(guard.is_none(), "Slot::put on a full slot");
+        *guard = Some(value);
+    }
+
+    /// Take the value out, leaving the slot empty.
+    pub fn take(&self) -> Option<T> {
+        self.0.lock().take()
+    }
+}
+
+impl<T> Default for Slot<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A stage body, boxed for storage in the plan.
+type Job<'a> = Box<dyn FnOnce() + Send + 'a>;
+
+struct Stage<'a> {
+    name: &'static str,
+    deps: Vec<&'static str>,
+    run: Option<Job<'a>>,
+}
+
+/// A build plan: named stages with explicit dependencies.
+///
+/// Stage names double as `obs` span names, so use the full dotted form
+/// (`"prepare.index"`). See [`Plan::run`] for execution semantics.
+#[derive(Default)]
+pub struct Plan<'a> {
+    stages: Vec<Stage<'a>>,
+}
+
+/// A malformed plan (caught before any stage runs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanError {
+    /// Two stages share a name.
+    DuplicateStage(&'static str),
+    /// A stage depends on a name no stage has.
+    UnknownDep {
+        /// The stage with the bad dependency.
+        stage: &'static str,
+        /// The missing dependency name.
+        dep: &'static str,
+    },
+    /// The dependency graph has a cycle through this stage.
+    Cycle(&'static str),
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::DuplicateStage(s) => write!(f, "duplicate stage {s:?}"),
+            Self::UnknownDep { stage, dep } => {
+                write!(f, "stage {stage:?} depends on unknown stage {dep:?}")
+            }
+            Self::Cycle(s) => write!(f, "dependency cycle through stage {s:?}"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+impl<'a> Plan<'a> {
+    /// An empty plan.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a stage. `deps` are names of stages that must complete
+    /// before this one starts.
+    pub fn stage(
+        &mut self,
+        name: &'static str,
+        deps: &[&'static str],
+        run: impl FnOnce() + Send + 'a,
+    ) -> &mut Self {
+        self.stages.push(Stage {
+            name,
+            deps: deps.to_vec(),
+            run: Some(Box::new(run)),
+        });
+        self
+    }
+
+    /// Validate the graph and run every stage exactly once, respecting
+    /// dependencies. `threads == 1` executes sequentially in
+    /// deterministic topological (insertion-biased Kahn) order;
+    /// `threads == 0` uses the available parallelism; otherwise up to
+    /// `threads` stages run concurrently. A panicking stage aborts the
+    /// plan (stages not yet started are skipped) and the panic is
+    /// re-raised on the caller's thread.
+    pub fn run(mut self, threads: usize) -> Result<(), PlanError> {
+        let topo = self.validate()?;
+        let n = self.stages.len();
+        let threads = if threads == 0 {
+            std::thread::available_parallelism().map_or(1, |p| p.get())
+        } else {
+            threads
+        }
+        .min(n.max(1));
+
+        if threads <= 1 {
+            for &i in &topo {
+                let job = self.stages[i].run.take().expect("stage runs once");
+                let _span = obs::span(self.stages[i].name);
+                job();
+            }
+            return Ok(());
+        }
+
+        // Dependents adjacency + remaining-dependency counts.
+        let index_of = |name: &str| self.stages.iter().position(|s| s.name == name).unwrap();
+        let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut remaining: Vec<usize> = vec![0; n];
+        for (i, s) in self.stages.iter().enumerate() {
+            remaining[i] = s.deps.len();
+            for d in &s.deps {
+                dependents[index_of(d)].push(i);
+            }
+        }
+
+        struct Sched {
+            remaining: Vec<usize>,
+            started: Vec<bool>,
+            n_done: usize,
+            panics: Vec<Box<dyn std::any::Any + Send>>,
+        }
+        let state = Mutex::new(Sched {
+            remaining,
+            started: vec![false; n],
+            n_done: 0,
+            panics: Vec::new(),
+        });
+        let ready = Condvar::new();
+        let jobs: Vec<Mutex<Option<Job<'a>>>> = self
+            .stages
+            .iter_mut()
+            .map(|s| Mutex::new(s.run.take()))
+            .collect();
+        let names: Vec<&'static str> = self.stages.iter().map(|s| s.name).collect();
+
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| {
+                    let mut guard = state.lock();
+                    loop {
+                        if guard.n_done == n || !guard.panics.is_empty() {
+                            ready.notify_all();
+                            return;
+                        }
+                        // Lowest-index ready stage keeps claiming
+                        // deterministic even under contention.
+                        let next = (0..n).find(|&i| !guard.started[i] && guard.remaining[i] == 0);
+                        let Some(i) = next else {
+                            guard = ready
+                                .wait(guard)
+                                .unwrap_or_else(std::sync::PoisonError::into_inner);
+                            continue;
+                        };
+                        guard.started[i] = true;
+                        drop(guard);
+                        let job = jobs[i].lock().take().expect("claimed once");
+                        let result = catch_unwind(AssertUnwindSafe(|| {
+                            let _span = obs::span(names[i]);
+                            job();
+                        }));
+                        guard = state.lock();
+                        match result {
+                            Ok(()) => {
+                                guard.n_done += 1;
+                                for &dep in &dependents[i] {
+                                    guard.remaining[dep] -= 1;
+                                }
+                            }
+                            Err(payload) => guard.panics.push(payload),
+                        }
+                        ready.notify_all();
+                    }
+                });
+            }
+        });
+
+        let mut guard = state.lock();
+        if let Some(payload) = guard.panics.pop() {
+            resume_unwind(payload);
+        }
+        Ok(())
+    }
+
+    /// Check names and dependencies; return a topological order.
+    fn validate(&self) -> Result<Vec<usize>, PlanError> {
+        for (i, s) in self.stages.iter().enumerate() {
+            if self.stages[..i].iter().any(|t| t.name == s.name) {
+                return Err(PlanError::DuplicateStage(s.name));
+            }
+        }
+        let index_of = |name: &str| self.stages.iter().position(|s| s.name == name);
+        let n = self.stages.len();
+        let mut remaining: Vec<usize> = vec![0; n];
+        let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (i, s) in self.stages.iter().enumerate() {
+            for d in &s.deps {
+                let Some(j) = index_of(d) else {
+                    return Err(PlanError::UnknownDep {
+                        stage: s.name,
+                        dep: d,
+                    });
+                };
+                remaining[i] += 1;
+                dependents[j].push(i);
+            }
+        }
+        // Kahn's algorithm, always taking the lowest ready index:
+        // deterministic order for the sequential path, cycle check for
+        // both.
+        let mut order = Vec::with_capacity(n);
+        let mut ready: Vec<usize> = (0..n).filter(|&i| remaining[i] == 0).collect();
+        while let Some(i) = ready.first().copied() {
+            ready.remove(0);
+            order.push(i);
+            for &d in &dependents[i] {
+                remaining[d] -= 1;
+                if remaining[d] == 0 {
+                    // Keep `ready` sorted so `first` is the min index.
+                    let pos = ready.partition_point(|&x| x < d);
+                    ready.insert(pos, d);
+                }
+            }
+        }
+        if order.len() != n {
+            let stuck = (0..n).find(|i| !order.contains(i)).expect("cycle member");
+            return Err(PlanError::Cycle(self.stages[stuck].name));
+        }
+        Ok(order)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::OnceLock;
+
+    /// Run a diamond a->{b,c}->d and record completion order.
+    fn run_diamond(threads: usize) -> Vec<&'static str> {
+        let log: Mutex<Vec<&'static str>> = Mutex::new(Vec::new());
+        let mut plan = Plan::new();
+        plan.stage("a", &[], || log.lock().push("a"));
+        plan.stage("b", &["a"], || log.lock().push("b"));
+        plan.stage("c", &["a"], || log.lock().push("c"));
+        plan.stage("d", &["b", "c"], || log.lock().push("d"));
+        plan.run(threads).expect("valid plan");
+        log.into_inner()
+    }
+
+    #[test]
+    fn diamond_respects_dependencies() {
+        for threads in [1, 2, 4] {
+            let order = run_diamond(threads);
+            assert_eq!(order.len(), 4, "threads={threads}");
+            let pos = |s| order.iter().position(|&x| x == s).unwrap();
+            assert!(pos("a") < pos("b"));
+            assert!(pos("a") < pos("c"));
+            assert!(pos("b") < pos("d"));
+            assert!(pos("c") < pos("d"));
+        }
+    }
+
+    #[test]
+    fn sequential_order_is_topological_and_deterministic() {
+        assert_eq!(run_diamond(1), vec!["a", "b", "c", "d"]);
+    }
+
+    #[test]
+    fn stage_outputs_flow_through_slots() {
+        let a_out: OnceLock<u32> = OnceLock::new();
+        let b_out: Slot<u32> = Slot::new();
+        let c_out: OnceLock<u32> = OnceLock::new();
+        let mut plan = Plan::new();
+        plan.stage("a", &[], || {
+            a_out.set(20).unwrap();
+        });
+        plan.stage("b", &["a"], || b_out.put(a_out.get().unwrap() + 1));
+        plan.stage("c", &["b"], || {
+            c_out.set(b_out.take().unwrap() * 2).unwrap();
+        });
+        plan.run(2).unwrap();
+        assert_eq!(c_out.into_inner(), Some(42));
+        assert_eq!(b_out.take(), None, "b's output was consumed");
+    }
+
+    #[test]
+    fn unknown_dependency_is_an_error() {
+        let mut plan = Plan::new();
+        plan.stage("a", &["ghost"], || {});
+        assert_eq!(
+            plan.run(1),
+            Err(PlanError::UnknownDep {
+                stage: "a",
+                dep: "ghost"
+            })
+        );
+    }
+
+    #[test]
+    fn duplicate_stage_is_an_error() {
+        let mut plan = Plan::new();
+        plan.stage("a", &[], || {});
+        plan.stage("a", &[], || {});
+        assert_eq!(plan.run(1), Err(PlanError::DuplicateStage("a")));
+    }
+
+    #[test]
+    fn cycle_is_an_error() {
+        let mut plan = Plan::new();
+        plan.stage("a", &["b"], || {});
+        plan.stage("b", &["a"], || {});
+        assert!(matches!(plan.run(2), Err(PlanError::Cycle(_))));
+    }
+
+    #[test]
+    fn every_stage_runs_exactly_once() {
+        for threads in [1, 3] {
+            let count = AtomicUsize::new(0);
+            let mut plan = Plan::new();
+            plan.stage("a", &[], || {
+                count.fetch_add(1, Ordering::SeqCst);
+            });
+            plan.stage("b", &["a"], || {
+                count.fetch_add(1, Ordering::SeqCst);
+            });
+            plan.stage("c", &["a"], || {
+                count.fetch_add(1, Ordering::SeqCst);
+            });
+            plan.run(threads).unwrap();
+            assert_eq!(count.load(Ordering::SeqCst), 3);
+        }
+    }
+
+    #[test]
+    fn panicking_stage_propagates_and_skips_dependents() {
+        let ran_dependent = AtomicUsize::new(0);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            let mut plan = Plan::new();
+            plan.stage("boom", &[], || panic!("stage failed"));
+            plan.stage("after", &["boom"], || {
+                ran_dependent.fetch_add(1, Ordering::SeqCst);
+            });
+            plan.run(2).unwrap();
+        }));
+        assert!(result.is_err(), "panic must propagate to the caller");
+        assert_eq!(ran_dependent.load(Ordering::SeqCst), 0);
+    }
+}

@@ -1,38 +1,25 @@
 //! The end-to-end context-based search engine: owns the ontology, the
 //! corpus, and all prepared state; exposes the five tasks of the
 //! paradigm plus the evaluation hooks the experiment harness needs.
+//!
+//! The online query path lives in [`super::exec`]; this type owns the
+//! pieces and delegates. For the prepare-once/serve-many architecture
+//! (parallel build plan, immutable snapshot, lock-free serving) see
+//! [`crate::EngineSnapshot`] and [`crate::Searcher`].
 
-use crate::ac_answer::ac_answer_set;
 use crate::assign::{build_pattern_sets, build_text_sets, patterns_by_context, ContextPatterns};
 use crate::config::EngineConfig;
 use crate::context::{ContextId, ContextPaperSets};
 use crate::indexes::CorpusIndex;
-use crate::prestige::{
-    citation::citation_prestige, pattern::pattern_prestige, text::text_prestige, PrestigeScores,
-    ScoreFunction,
-};
-use crate::search::relevancy::relevancy;
-use crate::search::select::select_contexts;
+use crate::prestige::{PrestigeScores, ScoreFunction};
+use crate::search::exec::QueryParts;
 use corpus::{Corpus, PaperId};
 use ontology::Ontology;
 use parking_lot::RwLock;
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 use std::sync::Arc;
 
-/// One ranked context-based search result.
-#[derive(Debug, Clone, Copy)]
-pub struct SearchResult {
-    /// The paper.
-    pub paper: PaperId,
-    /// Combined relevancy `R(p, q, c)` (the ranking key).
-    pub relevancy: f64,
-    /// The text-matching component.
-    pub matching: f64,
-    /// The prestige component (in the winning context).
-    pub prestige: f64,
-    /// The context that produced this paper's best relevancy.
-    pub context: ContextId,
-}
+pub use crate::search::exec::SearchResult;
 
 /// The engine. Build once per (ontology, corpus); everything else is
 /// derived.
@@ -80,9 +67,28 @@ impl ContextSearchEngine {
         &self.index
     }
 
+    /// The borrowed query-path view of this engine's state.
+    fn parts(&self) -> QueryParts<'_> {
+        QueryParts {
+            ontology: &self.ontology,
+            corpus: &self.corpus,
+            config: &self.config,
+            index: &self.index,
+        }
+    }
+
     /// Per-context pattern sets, built lazily once and shared.
     pub fn context_patterns(&self) -> Arc<ContextPatterns> {
         if let Some(p) = self.patterns.read().as_ref() {
+            return Arc::clone(p);
+        }
+        // Take the write lock *before* building: two threads that both
+        // miss the read check must not both run the expensive mining —
+        // the loser would discard minutes of work. Double-check under
+        // the write lock, then build while holding it so concurrent
+        // callers block until the one build finishes and share it.
+        let mut guard = self.patterns.write();
+        if let Some(p) = guard.as_ref() {
             return Arc::clone(p);
         }
         let _span = obs::span("engine.context_patterns");
@@ -92,12 +98,8 @@ impl ContextSearchEngine {
             &self.index,
             &self.config,
         ));
-        let mut guard = self.patterns.write();
-        // Another thread may have beaten us; keep the first.
-        if guard.is_none() {
-            *guard = Some(Arc::clone(&built));
-        }
-        Arc::clone(guard.as_ref().expect("just set"))
+        *guard = Some(Arc::clone(&built));
+        built
     }
 
     /// Task 1a: the §4 text-based context paper set.
@@ -135,79 +137,22 @@ impl ContextSearchEngine {
         simplified: bool,
         propagate: bool,
     ) -> PrestigeScores {
-        let _span = obs::span("engine.prestige");
-        if obs::trace_enabled() {
-            obs::trace_instant(
-                "prestige.compute",
-                vec![
-                    ("function".to_string(), format!("{function:?}").into()),
-                    ("n_contexts".to_string(), sets.n_contexts().into()),
-                    ("simplified".to_string(), simplified.into()),
-                    ("propagate".to_string(), propagate.into()),
-                ],
-            );
-        }
-        let mut scores = match function {
-            ScoreFunction::Citation => {
-                let _s = obs::span("prestige.citation");
-                citation_prestige(sets, &self.index.graph, &self.config)
-            }
-            ScoreFunction::Text => {
-                let _s = obs::span("prestige.text");
-                text_prestige(sets, &self.corpus, &self.index, &self.config)
-            }
-            ScoreFunction::Pattern => {
-                let patterns = self.context_patterns();
-                let _s = obs::span("prestige.pattern");
-                pattern_prestige(
-                    &self.ontology,
-                    sets,
-                    &self.corpus,
-                    &self.index,
-                    &patterns,
-                    &self.config,
-                    simplified,
-                )
-            }
-        };
-        if propagate {
-            let _s = obs::span("prestige.propagate");
-            scores.propagate_hierarchy_max(&self.ontology, sets);
-        }
-        scores
+        crate::prestige::compute_prestige(
+            &self.ontology,
+            &self.corpus,
+            &self.index,
+            &self.config,
+            sets,
+            function,
+            simplified,
+            propagate,
+            || self.context_patterns(),
+        )
     }
 
     /// Task 3: select the contexts a query should search.
     pub fn select_contexts(&self, query: &str, sets: &ContextPaperSets) -> Vec<(ContextId, f64)> {
-        let _span = obs::span("search.select_contexts");
-        let tokens = self.corpus.analyze_known(query);
-        let selected = select_contexts(&tokens, &self.index, sets, &self.config.selection);
-        if obs::trace_enabled() {
-            obs::trace_instant(
-                "search.contexts_selected",
-                vec![
-                    ("query_tokens".to_string(), tokens.len().into()),
-                    ("n_selected".to_string(), selected.len().into()),
-                ],
-            );
-            for (rank, &(c, score)) in selected.iter().enumerate() {
-                obs::trace_instant(
-                    "search.context",
-                    vec![
-                        ("rank".to_string(), (rank + 1).into()),
-                        ("context".to_string(), c.index().into()),
-                        (
-                            "name".to_string(),
-                            self.ontology.term(c).name.as_str().into(),
-                        ),
-                        ("level".to_string(), self.ontology.level(c).into()),
-                        ("match_score".to_string(), score.into()),
-                        ("members".to_string(), sets.members(c).len().into()),
-                    ],
-                );
-            }
-        }
-        selected
+        self.parts().select_contexts(query, sets)
     }
 
     /// Tasks 4 + 5: search within the selected contexts and rank by
@@ -220,120 +165,12 @@ impl ContextSearchEngine {
         prestige: &PrestigeScores,
         limit: usize,
     ) -> Vec<SearchResult> {
-        let _span = obs::span("engine.search");
-        obs::counter("engine.queries", 1);
-        let tracing = obs::trace_enabled();
-        if tracing {
-            obs::trace_instant(
-                "search.query",
-                vec![
-                    ("query".to_string(), query.into()),
-                    ("limit".to_string(), limit.into()),
-                ],
-            );
-        }
-        let qvec = self.index.query_vector(&self.corpus, query);
-        let contexts = self.select_contexts(query, sets);
-        let matching: HashMap<PaperId, f64> = {
-            let _s = obs::span("search.keyword_match");
-            self.index.keyword_search(&qvec, 0.0).into_iter().collect()
-        };
-        if tracing {
-            obs::trace_instant(
-                "search.keyword_candidates",
-                vec![("matched_papers".to_string(), matching.len().into())],
-            );
-        }
-
-        let _scoring = obs::span("search.relevancy");
-        let mut best: HashMap<PaperId, SearchResult> = HashMap::new();
-        let mut scored_pairs = 0u64;
-        for (context, _ctx_score) in contexts {
-            for &(paper, pscore) in prestige.scores(context) {
-                let Some(&m) = matching.get(&paper) else {
-                    continue; // no text match at all → not in the output
-                };
-                if tracing {
-                    scored_pairs += 1;
-                }
-                let r = relevancy(pscore, m, &self.config.relevancy);
-                let candidate = SearchResult {
-                    paper,
-                    relevancy: r,
-                    matching: m,
-                    prestige: pscore,
-                    context,
-                };
-                best.entry(paper)
-                    .and_modify(|cur| {
-                        if r > cur.relevancy {
-                            *cur = candidate;
-                        }
-                    })
-                    .or_insert(candidate);
-            }
-        }
-        let mut out: Vec<SearchResult> = best.into_values().collect();
-        out.sort_by(|a, b| {
-            b.relevancy
-                .partial_cmp(&a.relevancy)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.paper.cmp(&b.paper))
-        });
-        if tracing {
-            obs::trace_instant(
-                "search.relevancy_candidates",
-                vec![
-                    ("scored_pairs".to_string(), scored_pairs.into()),
-                    ("distinct_papers".to_string(), out.len().into()),
-                ],
-            );
-        }
-        if limit > 0 {
-            out.truncate(limit);
-        }
-        drop(_scoring);
-        if tracing {
-            self.trace_explain_hits(&out);
-        }
-        obs::observe_ns("engine.search.results", out.len() as u64);
-        out
-    }
-
-    /// Emit one `explain.hit` instant per top result: the context that
-    /// won, both relevancy components with their weights, and the
-    /// context's place in the hierarchy — the per-query evidence behind
-    /// the paper's precision/separability numbers.
-    fn trace_explain_hits(&self, hits: &[SearchResult]) {
-        const EXPLAIN_TOP_K: usize = 10;
-        let w = &self.config.relevancy;
-        for (rank, h) in hits.iter().take(EXPLAIN_TOP_K).enumerate() {
-            let term = self.ontology.term(h.context);
-            obs::trace_instant(
-                "explain.hit",
-                vec![
-                    ("rank".to_string(), (rank + 1).into()),
-                    ("paper".to_string(), h.paper.index().into()),
-                    ("relevancy".to_string(), h.relevancy.into()),
-                    ("prestige".to_string(), h.prestige.into()),
-                    ("matching".to_string(), h.matching.into()),
-                    ("w_prestige".to_string(), w.prestige.into()),
-                    ("w_matching".to_string(), w.matching.into()),
-                    ("context".to_string(), h.context.index().into()),
-                    ("context_name".to_string(), term.name.as_str().into()),
-                    (
-                        "context_level".to_string(),
-                        self.ontology.level(h.context).into(),
-                    ),
-                ],
-            );
-        }
+        self.parts().search(query, sets, prestige, limit)
     }
 
     /// The PubMed-style keyword-search baseline over the whole corpus.
     pub fn keyword_search(&self, query: &str, min_score: f64) -> Vec<(PaperId, f64)> {
-        let qvec = self.index.query_vector(&self.corpus, query);
-        self.index.keyword_search(&qvec, min_score)
+        self.parts().keyword_search(query, min_score)
     }
 
     /// The paper's §7 future-work score function: citation prestige
@@ -358,16 +195,7 @@ impl ContextSearchEngine {
     /// Display snippet for a hit: the abstract window best covering the
     /// query (falls back to the title when nothing matches there).
     pub fn snippet(&self, paper: PaperId, query: &str) -> String {
-        let terms = self.corpus.analyze_known(query);
-        let p = self.corpus.paper(paper);
-        textproc::snippet::best_snippet(
-            &p.abstract_text,
-            &terms,
-            self.corpus.vocab(),
-            &self.index.model,
-            &textproc::snippet::SnippetConfig::default(),
-        )
-        .unwrap_or_else(|| p.title.clone())
+        self.parts().snippet(paper, query)
     }
 
     /// "More like this": papers related to `source` through shared
@@ -378,20 +206,12 @@ impl ContextSearchEngine {
         source: PaperId,
         limit: usize,
     ) -> Vec<crate::search::related::RelatedPaper> {
-        crate::search::related::more_like_this(
-            &self.corpus,
-            &self.index,
-            &self.config,
-            sets,
-            source,
-            limit,
-        )
+        self.parts().more_like_this(sets, source, limit)
     }
 
     /// The §2 AC-answer ground-truth set for a query.
     pub fn ac_answer_set(&self, query: &str) -> HashSet<PaperId> {
-        let qvec = self.index.query_vector(&self.corpus, query);
-        ac_answer_set(&self.index, &self.config.ac, &qvec)
+        self.parts().ac_answer_set(query)
     }
 }
 
@@ -503,6 +323,24 @@ mod tests {
         let a = e.context_patterns();
         let b = e.context_patterns();
         assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn concurrent_pattern_requests_share_one_build() {
+        // The double-build race: both threads miss the read check, but
+        // only one may run the mining; the other must block and share.
+        let e = engine();
+        let handles: Vec<Arc<ContextPatterns>> = std::thread::scope(|s| {
+            (0..4)
+                .map(|_| s.spawn(|| e.context_patterns()))
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        for h in &handles[1..] {
+            assert!(Arc::ptr_eq(&handles[0], h), "all threads share one build");
+        }
     }
 
     #[test]

@@ -1,0 +1,300 @@
+//! The shared online query path.
+//!
+//! [`QueryParts`] borrows the four immutable pieces every query needs —
+//! ontology, corpus, config, index — and implements context selection,
+//! relevancy scoring, and the auxiliary lookups (snippets, baseline
+//! keyword search, AC-answer sets, more-like-this). Both front-ends
+//! delegate here: [`ContextSearchEngine`](super::engine::ContextSearchEngine)
+//! (owns the pieces directly) and [`Searcher`](super::serve::Searcher)
+//! (borrows them from an immutable [`crate::EngineSnapshot`]). Nothing
+//! on this path takes a lock or mutates shared state, so any number of
+//! threads can execute it concurrently over the same borrowed parts.
+
+use crate::ac_answer::ac_answer_set;
+use crate::config::EngineConfig;
+use crate::context::{ContextId, ContextPaperSets};
+use crate::indexes::CorpusIndex;
+use crate::prestige::PrestigeScores;
+use crate::search::relevancy::relevancy;
+use crate::search::select::select_contexts;
+use corpus::{Corpus, PaperId};
+use ontology::Ontology;
+use std::collections::{HashMap, HashSet};
+
+/// One ranked context-based search result.
+#[derive(Debug, Clone, Copy)]
+pub struct SearchResult {
+    /// The paper.
+    pub paper: PaperId,
+    /// Combined relevancy `R(p, q, c)` (the ranking key).
+    pub relevancy: f64,
+    /// The text-matching component.
+    pub matching: f64,
+    /// The prestige component (in the winning context).
+    pub prestige: f64,
+    /// The context that produced this paper's best relevancy.
+    pub context: ContextId,
+}
+
+/// The total order of ranked output: descending relevancy, ties broken
+/// by ascending paper id. The tie-break is what makes repeated runs
+/// byte-identical — candidates are accumulated in a `HashMap`, whose
+/// iteration order would otherwise leak into equal-relevancy runs.
+pub(crate) fn rank_order(a: &SearchResult, b: &SearchResult) -> std::cmp::Ordering {
+    b.relevancy
+        .partial_cmp(&a.relevancy)
+        .unwrap_or(std::cmp::Ordering::Equal)
+        .then(a.paper.cmp(&b.paper))
+}
+
+/// Borrowed immutable state for one query execution.
+#[derive(Clone, Copy)]
+pub(crate) struct QueryParts<'a> {
+    pub ontology: &'a Ontology,
+    pub corpus: &'a Corpus,
+    pub config: &'a EngineConfig,
+    pub index: &'a CorpusIndex,
+}
+
+impl QueryParts<'_> {
+    /// Task 3: select the contexts a query should search.
+    pub fn select_contexts(&self, query: &str, sets: &ContextPaperSets) -> Vec<(ContextId, f64)> {
+        let _span = obs::span("search.select_contexts");
+        let tokens = self.corpus.analyze_known(query);
+        let selected = select_contexts(&tokens, self.index, sets, &self.config.selection);
+        if obs::trace_enabled() {
+            obs::trace_instant(
+                "search.contexts_selected",
+                vec![
+                    ("query_tokens".to_string(), tokens.len().into()),
+                    ("n_selected".to_string(), selected.len().into()),
+                ],
+            );
+            for (rank, &(c, score)) in selected.iter().enumerate() {
+                obs::trace_instant(
+                    "search.context",
+                    vec![
+                        ("rank".to_string(), (rank + 1).into()),
+                        ("context".to_string(), c.index().into()),
+                        (
+                            "name".to_string(),
+                            self.ontology.term(c).name.as_str().into(),
+                        ),
+                        ("level".to_string(), self.ontology.level(c).into()),
+                        ("match_score".to_string(), score.into()),
+                        ("members".to_string(), sets.members(c).len().into()),
+                    ],
+                );
+            }
+        }
+        selected
+    }
+
+    /// Tasks 4 + 5: search within the selected contexts and rank by
+    /// relevancy; results from different contexts are merged by keeping
+    /// each paper's best relevancy. `limit = 0` means unlimited.
+    pub fn search(
+        &self,
+        query: &str,
+        sets: &ContextPaperSets,
+        prestige: &PrestigeScores,
+        limit: usize,
+    ) -> Vec<SearchResult> {
+        let _span = obs::span("engine.search");
+        obs::counter("engine.queries", 1);
+        let tracing = obs::trace_enabled();
+        if tracing {
+            obs::trace_instant(
+                "search.query",
+                vec![
+                    ("query".to_string(), query.into()),
+                    ("limit".to_string(), limit.into()),
+                ],
+            );
+        }
+        let qvec = self.index.query_vector(self.corpus, query);
+        let contexts = self.select_contexts(query, sets);
+        let matching: HashMap<PaperId, f64> = {
+            let _s = obs::span("search.keyword_match");
+            self.index.keyword_search(&qvec, 0.0).into_iter().collect()
+        };
+        if tracing {
+            obs::trace_instant(
+                "search.keyword_candidates",
+                vec![("matched_papers".to_string(), matching.len().into())],
+            );
+        }
+
+        let _scoring = obs::span("search.relevancy");
+        let mut best: HashMap<PaperId, SearchResult> = HashMap::new();
+        let mut scored_pairs = 0u64;
+        for (context, _ctx_score) in contexts {
+            for &(paper, pscore) in prestige.scores(context) {
+                let Some(&m) = matching.get(&paper) else {
+                    continue; // no text match at all → not in the output
+                };
+                if tracing {
+                    scored_pairs += 1;
+                }
+                let r = relevancy(pscore, m, &self.config.relevancy);
+                let candidate = SearchResult {
+                    paper,
+                    relevancy: r,
+                    matching: m,
+                    prestige: pscore,
+                    context,
+                };
+                best.entry(paper)
+                    .and_modify(|cur| {
+                        if r > cur.relevancy {
+                            *cur = candidate;
+                        }
+                    })
+                    .or_insert(candidate);
+            }
+        }
+        let mut out: Vec<SearchResult> = best.into_values().collect();
+        out.sort_by(rank_order);
+        if tracing {
+            obs::trace_instant(
+                "search.relevancy_candidates",
+                vec![
+                    ("scored_pairs".to_string(), scored_pairs.into()),
+                    ("distinct_papers".to_string(), out.len().into()),
+                ],
+            );
+        }
+        if limit > 0 {
+            out.truncate(limit);
+        }
+        drop(_scoring);
+        if tracing {
+            self.trace_explain_hits(&out);
+        }
+        obs::observe_ns("engine.search.results", out.len() as u64);
+        out
+    }
+
+    /// Emit one `explain.hit` instant per top result: the context that
+    /// won, both relevancy components with their weights, and the
+    /// context's place in the hierarchy — the per-query evidence behind
+    /// the paper's precision/separability numbers.
+    fn trace_explain_hits(&self, hits: &[SearchResult]) {
+        const EXPLAIN_TOP_K: usize = 10;
+        let w = &self.config.relevancy;
+        for (rank, h) in hits.iter().take(EXPLAIN_TOP_K).enumerate() {
+            let term = self.ontology.term(h.context);
+            obs::trace_instant(
+                "explain.hit",
+                vec![
+                    ("rank".to_string(), (rank + 1).into()),
+                    ("paper".to_string(), h.paper.index().into()),
+                    ("relevancy".to_string(), h.relevancy.into()),
+                    ("prestige".to_string(), h.prestige.into()),
+                    ("matching".to_string(), h.matching.into()),
+                    ("w_prestige".to_string(), w.prestige.into()),
+                    ("w_matching".to_string(), w.matching.into()),
+                    ("context".to_string(), h.context.index().into()),
+                    ("context_name".to_string(), term.name.as_str().into()),
+                    (
+                        "context_level".to_string(),
+                        self.ontology.level(h.context).into(),
+                    ),
+                ],
+            );
+        }
+    }
+
+    /// The PubMed-style keyword-search baseline over the whole corpus.
+    pub fn keyword_search(&self, query: &str, min_score: f64) -> Vec<(PaperId, f64)> {
+        let qvec = self.index.query_vector(self.corpus, query);
+        self.index.keyword_search(&qvec, min_score)
+    }
+
+    /// Display snippet for a hit: the abstract window best covering the
+    /// query (falls back to the title when nothing matches there).
+    pub fn snippet(&self, paper: PaperId, query: &str) -> String {
+        let terms = self.corpus.analyze_known(query);
+        let p = self.corpus.paper(paper);
+        textproc::snippet::best_snippet(
+            &p.abstract_text,
+            &terms,
+            self.corpus.vocab(),
+            &self.index.model,
+            &textproc::snippet::SnippetConfig::default(),
+        )
+        .unwrap_or_else(|| p.title.clone())
+    }
+
+    /// "More like this": papers related to `source` through shared
+    /// contexts, ranked by the §3.2 combined similarity.
+    pub fn more_like_this(
+        &self,
+        sets: &ContextPaperSets,
+        source: PaperId,
+        limit: usize,
+    ) -> Vec<crate::search::related::RelatedPaper> {
+        crate::search::related::more_like_this(
+            self.corpus,
+            self.index,
+            self.config,
+            sets,
+            source,
+            limit,
+        )
+    }
+
+    /// The §2 AC-answer ground-truth set for a query.
+    pub fn ac_answer_set(&self, query: &str) -> HashSet<PaperId> {
+        let qvec = self.index.query_vector(self.corpus, query);
+        ac_answer_set(self.index, &self.config.ac, &qvec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ontology::TermId;
+    use std::cmp::Ordering;
+
+    fn result(paper: u32, relevancy: f64) -> SearchResult {
+        SearchResult {
+            paper: PaperId(paper),
+            relevancy,
+            matching: 0.0,
+            prestige: 0.0,
+            context: TermId(0),
+        }
+    }
+
+    #[test]
+    fn rank_order_is_descending_relevancy() {
+        assert_eq!(
+            rank_order(&result(5, 0.9), &result(1, 0.3)),
+            Ordering::Less,
+            "higher relevancy sorts first"
+        );
+    }
+
+    #[test]
+    fn equal_relevancy_breaks_ties_by_paper_id() {
+        assert_eq!(rank_order(&result(2, 0.5), &result(7, 0.5)), Ordering::Less);
+        assert_eq!(
+            rank_order(&result(7, 0.5), &result(2, 0.5)),
+            Ordering::Greater
+        );
+    }
+
+    #[test]
+    fn tied_results_sort_identically_from_any_initial_order() {
+        // The regression this comparator guards against: equal-relevancy
+        // results coming out in HashMap iteration order.
+        let mut a: Vec<SearchResult> = (0..20).rev().map(|p| result(p, 0.5)).collect();
+        let mut b: Vec<SearchResult> = (0..20).map(|p| result((p * 7) % 20, 0.5)).collect();
+        a.sort_by(rank_order);
+        b.sort_by(rank_order);
+        let ids = |v: &[SearchResult]| v.iter().map(|r| r.paper).collect::<Vec<_>>();
+        assert_eq!(ids(&a), ids(&b));
+        assert_eq!(ids(&a), (0..20).map(PaperId).collect::<Vec<_>>());
+    }
+}

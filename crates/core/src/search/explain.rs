@@ -86,6 +86,7 @@ pub fn explain_hit(
         b.contribution
             .partial_cmp(&a.contribution)
             .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.term.cmp(&b.term))
     });
     let term = ontology.term(hit.context);
     Explanation {

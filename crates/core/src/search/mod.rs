@@ -2,12 +2,15 @@
 //! end-to-end engine.
 
 pub mod engine;
+pub(crate) mod exec;
 pub mod explain;
 pub mod gopubmed;
 pub mod related;
 pub mod relevancy;
 pub mod select;
+pub mod serve;
 
 pub use engine::{ContextSearchEngine, SearchResult};
 pub use relevancy::relevancy;
 pub use select::select_contexts;
+pub use serve::{Searcher, ServeError};

@@ -1,0 +1,322 @@
+//! Lock-free serving over an immutable [`EngineSnapshot`].
+//!
+//! A [`Searcher`] is a cheap, cloneable handle (`Arc` clone) that any
+//! number of threads can use concurrently: every query reads only the
+//! snapshot's immutable state through [`QueryParts`], so the hot path
+//! takes zero locks — no `RwLock`, no lazy initialization, no interior
+//! mutability of any kind. Results are deterministic and identical
+//! across threads (asserted by the `snapshot_serving` integration
+//! test).
+
+use crate::context::{ContextId, ContextPaperSets, ContextSetKind};
+use crate::prestige::{PrestigeScores, ScoreFunction};
+use crate::search::exec::{QueryParts, SearchResult};
+use crate::snapshot::EngineSnapshot;
+use corpus::PaperId;
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// A serve-time problem: the snapshot lacks a requested table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The snapshot was prepared without this (paper set, function)
+    /// prestige pair.
+    MissingPrestige {
+        /// The requested paper-set kind.
+        kind: ContextSetKind,
+        /// The requested score function.
+        function: ScoreFunction,
+    },
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::MissingPrestige { kind, function } => write!(
+                f,
+                "snapshot has no prestige table for ({}, {}); prepare it with that pair",
+                kind.name(),
+                function.name()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// A lock-free query handle over a shared [`EngineSnapshot`].
+#[derive(Clone)]
+pub struct Searcher {
+    snapshot: Arc<EngineSnapshot>,
+}
+
+impl Searcher {
+    /// Wrap a snapshot.
+    pub fn new(snapshot: Arc<EngineSnapshot>) -> Self {
+        Self { snapshot }
+    }
+
+    /// The underlying snapshot.
+    pub fn snapshot(&self) -> &Arc<EngineSnapshot> {
+        &self.snapshot
+    }
+
+    /// The ontology.
+    pub fn ontology(&self) -> &ontology::Ontology {
+        self.snapshot.ontology()
+    }
+
+    /// The corpus.
+    pub fn corpus(&self) -> &corpus::Corpus {
+        self.snapshot.corpus()
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &crate::config::EngineConfig {
+        self.snapshot.config()
+    }
+
+    /// The prepared index state.
+    pub fn index(&self) -> &crate::indexes::CorpusIndex {
+        self.snapshot.index()
+    }
+
+    /// One of the two §4 context paper sets.
+    pub fn sets(&self, kind: ContextSetKind) -> &ContextPaperSets {
+        self.snapshot.sets(kind)
+    }
+
+    /// A prepared prestige table, if the snapshot has it.
+    pub fn prestige(
+        &self,
+        kind: ContextSetKind,
+        function: ScoreFunction,
+    ) -> Option<&PrestigeScores> {
+        self.snapshot.prestige(kind, function)
+    }
+
+    fn parts(&self) -> QueryParts<'_> {
+        QueryParts {
+            ontology: self.snapshot.ontology(),
+            corpus: self.snapshot.corpus(),
+            config: self.snapshot.config(),
+            index: self.snapshot.index(),
+        }
+    }
+
+    /// Serve one query against a prepared (paper set, function) pair.
+    pub fn query(
+        &self,
+        query: &str,
+        kind: ContextSetKind,
+        function: ScoreFunction,
+        limit: usize,
+    ) -> Result<Vec<SearchResult>, ServeError> {
+        let prestige = self
+            .prestige(kind, function)
+            .ok_or(ServeError::MissingPrestige { kind, function })?;
+        Ok(self.search(query, self.sets(kind), prestige, limit))
+    }
+
+    /// Tasks 4 + 5 with explicit tables (the engine-compatible form;
+    /// the experiment harness passes ablation variants through here).
+    pub fn search(
+        &self,
+        query: &str,
+        sets: &ContextPaperSets,
+        prestige: &PrestigeScores,
+        limit: usize,
+    ) -> Vec<SearchResult> {
+        self.parts().search(query, sets, prestige, limit)
+    }
+
+    /// Task 3: select the contexts a query should search.
+    pub fn select_contexts(&self, query: &str, sets: &ContextPaperSets) -> Vec<(ContextId, f64)> {
+        self.parts().select_contexts(query, sets)
+    }
+
+    /// The PubMed-style keyword-search baseline over the whole corpus.
+    pub fn keyword_search(&self, query: &str, min_score: f64) -> Vec<(PaperId, f64)> {
+        self.parts().keyword_search(query, min_score)
+    }
+
+    /// Display snippet for a hit.
+    pub fn snippet(&self, paper: PaperId, query: &str) -> String {
+        self.parts().snippet(paper, query)
+    }
+
+    /// "More like this" over shared contexts.
+    pub fn more_like_this(
+        &self,
+        sets: &ContextPaperSets,
+        source: PaperId,
+        limit: usize,
+    ) -> Vec<crate::search::related::RelatedPaper> {
+        self.parts().more_like_this(sets, source, limit)
+    }
+
+    /// The §2 AC-answer ground-truth set for a query.
+    pub fn ac_answer_set(&self, query: &str) -> HashSet<PaperId> {
+        self.parts().ac_answer_set(query)
+    }
+
+    /// Recompute a prestige table with explicit options (ablation hook;
+    /// not a serve-path operation — it does offline-phase work).
+    ///
+    /// # Panics
+    /// For [`ScoreFunction::Pattern`] on a warm-loaded snapshot: mined
+    /// patterns are not persisted, so pattern prestige cannot be
+    /// recomputed from disk.
+    pub fn prestige_with_options(
+        &self,
+        sets: &ContextPaperSets,
+        function: ScoreFunction,
+        simplified: bool,
+        propagate: bool,
+    ) -> PrestigeScores {
+        crate::prestige::compute_prestige(
+            self.ontology(),
+            self.corpus(),
+            self.index(),
+            self.config(),
+            sets,
+            function,
+            simplified,
+            propagate,
+            || {
+                Arc::clone(self.snapshot.patterns().expect(
+                    "pattern prestige needs mined patterns; \
+                     warm-loaded snapshots do not carry them",
+                ))
+            },
+        )
+    }
+
+    /// The §7 weighted cross-context citation function.
+    pub fn weighted_citation_prestige(
+        &self,
+        sets: &ContextPaperSets,
+        weights: &crate::prestige::citation_weighted::CrossContextWeights,
+    ) -> PrestigeScores {
+        let mut scores = crate::prestige::citation_weighted::weighted_citation_prestige(
+            self.ontology(),
+            sets,
+            &self.index().graph,
+            self.config(),
+            weights,
+        );
+        scores.propagate_hierarchy_max(self.ontology(), sets);
+        scores
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EngineConfig;
+    use crate::search::engine::ContextSearchEngine;
+    use corpus::{generate_corpus, CorpusConfig};
+    use ontology::{generate_ontology, GeneratorConfig};
+
+    fn testbed() -> (ontology::Ontology, corpus::Corpus) {
+        let onto = generate_ontology(&GeneratorConfig {
+            n_terms: 70,
+            seed: 11,
+            ..Default::default()
+        });
+        let corp = generate_corpus(
+            &onto,
+            &CorpusConfig {
+                n_papers: 160,
+                seed: 13,
+                body_len: (40, 60),
+                abstract_len: (20, 30),
+                ..Default::default()
+            },
+        );
+        (onto, corp)
+    }
+
+    #[test]
+    fn searcher_matches_the_engine_exactly() {
+        let (onto, corp) = testbed();
+        let snap = EngineSnapshot::prepare(onto.clone(), corp.clone(), EngineConfig::default());
+        let searcher = snap.searcher();
+        let engine = ContextSearchEngine::build(onto, corp, EngineConfig::default());
+        let sets = engine.pattern_context_sets();
+        let prestige = engine.prestige(&sets, ScoreFunction::Pattern);
+        for query in ["biological process", "binding", "molecular function"] {
+            let via_engine = engine.search(query, &sets, &prestige, 0);
+            let via_searcher = searcher
+                .query(
+                    query,
+                    ContextSetKind::PatternBased,
+                    ScoreFunction::Pattern,
+                    0,
+                )
+                .unwrap();
+            assert_eq!(via_engine.len(), via_searcher.len(), "query {query:?}");
+            for (a, b) in via_engine.iter().zip(&via_searcher) {
+                assert_eq!(a.paper, b.paper);
+                assert_eq!(a.relevancy, b.relevancy);
+                assert_eq!(a.matching, b.matching);
+                assert_eq!(a.prestige, b.prestige);
+                assert_eq!(a.context, b.context);
+            }
+        }
+        // The baseline and ground-truth hooks agree too.
+        for query in ["biological process", "binding"] {
+            assert_eq!(
+                engine.keyword_search(query, 0.1),
+                searcher.keyword_search(query, 0.1)
+            );
+            assert_eq!(engine.ac_answer_set(query), searcher.ac_answer_set(query));
+        }
+    }
+
+    #[test]
+    fn missing_pair_is_a_clean_error() {
+        let (onto, corp) = testbed();
+        let snap = EngineSnapshot::prepare_with(
+            onto,
+            corp,
+            EngineConfig::default(),
+            crate::snapshot::PrepareOptions {
+                pairs: vec![(ContextSetKind::TextBased, ScoreFunction::Citation)],
+            },
+        );
+        let err = snap
+            .searcher()
+            .query(
+                "binding",
+                ContextSetKind::PatternBased,
+                ScoreFunction::Pattern,
+                5,
+            )
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ServeError::MissingPrestige {
+                kind: ContextSetKind::PatternBased,
+                function: ScoreFunction::Pattern
+            }
+        );
+        assert!(err.to_string().contains("pattern"));
+    }
+
+    #[test]
+    fn cloned_handles_share_the_snapshot() {
+        let (onto, corp) = testbed();
+        let snap = EngineSnapshot::prepare_with(
+            onto,
+            corp,
+            EngineConfig::default(),
+            crate::snapshot::PrepareOptions {
+                pairs: vec![(ContextSetKind::TextBased, ScoreFunction::Citation)],
+            },
+        );
+        let a = snap.searcher();
+        let b = a.clone();
+        assert!(Arc::ptr_eq(a.snapshot(), b.snapshot()));
+    }
+}

@@ -1,0 +1,568 @@
+//! The immutable prepared artifact of the paradigm.
+//!
+//! [`EngineSnapshot::prepare`] runs the whole offline phase — corpus
+//! index, both §4 context paper sets, pattern mining, and every
+//! requested (paper set, score function) prestige table — as a
+//! [`Plan`](crate::plan::Plan) of explicitly-dependent stages, so
+//! independent work (text sets vs pattern mining, the per-pair prestige
+//! tables) runs concurrently under the `build_threads` knob of
+//! [`EngineConfig`]. The output is an `Arc<EngineSnapshot>`: immutable,
+//! shareable, and servable lock-free by any number of
+//! [`Searcher`](crate::Searcher) handles.
+//!
+//! Every stage is a pure function of its inputs, so the parallel
+//! schedule is result-identical to `build_threads == 1` (asserted by
+//! the tests below). The stage names double as `obs` span names
+//! (`prepare.index`, `prepare.prestige.pattern_citation`, …) under the
+//! `prepare.total` umbrella span, making the schedule visible in
+//! metrics snapshots and traces.
+
+use crate::assign::{build_pattern_sets, build_text_sets, patterns_by_context, ContextPatterns};
+use crate::config::EngineConfig;
+use crate::context::{ContextPaperSets, ContextSetKind};
+use crate::indexes::CorpusIndex;
+use crate::plan::{Plan, Slot};
+use crate::prestige::{
+    citation::citation_prestige, pattern::pattern_prestige, text::text_prestige, PrestigeScores,
+    ScoreFunction,
+};
+use crate::search::serve::Searcher;
+use corpus::Corpus;
+use ontology::Ontology;
+use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
+
+/// A (paper set, score function) prestige pair.
+pub type PrestigePair = (ContextSetKind, ScoreFunction);
+
+/// Which prestige tables [`EngineSnapshot::prepare_with`] computes.
+#[derive(Debug, Clone)]
+pub struct PrepareOptions {
+    /// The (paper set, score function) pairs to prepare. Duplicates are
+    /// ignored. The special pair (pattern set, text function) scores
+    /// only the contexts that have a text-set representative, as in the
+    /// paper's Fig 5.3 setup.
+    pub pairs: Vec<PrestigePair>,
+}
+
+impl Default for PrepareOptions {
+    /// The five standard tables of the paper's §5 experiments.
+    fn default() -> Self {
+        Self {
+            pairs: vec![
+                (ContextSetKind::TextBased, ScoreFunction::Text),
+                (ContextSetKind::TextBased, ScoreFunction::Citation),
+                (ContextSetKind::PatternBased, ScoreFunction::Pattern),
+                (ContextSetKind::PatternBased, ScoreFunction::Citation),
+                (ContextSetKind::PatternBased, ScoreFunction::Text),
+            ],
+        }
+    }
+}
+
+/// Stage names for one prestige pair: `(compute, propagate)`. Static
+/// because `obs` span names are `&'static str`.
+fn stage_names(pair: PrestigePair) -> (&'static str, &'static str) {
+    use ContextSetKind::*;
+    use ScoreFunction::*;
+    match pair {
+        (TextBased, Text) => ("prepare.prestige.text_text", "prepare.propagate.text_text"),
+        (TextBased, Citation) => (
+            "prepare.prestige.text_citation",
+            "prepare.propagate.text_citation",
+        ),
+        (TextBased, Pattern) => (
+            "prepare.prestige.text_pattern",
+            "prepare.propagate.text_pattern",
+        ),
+        (PatternBased, Text) => (
+            "prepare.prestige.pattern_text",
+            "prepare.propagate.pattern_text",
+        ),
+        (PatternBased, Citation) => (
+            "prepare.prestige.pattern_citation",
+            "prepare.propagate.pattern_citation",
+        ),
+        (PatternBased, Pattern) => (
+            "prepare.prestige.pattern_pattern",
+            "prepare.propagate.pattern_pattern",
+        ),
+    }
+}
+
+/// The immutable output of the prepare phase: everything the online
+/// phase reads, and nothing it writes.
+///
+/// Invariants: every field is fixed at construction; the snapshot is
+/// shared by `Arc`, so serving threads never contend on anything. A
+/// snapshot loaded from disk ([`crate::persist::load_snapshot`]) has
+/// `patterns() == None` — mined patterns are a build intermediate the
+/// query path never touches.
+pub struct EngineSnapshot {
+    ontology: Ontology,
+    corpus: Corpus,
+    config: EngineConfig,
+    index: CorpusIndex,
+    text_sets: ContextPaperSets,
+    pattern_sets: ContextPaperSets,
+    prestige: HashMap<PrestigePair, PrestigeScores>,
+    patterns: Option<Arc<ContextPatterns>>,
+}
+
+impl std::fmt::Debug for EngineSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EngineSnapshot")
+            .field("papers", &self.corpus.len())
+            .field("terms", &self.ontology.len())
+            .field("text_contexts", &self.text_sets.n_contexts())
+            .field("pattern_contexts", &self.pattern_sets.n_contexts())
+            .field("pairs", &self.pairs())
+            .field("has_patterns", &self.patterns.is_some())
+            .finish()
+    }
+}
+
+impl EngineSnapshot {
+    /// Run the full prepare plan with the default five prestige tables.
+    pub fn prepare(ontology: Ontology, corpus: Corpus, config: EngineConfig) -> Arc<Self> {
+        Self::prepare_with(ontology, corpus, config, PrepareOptions::default())
+    }
+
+    /// Run the prepare plan for an explicit set of prestige pairs.
+    pub fn prepare_with(
+        ontology: Ontology,
+        corpus: Corpus,
+        config: EngineConfig,
+        options: PrepareOptions,
+    ) -> Arc<Self> {
+        let _total = obs::span("prepare.total");
+        obs::gauge("corpus.papers", corpus.len() as f64);
+        obs::gauge("ontology.terms", ontology.len() as f64);
+        obs::gauge("prepare.build_threads", config.build_threads as f64);
+
+        let mut pairs: Vec<PrestigePair> = Vec::new();
+        for p in options.pairs {
+            if !pairs.contains(&p) {
+                pairs.push(p);
+            }
+        }
+
+        // Caller-owned write-once slots carry stage outputs: `OnceLock`
+        // where multiple later stages read, `Slot` for the raw→propagate
+        // handoff that needs to mutate.
+        let index_out: OnceLock<CorpusIndex> = OnceLock::new();
+        let text_sets_out: OnceLock<ContextPaperSets> = OnceLock::new();
+        let patterns_out: OnceLock<Arc<ContextPatterns>> = OnceLock::new();
+        let pattern_sets_out: OnceLock<ContextPaperSets> = OnceLock::new();
+        let raw: Vec<Slot<PrestigeScores>> = pairs.iter().map(|_| Slot::new()).collect();
+        let done: Vec<OnceLock<PrestigeScores>> = pairs.iter().map(|_| OnceLock::new()).collect();
+
+        fn set<T>(cell: &OnceLock<T>, value: T) {
+            assert!(cell.set(value).is_ok(), "stage output already set");
+        }
+
+        let needs_patterns = pairs
+            .iter()
+            .any(|&(k, f)| k == ContextSetKind::PatternBased || f == ScoreFunction::Pattern);
+
+        let mut plan = Plan::new();
+        plan.stage("prepare.index", &[], || {
+            set(
+                &index_out,
+                CorpusIndex::build(&ontology, &corpus, &config.pagerank),
+            );
+        });
+        plan.stage("prepare.text_sets", &["prepare.index"], || {
+            let index = index_out.get().expect("dep ran");
+            set(
+                &text_sets_out,
+                build_text_sets(&ontology, &corpus, index, &config),
+            );
+        });
+        if needs_patterns {
+            plan.stage("prepare.patterns", &["prepare.index"], || {
+                let index = index_out.get().expect("dep ran");
+                set(
+                    &patterns_out,
+                    Arc::new(patterns_by_context(&ontology, &corpus, index, &config)),
+                );
+            });
+            plan.stage(
+                "prepare.pattern_sets",
+                &["prepare.index", "prepare.patterns"],
+                || {
+                    let index = index_out.get().expect("dep ran");
+                    let patterns = patterns_out.get().expect("dep ran");
+                    set(
+                        &pattern_sets_out,
+                        build_pattern_sets(&ontology, &corpus, index, patterns, &config),
+                    );
+                },
+            );
+        }
+
+        for (i, &pair) in pairs.iter().enumerate() {
+            let (compute_name, propagate_name) = stage_names(pair);
+            let (kind, function) = pair;
+            let sets_dep = match kind {
+                ContextSetKind::TextBased => "prepare.text_sets",
+                ContextSetKind::PatternBased => "prepare.pattern_sets",
+            };
+            let mut deps = vec!["prepare.index", sets_dep];
+            if function == ScoreFunction::Pattern {
+                deps.push("prepare.patterns");
+            }
+            if pair == (ContextSetKind::PatternBased, ScoreFunction::Text) {
+                deps.push("prepare.text_sets"); // representatives come from there
+            }
+            let raw_slot = &raw[i];
+            let ontology_ref = &ontology;
+            let corpus_ref = &corpus;
+            let config_ref = &config;
+            let index_ref = &index_out;
+            let text_sets_ref = &text_sets_out;
+            let pattern_sets_ref = &pattern_sets_out;
+            let patterns_ref = &patterns_out;
+            plan.stage(compute_name, &deps, move || {
+                let index = index_ref.get().expect("dep ran");
+                let sets = match kind {
+                    ContextSetKind::TextBased => text_sets_ref.get().expect("dep ran"),
+                    ContextSetKind::PatternBased => pattern_sets_ref.get().expect("dep ran"),
+                };
+                let scores = match (kind, function) {
+                    (_, ScoreFunction::Citation) => {
+                        citation_prestige(sets, &index.graph, config_ref)
+                    }
+                    (ContextSetKind::PatternBased, ScoreFunction::Text) => {
+                        // Text scores over the pattern-based set exist
+                        // only for contexts with a representative: score
+                        // a view of the pattern sets carrying the text
+                        // set's representatives (paper Fig 5.3).
+                        let mut view = sets.clone();
+                        view.representatives = text_sets_ref
+                            .get()
+                            .expect("dep ran")
+                            .representatives
+                            .clone();
+                        text_prestige(&view, corpus_ref, index, config_ref)
+                    }
+                    (_, ScoreFunction::Text) => text_prestige(sets, corpus_ref, index, config_ref),
+                    (_, ScoreFunction::Pattern) => pattern_prestige(
+                        ontology_ref,
+                        sets,
+                        corpus_ref,
+                        index,
+                        patterns_ref.get().expect("dep ran"),
+                        config_ref,
+                        true, // the §4 simplified (middle-only) variant
+                    ),
+                };
+                raw_slot.put(scores);
+            });
+            let done_cell = &done[i];
+            plan.stage(propagate_name, &[compute_name], move || {
+                let mut scores = raw_slot.take().expect("compute stage ran");
+                // Propagation only reads membership, and the pattern_text
+                // representative view has identical members, so the plain
+                // set is always the right argument here.
+                let sets = match kind {
+                    ContextSetKind::TextBased => text_sets_ref.get().expect("dep ran"),
+                    ContextSetKind::PatternBased => pattern_sets_ref.get().expect("dep ran"),
+                };
+                scores.propagate_hierarchy_max(ontology_ref, sets);
+                set(done_cell, scores);
+            });
+        }
+
+        plan.run(config.build_threads)
+            .expect("prepare plan wiring is statically valid");
+
+        let prestige: HashMap<PrestigePair, PrestigeScores> = pairs
+            .iter()
+            .zip(done)
+            .map(|(&pair, cell)| (pair, cell.into_inner().expect("plan completed")))
+            .collect();
+        let pattern_sets = pattern_sets_out
+            .into_inner()
+            .unwrap_or_else(|| ContextPaperSets::new(HashMap::new(), ContextSetKind::PatternBased));
+        Arc::new(Self {
+            index: index_out.into_inner().expect("plan completed"),
+            text_sets: text_sets_out.into_inner().expect("plan completed"),
+            pattern_sets,
+            prestige,
+            patterns: patterns_out.into_inner(),
+            ontology,
+            corpus,
+            config,
+        })
+    }
+
+    /// Assemble a snapshot from already-prepared parts (the warm-start
+    /// loader; `patterns` is `None` there because mined patterns are a
+    /// build intermediate, not a serve-path input).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_parts(
+        ontology: Ontology,
+        corpus: Corpus,
+        config: EngineConfig,
+        index: CorpusIndex,
+        text_sets: ContextPaperSets,
+        pattern_sets: ContextPaperSets,
+        prestige: HashMap<PrestigePair, PrestigeScores>,
+        patterns: Option<Arc<ContextPatterns>>,
+    ) -> Self {
+        Self {
+            ontology,
+            corpus,
+            config,
+            index,
+            text_sets,
+            pattern_sets,
+            prestige,
+            patterns,
+        }
+    }
+
+    /// The ontology.
+    pub fn ontology(&self) -> &Ontology {
+        &self.ontology
+    }
+
+    /// The corpus.
+    pub fn corpus(&self) -> &Corpus {
+        &self.corpus
+    }
+
+    /// The configuration the snapshot was prepared with.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The prepared corpus index.
+    pub fn index(&self) -> &CorpusIndex {
+        &self.index
+    }
+
+    /// One of the two §4 context paper sets.
+    pub fn sets(&self, kind: ContextSetKind) -> &ContextPaperSets {
+        match kind {
+            ContextSetKind::TextBased => &self.text_sets,
+            ContextSetKind::PatternBased => &self.pattern_sets,
+        }
+    }
+
+    /// The prestige table for one (paper set, function) pair, if it was
+    /// prepared.
+    pub fn prestige(
+        &self,
+        kind: ContextSetKind,
+        function: ScoreFunction,
+    ) -> Option<&PrestigeScores> {
+        self.prestige.get(&(kind, function))
+    }
+
+    /// The prepared pairs, in a stable (name-sorted) order.
+    pub fn pairs(&self) -> Vec<PrestigePair> {
+        let mut out: Vec<PrestigePair> = self.prestige.keys().copied().collect();
+        out.sort_by_key(|&(k, f)| (k.name(), f.name()));
+        out
+    }
+
+    /// The mined per-context patterns (`None` on a warm-loaded
+    /// snapshot — the serve path never needs them).
+    pub fn patterns(&self) -> Option<&Arc<ContextPatterns>> {
+        self.patterns.as_ref()
+    }
+
+    /// A lock-free serving handle over this snapshot.
+    pub fn searcher(self: &Arc<Self>) -> Searcher {
+        Searcher::new(Arc::clone(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::persist::{context_sets_to_json, prestige_to_json};
+    use crate::search::engine::ContextSearchEngine;
+    use corpus::{generate_corpus, CorpusConfig};
+    use ontology::{generate_ontology, GeneratorConfig};
+
+    fn testbed() -> (Ontology, Corpus) {
+        let onto = generate_ontology(&GeneratorConfig {
+            n_terms: 70,
+            seed: 11,
+            ..Default::default()
+        });
+        let corp = generate_corpus(
+            &onto,
+            &CorpusConfig {
+                n_papers: 160,
+                seed: 13,
+                body_len: (40, 60),
+                abstract_len: (20, 30),
+                ..Default::default()
+            },
+        );
+        (onto, corp)
+    }
+
+    fn prepare_with_threads(threads: usize) -> Arc<EngineSnapshot> {
+        let (onto, corp) = testbed();
+        let config = EngineConfig {
+            build_threads: threads,
+            ..Default::default()
+        };
+        EngineSnapshot::prepare(onto, corp, config)
+    }
+
+    #[test]
+    fn prepare_builds_all_default_tables() {
+        let snap = prepare_with_threads(1);
+        assert!(snap.sets(ContextSetKind::TextBased).n_contexts() > 0);
+        assert!(snap.sets(ContextSetKind::PatternBased).n_contexts() > 0);
+        assert_eq!(snap.pairs().len(), 5);
+        for (k, f) in snap.pairs() {
+            let p = snap.prestige(k, f).expect("prepared");
+            assert!(p.contexts().count() > 0, "{}/{} empty", k.name(), f.name());
+        }
+        assert!(snap.patterns().is_some(), "cold build keeps mined patterns");
+    }
+
+    #[test]
+    fn parallel_prepare_is_result_identical_to_sequential() {
+        // The acceptance criterion: --build-threads 1 vs default must
+        // produce byte-identical context sets and prestige tables. The
+        // canonical sorted JSON form is the equality witness.
+        let seq = prepare_with_threads(1);
+        let par = prepare_with_threads(4);
+        for kind in [ContextSetKind::TextBased, ContextSetKind::PatternBased] {
+            assert_eq!(
+                context_sets_to_json(seq.sets(kind)),
+                context_sets_to_json(par.sets(kind)),
+                "context sets differ for {}",
+                kind.name()
+            );
+        }
+        assert_eq!(seq.pairs(), par.pairs());
+        for (k, f) in seq.pairs() {
+            assert_eq!(
+                prestige_to_json(seq.prestige(k, f).unwrap()),
+                prestige_to_json(par.prestige(k, f).unwrap()),
+                "prestige differs for {}/{}",
+                k.name(),
+                f.name()
+            );
+        }
+        // And the query results match exactly.
+        let (sa, sb) = (seq.searcher(), par.searcher());
+        for query in ["biological process", "molecular function", "binding"] {
+            let a = sa.query(
+                query,
+                ContextSetKind::PatternBased,
+                ScoreFunction::Pattern,
+                0,
+            );
+            let b = sb.query(
+                query,
+                ContextSetKind::PatternBased,
+                ScoreFunction::Pattern,
+                0,
+            );
+            let (a, b) = (a.unwrap(), b.unwrap());
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.paper, y.paper);
+                assert_eq!(x.relevancy, y.relevancy);
+                assert_eq!(x.context, y.context);
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_matches_the_legacy_engine() {
+        // The refactor must not change any prepared numbers: the plan
+        // path and the engine's piecemeal path agree exactly.
+        let snap = prepare_with_threads(1);
+        let (onto, corp) = testbed();
+        let engine = ContextSearchEngine::build(onto, corp, EngineConfig::default());
+        let text_sets = engine.text_context_sets();
+        let pattern_sets = engine.pattern_context_sets();
+        assert_eq!(
+            context_sets_to_json(snap.sets(ContextSetKind::TextBased)),
+            context_sets_to_json(&text_sets)
+        );
+        assert_eq!(
+            context_sets_to_json(snap.sets(ContextSetKind::PatternBased)),
+            context_sets_to_json(&pattern_sets)
+        );
+        let cases: [(ContextSetKind, ScoreFunction, PrestigeScores); 4] = [
+            (
+                ContextSetKind::TextBased,
+                ScoreFunction::Text,
+                engine.prestige(&text_sets, ScoreFunction::Text),
+            ),
+            (
+                ContextSetKind::TextBased,
+                ScoreFunction::Citation,
+                engine.prestige(&text_sets, ScoreFunction::Citation),
+            ),
+            (
+                ContextSetKind::PatternBased,
+                ScoreFunction::Pattern,
+                engine.prestige(&pattern_sets, ScoreFunction::Pattern),
+            ),
+            (
+                ContextSetKind::PatternBased,
+                ScoreFunction::Citation,
+                engine.prestige(&pattern_sets, ScoreFunction::Citation),
+            ),
+        ];
+        for (k, f, expected) in &cases {
+            assert_eq!(
+                prestige_to_json(snap.prestige(*k, *f).unwrap()),
+                prestige_to_json(expected),
+                "{}/{} differs from the engine path",
+                k.name(),
+                f.name()
+            );
+        }
+        // The Fig 5.3 special pair: text scores on the pattern set with
+        // injected representatives.
+        let expected = {
+            let mut view = pattern_sets.clone();
+            view.representatives = text_sets.representatives.clone();
+            engine.prestige(&view, ScoreFunction::Text)
+        };
+        assert_eq!(
+            prestige_to_json(
+                snap.prestige(ContextSetKind::PatternBased, ScoreFunction::Text)
+                    .unwrap()
+            ),
+            prestige_to_json(&expected)
+        );
+    }
+
+    #[test]
+    fn prepare_with_subset_skips_unrequested_work() {
+        let (onto, corp) = testbed();
+        let snap = EngineSnapshot::prepare_with(
+            onto,
+            corp,
+            EngineConfig::default(),
+            PrepareOptions {
+                pairs: vec![
+                    (ContextSetKind::TextBased, ScoreFunction::Citation),
+                    // duplicate must be ignored
+                    (ContextSetKind::TextBased, ScoreFunction::Citation),
+                ],
+            },
+        );
+        assert_eq!(snap.pairs().len(), 1);
+        assert!(
+            snap.patterns().is_none(),
+            "no pattern pair requested → no mining"
+        );
+        assert_eq!(snap.sets(ContextSetKind::PatternBased).n_contexts(), 0);
+    }
+}

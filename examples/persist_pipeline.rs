@@ -1,81 +1,91 @@
 //! The deployment shape the paper's architecture implies: an *offline*
 //! job assigns papers to contexts and computes prestige scores, writes
-//! them to disk; an *online* service loads them at startup and serves
-//! queries without redoing any heavy work.
+//! a versioned snapshot directory; an *online* service warm-starts from
+//! it and serves queries lock-free without redoing any heavy work.
 //!
 //! Run with: `cargo run --release --example persist_pipeline`
 
-use litsearch::context_search::persist::{
-    context_sets_from_json, context_sets_to_json, prestige_from_json, prestige_to_json,
-};
-use litsearch::context_search::ScoreFunction;
-use litsearch::demo::{engine, Scale};
+use litsearch::context_search::persist::{load_snapshot, save_snapshot};
+use litsearch::context_search::{ContextSetKind, EngineConfig, ScoreFunction};
+use litsearch::demo::{snapshot, Scale};
 use std::time::Instant;
 
 fn main() {
     let dir = std::env::temp_dir().join("litsearch_persist_demo");
-    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let _ = std::fs::remove_dir_all(&dir);
 
     // ---- offline job --------------------------------------------------
-    println!("[offline] building engine and computing prestige…");
+    println!("[offline] preparing snapshot (context sets + 5 prestige tables)…");
     let t = Instant::now();
-    let engine = engine(Scale::Tiny, 7);
-    let sets = engine.pattern_context_sets();
-    let prestige = engine.prestige(&sets, ScoreFunction::Pattern);
-    println!("[offline] computed in {:.1?}", t.elapsed());
-
-    let sets_path = dir.join("context_sets.json");
-    let prestige_path = dir.join("prestige_pattern.json");
-    std::fs::write(&sets_path, context_sets_to_json(&sets)).expect("write sets");
-    std::fs::write(&prestige_path, prestige_to_json(&prestige)).expect("write prestige");
+    let snap = snapshot(Scale::Tiny, 7);
+    println!("[offline] prepared in {:.1?}", t.elapsed());
+    save_snapshot(&snap, &dir).expect("write snapshot");
+    let bytes: u64 = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok()?.metadata().ok())
+        .map(|m| m.len())
+        .sum();
     println!(
-        "[offline] wrote {} ({} bytes) and {} ({} bytes)",
-        sets_path.display(),
-        std::fs::metadata(&sets_path).unwrap().len(),
-        prestige_path.display(),
-        std::fs::metadata(&prestige_path).unwrap().len(),
+        "[offline] wrote snapshot directory {} ({} files, {bytes} bytes)",
+        dir.display(),
+        std::fs::read_dir(&dir).unwrap().count(),
     );
 
     // ---- online service -----------------------------------------------
-    println!("\n[online] loading precomputed state…");
+    println!("\n[online] warm-starting from the snapshot…");
     let t = Instant::now();
-    let loaded_sets =
-        context_sets_from_json(&std::fs::read_to_string(&sets_path).unwrap()).unwrap();
-    let loaded_prestige =
-        prestige_from_json(&std::fs::read_to_string(&prestige_path).unwrap()).unwrap();
+    let loaded = load_snapshot(&dir, EngineConfig::default()).expect("load snapshot");
+    let searcher = loaded.searcher();
     println!(
-        "[online] loaded {} contexts in {:.1?}",
-        loaded_sets.n_contexts(),
+        "[online] loaded {} prestige tables over {} papers in {:.1?} \
+         (no context assignment, no pattern mining, no per-context PageRank)",
+        loaded.pairs().len(),
+        loaded.corpus().len(),
         t.elapsed()
     );
 
-    let term = engine
+    let term = searcher
         .ontology()
         .term_ids()
-        .find(|&t| engine.ontology().level(t) == 3)
+        .find(|&t| searcher.ontology().level(t) == 3)
         .expect("level-3 term");
-    let query = engine.ontology().term(term).name.clone();
+    let query = searcher.ontology().term(term).name.clone();
     println!("[online] query: {query:?}");
     let t = Instant::now();
-    let hits = engine.search(&query, &loaded_sets, &loaded_prestige, 5);
+    let hits = searcher
+        .query(
+            &query,
+            ContextSetKind::PatternBased,
+            ScoreFunction::Pattern,
+            5,
+        )
+        .expect("pair was prepared");
     println!("[online] {} hits in {:.1?}:", hits.len(), t.elapsed());
     for h in &hits {
         println!(
             "  R={:.3}  {}",
             h.relevancy,
-            &engine.corpus().paper(h.paper).title
-                [..60.min(engine.corpus().paper(h.paper).title.len())]
+            &searcher.corpus().paper(h.paper).title
+                [..60.min(searcher.corpus().paper(h.paper).title.len())]
         );
     }
 
-    // Sanity: identical to searching with the in-memory state.
-    let fresh = engine.search(&query, &sets, &prestige, 5);
+    // Sanity: identical to searching with the freshly prepared state.
+    let fresh = snap
+        .searcher()
+        .query(
+            &query,
+            ContextSetKind::PatternBased,
+            ScoreFunction::Pattern,
+            5,
+        )
+        .expect("pair was prepared");
     assert_eq!(fresh.len(), hits.len());
     for (a, b) in fresh.iter().zip(&hits) {
         assert_eq!(a.paper, b.paper);
         assert!((a.relevancy - b.relevancy).abs() < 1e-12);
     }
-    println!("\nloaded state reproduces in-memory results exactly ✓");
+    println!("\nwarm-started snapshot reproduces in-memory results exactly ✓");
 
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -17,10 +17,12 @@
 //! next to them; `search` loads everything and prints ranked results.
 
 use litsearch::context_search::persist::{
-    context_sets_from_json, context_sets_to_json, prestige_from_json, prestige_to_json,
+    context_sets_from_json, context_sets_to_json, load_snapshot, prestige_from_json,
+    prestige_to_json, save_snapshot,
 };
 use litsearch::context_search::{
-    ContextPaperSets, ContextSearchEngine, EngineConfig, PrestigeScores, ScoreFunction,
+    ContextId, ContextPaperSets, ContextSearchEngine, EngineConfig, EngineSnapshot, PrestigeScores,
+    ScoreFunction, SearchResult, Searcher,
 };
 use litsearch::corpus::Corpus;
 use litsearch::ontology::obo::{parse_obo, write_obo};
@@ -60,6 +62,7 @@ fn main() -> ExitCode {
         "generate" => cmd_generate(&flags),
         "assign" => cmd_assign(&flags),
         "prestige" => cmd_prestige(&flags),
+        "prepare" => cmd_prepare(&flags),
         "search" => cmd_search(&flags),
         "stats" => cmd_stats(&flags),
         "trace" => cmd_trace(&flags),
@@ -135,11 +138,22 @@ USAGE:
   litsearch generate --out DIR [--terms N] [--papers N] [--seed N]
   litsearch assign   --data DIR --kind text|pattern
   litsearch prestige --data DIR --kind text|pattern --function citation|text|pattern
+  litsearch prepare  --data DIR --out DIR [--build-threads N]
   litsearch search   --data DIR --kind text|pattern --function citation|text|pattern
+                     --query TEXT [--limit N] [--repeat N]
+  litsearch search   --snapshot DIR --kind text|pattern --function citation|text|pattern
                      --query TEXT [--limit N] [--repeat N]
   litsearch stats    --data DIR
   litsearch trace    --file PATH
   litsearch help
+
+`prepare` runs the whole offline phase — context sets, pattern mining,
+and all five standard prestige tables — as a dependency-ordered stage
+plan (`--build-threads N` runs independent stages concurrently; 1 forces
+the sequential schedule; both are result-identical) and writes a
+versioned snapshot directory. `search --snapshot DIR` warm-starts from
+that directory, skipping every per-context prestige/PageRank
+computation.
 
 Any command also accepts `--metrics PATH`: collect telemetry (spans,
 counters, latency histograms) and write a JSON snapshot to PATH.
@@ -335,17 +349,127 @@ fn load_prestige(dir: &str, kind: &str, function: ScoreFunction) -> Result<Prest
     prestige_from_json(&text).map_err(|e| e.to_string())
 }
 
+fn engine_config(flags: &Flags) -> Result<EngineConfig, String> {
+    let default = EngineConfig::default();
+    Ok(EngineConfig {
+        build_threads: flags.get_usize("build-threads", default.build_threads)?,
+        ..default
+    })
+}
+
+/// `litsearch prepare`: run the full offline phase as a stage plan and
+/// write a versioned snapshot directory for warm starts.
+fn cmd_prepare(flags: &Flags) -> Result<(), String> {
+    let (ontology, corpus, _dir) = load_data(flags)?;
+    let out = flags.require("out")?.to_string();
+    let config = engine_config(flags)?;
+    eprintln!(
+        "preparing snapshot (build threads: {})…",
+        if config.build_threads == 0 {
+            "auto".to_string()
+        } else {
+            config.build_threads.to_string()
+        }
+    );
+    let snapshot = EngineSnapshot::prepare(ontology, corpus, config);
+    save_snapshot(&snapshot, Path::new(&out)).map_err(|e| e.to_string())?;
+    eprintln!(
+        "wrote snapshot to {out} ({} contexts text / {} pattern, {} prestige tables)",
+        snapshot
+            .sets(litsearch::context_search::ContextSetKind::TextBased)
+            .n_contexts(),
+        snapshot
+            .sets(litsearch::context_search::ContextSetKind::PatternBased)
+            .n_contexts(),
+        snapshot.pairs().len()
+    );
+    Ok(())
+}
+
+/// The two ways `search` can get a query path: a cold engine build from
+/// the piecemeal `--data` artifacts, or a lock-free [`Searcher`] over a
+/// warm-loaded `--snapshot` directory.
+enum Backend {
+    Cold(Box<ContextSearchEngine>),
+    Warm(Searcher),
+}
+
+impl Backend {
+    fn search(
+        &self,
+        query: &str,
+        sets: &ContextPaperSets,
+        prestige: &PrestigeScores,
+        limit: usize,
+    ) -> Vec<SearchResult> {
+        match self {
+            Self::Cold(e) => e.search(query, sets, prestige, limit),
+            Self::Warm(s) => s.search(query, sets, prestige, limit),
+        }
+    }
+
+    fn select_contexts(&self, query: &str, sets: &ContextPaperSets) -> Vec<(ContextId, f64)> {
+        match self {
+            Self::Cold(e) => e.select_contexts(query, sets),
+            Self::Warm(s) => s.select_contexts(query, sets),
+        }
+    }
+
+    fn ontology(&self) -> &Ontology {
+        match self {
+            Self::Cold(e) => e.ontology(),
+            Self::Warm(s) => s.ontology(),
+        }
+    }
+
+    fn corpus(&self) -> &Corpus {
+        match self {
+            Self::Cold(e) => e.corpus(),
+            Self::Warm(s) => s.corpus(),
+        }
+    }
+
+    fn snippet(&self, paper: litsearch::corpus::PaperId, query: &str) -> String {
+        match self {
+            Self::Cold(e) => e.snippet(paper, query),
+            Self::Warm(s) => s.snippet(paper, query),
+        }
+    }
+}
+
 fn cmd_search(flags: &Flags) -> Result<(), String> {
-    let (ontology, corpus, dir) = load_data(flags)?;
     let kind = parse_kind(flags)?;
     let function = parse_function(flags)?;
     let query = flags.require("query")?.to_string();
     let limit = flags.get_usize("limit", 10)?;
     let repeat = flags.get_usize("repeat", 1)?.max(1);
-    let sets = load_sets(&dir, kind)?;
-    let prestige = load_prestige(&dir, kind, function)?;
-    eprintln!("building engine…");
-    let engine = ContextSearchEngine::build(ontology, corpus, EngineConfig::default());
+    let (engine, sets, prestige) = if let Some(snap_dir) = flags.get("snapshot") {
+        eprintln!("loading snapshot from {snap_dir}…");
+        let snapshot =
+            load_snapshot(Path::new(snap_dir), engine_config(flags)?).map_err(|e| e.to_string())?;
+        let set_kind = match kind {
+            "text" => litsearch::context_search::ContextSetKind::TextBased,
+            _ => litsearch::context_search::ContextSetKind::PatternBased,
+        };
+        let sets = snapshot.sets(set_kind).clone();
+        let prestige = snapshot
+            .prestige(set_kind, function)
+            .ok_or_else(|| {
+                format!(
+                    "snapshot has no prestige table for ({kind}, {}); re-run `litsearch prepare`",
+                    function.name()
+                )
+            })?
+            .clone();
+        (Backend::Warm(snapshot.searcher()), sets, prestige)
+    } else {
+        let (ontology, corpus, dir) = load_data(flags)?;
+        let sets = load_sets(&dir, kind)?;
+        let prestige = load_prestige(&dir, kind, function)?;
+        eprintln!("building engine…");
+        let engine = ContextSearchEngine::build(ontology, corpus, EngineConfig::default());
+        (Backend::Cold(Box::new(engine)), sets, prestige)
+    };
 
     // Warm-up repeats (beyond the reported run) populate the latency
     // histograms so --metrics percentiles are meaningful.

@@ -72,6 +72,15 @@ pub mod demo {
         let corp = corpus::generate_corpus(&onto, &ccfg);
         ContextSearchEngine::build(onto, corp, EngineConfig::default())
     }
+
+    /// Prepare a full immutable snapshot (all five standard prestige
+    /// tables) at the given scale.
+    pub fn snapshot(scale: Scale, seed: u64) -> std::sync::Arc<context_search::EngineSnapshot> {
+        let (ocfg, ccfg) = configs(scale, seed);
+        let onto = ontology::generate_ontology(&ocfg);
+        let corp = corpus::generate_corpus(&onto, &ccfg);
+        context_search::EngineSnapshot::prepare(onto, corp, EngineConfig::default())
+    }
 }
 
 #[cfg(test)]

@@ -324,6 +324,168 @@ fn trace_flag_writes_chrome_trace() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// `prepare` + `search --snapshot`: the warm-start pipeline through the
+/// executable. The warm search must print the same ranked results as
+/// the piecemeal cold path, and the metrics snapshot must show the
+/// prepare plan's stage spans (cold) vs. the loader span with no
+/// per-context prestige work (warm).
+#[test]
+fn prepare_then_snapshot_search_through_the_cli() {
+    let dir = std::env::temp_dir().join(format!("litsearch_prepare_test_{}", std::process::id()));
+    let data = dir.to_str().unwrap();
+    let snap_dir = dir.join("snap");
+    let snap = snap_dir.to_str().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let out = litsearch(&[
+        "generate", "--out", data, "--terms", "80", "--papers", "150", "--seed", "7",
+    ]);
+    assert!(
+        out.status.success(),
+        "generate: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // prepare --metrics: the stage plan runs under prepare.total.
+    let prepare_metrics = dir.join("prepare_metrics.json");
+    let out = litsearch(&[
+        "prepare",
+        "--data",
+        data,
+        "--out",
+        snap,
+        "--build-threads",
+        "2",
+        "--metrics",
+        prepare_metrics.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "prepare: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    for file in [
+        "snapshot.json",
+        "ontology.obo",
+        "corpus.json",
+        "sets_text.json",
+        "sets_pattern.json",
+        "prestige_pattern_pattern.json",
+        "prestige_text_citation.json",
+    ] {
+        assert!(snap_dir.join(file).exists(), "snapshot missing {file}");
+    }
+    let json = std::fs::read_to_string(&prepare_metrics).unwrap();
+    let m = obs::MetricsSnapshot::from_json(&json).unwrap();
+    for name in [
+        "prepare.total",
+        "prepare.index",
+        "prepare.text_sets",
+        "prepare.pattern_sets",
+        "prepare.prestige.pattern_pattern",
+        "prepare.propagate.text_citation",
+        "persist.save_snapshot",
+    ] {
+        assert!(m.span(name).is_some(), "span {name} missing: {json}");
+    }
+
+    // Cold reference via the piecemeal path.
+    for args in [
+        vec!["assign", "--data", data, "--kind", "pattern"],
+        vec![
+            "prestige",
+            "--data",
+            data,
+            "--kind",
+            "pattern",
+            "--function",
+            "pattern",
+        ],
+    ] {
+        let out = litsearch(&args);
+        assert!(out.status.success(), "{:?}", args[0]);
+    }
+    let cold = litsearch(&[
+        "search",
+        "--data",
+        data,
+        "--kind",
+        "pattern",
+        "--function",
+        "pattern",
+        "--query",
+        "biological process",
+        "--limit",
+        "5",
+    ]);
+    assert!(
+        cold.status.success(),
+        "cold search: {}",
+        String::from_utf8_lossy(&cold.stderr)
+    );
+
+    // Warm search from the snapshot: same ranked output, and the
+    // metrics show the load path did no per-context prestige work.
+    let warm_metrics = dir.join("warm_metrics.json");
+    let warm = litsearch(&[
+        "search",
+        "--snapshot",
+        snap,
+        "--kind",
+        "pattern",
+        "--function",
+        "pattern",
+        "--query",
+        "biological process",
+        "--limit",
+        "5",
+        "--metrics",
+        warm_metrics.to_str().unwrap(),
+    ]);
+    assert!(
+        warm.status.success(),
+        "warm search: {}",
+        String::from_utf8_lossy(&warm.stderr)
+    );
+    assert_eq!(
+        String::from_utf8_lossy(&cold.stdout),
+        String::from_utf8_lossy(&warm.stdout),
+        "warm-start results must match the cold path exactly"
+    );
+    let json = std::fs::read_to_string(&warm_metrics).unwrap();
+    let m = obs::MetricsSnapshot::from_json(&json).unwrap();
+    assert!(m.span("persist.load_snapshot").is_some(), "{json}");
+    assert!(m.span("engine.search").is_some(), "{json}");
+    for skipped in [
+        "engine.prestige",
+        "prepare.total",
+        "prestige.context_pagerank",
+        "engine.build",
+    ] {
+        assert!(
+            m.span(skipped).is_none(),
+            "warm start must not run {skipped}: {json}"
+        );
+    }
+
+    // A snapshot lacking the requested pair fails with guidance.
+    let out = litsearch(&[
+        "search",
+        "--snapshot",
+        "/definitely/not/here",
+        "--kind",
+        "pattern",
+        "--function",
+        "pattern",
+        "--query",
+        "x",
+    ]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("error"));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn helpful_errors_for_bad_usage() {
     // Unknown command.

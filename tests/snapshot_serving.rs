@@ -1,0 +1,75 @@
+//! The serve-side guarantee of the snapshot architecture: one immutable
+//! [`EngineSnapshot`] served by cheap [`Searcher`] clones gives
+//! bit-identical results from any number of threads, because the hot
+//! path holds zero locks and reads only frozen state.
+
+use litsearch::context_search::{ContextSetKind, ScoreFunction, SearchResult};
+use litsearch::demo::{snapshot, Scale};
+
+/// All five standard (paper set, function) pairs.
+const PAIRS: [(ContextSetKind, ScoreFunction); 5] = [
+    (ContextSetKind::TextBased, ScoreFunction::Text),
+    (ContextSetKind::TextBased, ScoreFunction::Citation),
+    (ContextSetKind::PatternBased, ScoreFunction::Pattern),
+    (ContextSetKind::PatternBased, ScoreFunction::Citation),
+    (ContextSetKind::PatternBased, ScoreFunction::Text),
+];
+
+fn assert_same(query: &str, got: &[SearchResult], expect: &[SearchResult]) {
+    assert_eq!(got.len(), expect.len(), "result count for {query:?}");
+    for (a, b) in got.iter().zip(expect) {
+        assert_eq!(a.paper, b.paper, "paper order for {query:?}");
+        assert_eq!(a.relevancy, b.relevancy, "relevancy for {query:?}");
+        assert_eq!(a.matching, b.matching, "matching for {query:?}");
+        assert_eq!(a.prestige, b.prestige, "prestige for {query:?}");
+        assert_eq!(a.context, b.context, "context for {query:?}");
+    }
+}
+
+#[test]
+fn eight_threads_reproduce_the_single_threaded_reference_exactly() {
+    let snap = snapshot(Scale::Tiny, 21);
+    let searcher = snap.searcher();
+
+    // ≥32 distinct queries drawn from ontology term names.
+    let queries: Vec<String> = snap
+        .ontology()
+        .term_ids()
+        .map(|t| snap.ontology().term(t).name.clone())
+        .take(32)
+        .collect();
+    assert!(queries.len() >= 32, "testbed too small for 32 queries");
+
+    // Single-threaded reference, every pair × every query.
+    let reference: Vec<Vec<Vec<SearchResult>>> = PAIRS
+        .iter()
+        .map(|&(kind, function)| {
+            queries
+                .iter()
+                .map(|q| searcher.query(q, kind, function, 0).expect("pair prepared"))
+                .collect()
+        })
+        .collect();
+
+    // 8 threads hammer the same snapshot concurrently; thread i serves
+    // pair i % 5, so every table is read from multiple threads at once.
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                let s = searcher.clone();
+                let queries = &queries;
+                let reference = &reference;
+                scope.spawn(move || {
+                    let (kind, function) = PAIRS[i % PAIRS.len()];
+                    for (q, expect) in queries.iter().zip(&reference[i % PAIRS.len()]) {
+                        let got = s.query(q, kind, function, 0).expect("pair prepared");
+                        assert_same(q, &got, expect);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("serving thread panicked");
+        }
+    });
+}
