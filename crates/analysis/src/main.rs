@@ -1,0 +1,146 @@
+//! `litsearch-lint` — CLI driver for the `analysis` lint engine.
+//!
+//! Exit codes: `0` clean (or warn-only), `1` deny findings (or any
+//! finding under `--deny-warnings`), `2` usage/engine error.
+
+use analysis::{all_rules, discover_root, lint, LintConfig, Severity, Workspace};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+litsearch-lint — static analysis for the litsearch workspace
+
+USAGE:
+    litsearch-lint [OPTIONS]
+
+OPTIONS:
+    --root PATH        workspace root (default: discovered from cwd)
+    --format FMT       text | json | markdown   (default: text)
+    --out FILE         write the report to FILE instead of stdout
+    --deny-warnings    exit non-zero on warn-severity findings too
+    --deny RULE        force RULE to deny severity
+    --warn RULE        force RULE to warn severity
+    --list-rules       print the rule catalogue and exit
+    --help             this text
+";
+
+enum Format {
+    Text,
+    Json,
+    Markdown,
+}
+
+struct Args {
+    root: Option<PathBuf>,
+    format: Format,
+    out: Option<PathBuf>,
+    deny_warnings: bool,
+    config: LintConfig,
+    list_rules: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: None,
+        format: Format::Text,
+        out: None,
+        deny_warnings: false,
+        config: LintConfig::default(),
+        list_rules: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match arg.as_str() {
+            "--root" => args.root = Some(PathBuf::from(value("--root")?)),
+            "--format" => {
+                args.format = match value("--format")?.as_str() {
+                    "text" => Format::Text,
+                    "json" => Format::Json,
+                    "markdown" => Format::Markdown,
+                    other => return Err(format!("unknown format `{other}`")),
+                }
+            }
+            "--out" => args.out = Some(PathBuf::from(value("--out")?)),
+            "--deny-warnings" => args.deny_warnings = true,
+            "--deny" | "--warn" => {
+                let rule = value(&arg)?;
+                if !LintConfig::known_rule(&rule) {
+                    return Err(format!("unknown rule `{rule}`; see --list-rules"));
+                }
+                let sev = if arg == "--deny" {
+                    Severity::Deny
+                } else {
+                    Severity::Warn
+                };
+                args.config.overrides.push((rule, sev));
+            }
+            "--list-rules" => args.list_rules = true,
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn run() -> Result<ExitCode, String> {
+    let args = parse_args()?;
+
+    if args.list_rules {
+        for rule in all_rules() {
+            println!(
+                "{:<26} {:<5} {}",
+                rule.id(),
+                rule.default_severity().name(),
+                rule.summary()
+            );
+        }
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let root = match args.root {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir().map_err(|e| format!("cwd: {e}"))?;
+            discover_root(&cwd).ok_or(
+                "no workspace root found (no ancestor Cargo.toml with [workspace]); pass --root",
+            )?
+        }
+    };
+    let ws =
+        Workspace::from_root(&root).map_err(|e| format!("scanning {}: {e}", root.display()))?;
+    let report = lint(&ws, &args.config);
+
+    let rendered = match args.format {
+        Format::Text => report.to_text(),
+        Format::Json => report.to_json(),
+        Format::Markdown => report.to_markdown(),
+    };
+    match &args.out {
+        Some(path) => {
+            std::fs::write(path, &rendered)
+                .map_err(|e| format!("writing {}: {e}", path.display()))?;
+            eprintln!("litsearch-lint: report written to {}", path.display());
+        }
+        None => print!("{rendered}"),
+    }
+    eprintln!("litsearch-lint: {}", report.summary());
+
+    Ok(match report.exit_code(args.deny_warnings) {
+        0 => ExitCode::SUCCESS,
+        _ => ExitCode::FAILURE,
+    })
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("litsearch-lint: error: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,281 @@
+//! Findings and the three report renderers (text, JSON, markdown).
+
+/// How a finding affects the exit code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Reported; fails only under `--deny-warnings`.
+    Warn,
+    /// Fails the lint run.
+    Deny,
+}
+
+impl Severity {
+    /// Lowercase name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Warn => "warn",
+            Self::Deny => "deny",
+        }
+    }
+}
+
+/// One reported violation.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Rule id (`no-panic-serving`, …).
+    pub rule: String,
+    /// Effective severity (defaults + overrides applied).
+    pub severity: Severity,
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line (0 for whole-file findings).
+    pub line: u32,
+    /// 1-based column (0 for whole-file findings).
+    pub col: u32,
+    /// Human explanation, invariant first.
+    pub message: String,
+}
+
+/// A suppression that matched a finding.
+#[derive(Debug, Clone)]
+pub struct SuppressionUse {
+    /// Rule suppressed.
+    pub rule: String,
+    /// File containing the directive.
+    pub path: String,
+    /// Line of the `lint:allow` comment.
+    pub line: u32,
+    /// The stated justification.
+    pub reason: String,
+}
+
+/// The outcome of one lint run.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// Unsuppressed findings, sorted by (path, line, col, rule).
+    pub findings: Vec<Finding>,
+    /// Suppressions that actually silenced a finding.
+    pub suppressions: Vec<SuppressionUse>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+impl LintReport {
+    /// Deny-severity findings.
+    pub fn deny_count(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::Deny)
+            .count()
+    }
+
+    /// Warn-severity findings.
+    pub fn warn_count(&self) -> usize {
+        self.findings.len() - self.deny_count()
+    }
+
+    /// Process exit code: 0 clean, 1 on deny findings (or any finding
+    /// under `deny_warnings`).
+    pub fn exit_code(&self, deny_warnings: bool) -> i32 {
+        let failing = if deny_warnings {
+            self.findings.len()
+        } else {
+            self.deny_count()
+        };
+        i32::from(failing > 0)
+    }
+
+    /// One-line summary (stderr companion to any format).
+    pub fn summary(&self) -> String {
+        format!(
+            "{} deny, {} warn, {} suppressed, {} files scanned",
+            self.deny_count(),
+            self.warn_count(),
+            self.suppressions.len(),
+            self.files_scanned
+        )
+    }
+
+    /// `path:line:col: severity[rule] message` per finding.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            out.push_str(&format!(
+                "{}:{}:{}: {}[{}] {}\n",
+                f.path,
+                f.line,
+                f.col,
+                f.severity.name(),
+                f.rule,
+                f.message
+            ));
+        }
+        for s in &self.suppressions {
+            out.push_str(&format!(
+                "{}:{}: suppressed[{}] {}\n",
+                s.path, s.line, s.rule, s.reason
+            ));
+        }
+        out.push_str(&format!("litsearch-lint: {}\n", self.summary()));
+        out
+    }
+
+    /// Machine-readable form for the CI artifact.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"rule\": {}, \"severity\": {}, \"path\": {}, \"line\": {}, \"col\": {}, \"message\": {}}}",
+                json_str(&f.rule),
+                json_str(f.severity.name()),
+                json_str(&f.path),
+                f.line,
+                f.col,
+                json_str(&f.message)
+            ));
+        }
+        out.push_str("\n  ],\n  \"suppressions\": [");
+        for (i, s) in self.suppressions.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"rule\": {}, \"path\": {}, \"line\": {}, \"reason\": {}}}",
+                json_str(&s.rule),
+                json_str(&s.path),
+                s.line,
+                json_str(&s.reason)
+            ));
+        }
+        out.push_str(&format!(
+            "\n  ],\n  \"deny\": {},\n  \"warn\": {},\n  \"files_scanned\": {}\n}}\n",
+            self.deny_count(),
+            self.warn_count(),
+            self.files_scanned
+        ));
+        out
+    }
+
+    /// A markdown table, for PR comments / summaries.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::from("# litsearch-lint report\n\n");
+        out.push_str(&format!("**{}**\n\n", self.summary()));
+        if !self.findings.is_empty() {
+            out.push_str("| severity | rule | location | message |\n|---|---|---|---|\n");
+            for f in &self.findings {
+                out.push_str(&format!(
+                    "| {} | `{}` | `{}:{}:{}` | {} |\n",
+                    f.severity.name(),
+                    f.rule,
+                    f.path,
+                    f.line,
+                    f.col,
+                    f.message.replace('|', "\\|")
+                ));
+            }
+            out.push('\n');
+        }
+        if !self.suppressions.is_empty() {
+            out.push_str("## Suppressions in effect\n\n");
+            for s in &self.suppressions {
+                out.push_str(&format!(
+                    "- `{}` at `{}:{}` — {}\n",
+                    s.rule, s.path, s.line, s.reason
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// Minimal JSON string escaping.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> LintReport {
+        LintReport {
+            findings: vec![Finding {
+                rule: "no-panic-serving".to_string(),
+                severity: Severity::Deny,
+                path: "crates/core/src/search/serve.rs".to_string(),
+                line: 3,
+                col: 7,
+                message: "`unwrap()` on the serving path".to_string(),
+            }],
+            suppressions: vec![SuppressionUse {
+                rule: "float-total-order".to_string(),
+                path: "crates/eval/src/stats.rs".to_string(),
+                line: 9,
+                reason: "exact-zero sentinel".to_string(),
+            }],
+            files_scanned: 2,
+        }
+    }
+
+    #[test]
+    fn exit_codes_respect_severity() {
+        let r = sample();
+        assert_eq!(r.exit_code(false), 1);
+        let warn_only = LintReport {
+            findings: vec![Finding {
+                severity: Severity::Warn,
+                ..r.findings[0].clone()
+            }],
+            suppressions: Vec::new(),
+            files_scanned: 1,
+        };
+        assert_eq!(warn_only.exit_code(false), 0);
+        assert_eq!(warn_only.exit_code(true), 1);
+        let clean = LintReport::default();
+        assert_eq!(clean.exit_code(true), 0);
+    }
+
+    #[test]
+    fn json_is_parseable_and_complete() {
+        let r = sample();
+        let json = r.to_json();
+        let v: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+        let findings = v.get("findings").and_then(|f| f.as_array()).unwrap();
+        assert_eq!(findings.len(), 1);
+        assert_eq!(
+            findings[0].get("rule").and_then(|r| r.as_str()),
+            Some("no-panic-serving")
+        );
+        assert_eq!(v.get("deny").and_then(|d| d.as_f64()), Some(1.0));
+    }
+
+    #[test]
+    fn text_and_markdown_mention_the_finding() {
+        let r = sample();
+        assert!(r.to_text().contains("serve.rs:3:7"));
+        assert!(r.to_markdown().contains("no-panic-serving"));
+        assert!(r.to_markdown().contains("Suppressions"));
+    }
+
+    #[test]
+    fn json_escaping_handles_quotes() {
+        assert_eq!(json_str("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+    }
+}

@@ -1,0 +1,133 @@
+//! `float-total-order`: ranking comparisons must be total.
+//!
+//! Every ranked list in the system — search results, context
+//! selection, prestige tables, evaluation curves — is ordered by `f64`
+//! scores. `partial_cmp` is a trap here twice over: `.unwrap()` on it
+//! panics the moment a NaN sneaks into a score, and
+//! `.unwrap_or(Ordering::Equal)` silently turns NaN into "equal to
+//! everything", which makes the sort order depend on the input
+//! permutation — exactly the nondeterminism the paper's evaluation
+//! (and PR 3's byte-identical snapshots) cannot tolerate.
+//! `f64::total_cmp` gives the IEEE 754 totalOrder for free.
+//!
+//! Also flagged: `==` / `!=` against non-zero float literals (brittle
+//! representation-dependent equality). Comparisons against `0.0` are
+//! exempt — exact-zero sentinel checks are deterministic and idiomatic
+//! for "no mass / empty input" guards.
+//!
+//! Applies workspace-wide (non-test code): determinism is a global
+//! property, not a per-module one.
+
+use super::{RawFinding, Rule};
+use crate::report::Severity;
+use crate::scanner::{float_value, is_float_literal, SourceFile, TokKind};
+
+/// See module docs.
+pub struct FloatTotalOrder;
+
+impl Rule for FloatTotalOrder {
+    fn id(&self) -> &'static str {
+        "float-total-order"
+    }
+
+    fn summary(&self) -> &'static str {
+        "float ordering must use total_cmp, and float equality must not compare against non-zero literals"
+    }
+
+    fn default_severity(&self) -> Severity {
+        Severity::Deny
+    }
+
+    fn applies_to(&self, _path: &str) -> bool {
+        true
+    }
+
+    fn check_file(&self, file: &SourceFile) -> Vec<RawFinding> {
+        let toks = &file.tokens;
+        let mut out = Vec::new();
+        for (i, t) in toks.iter().enumerate() {
+            if t.in_test {
+                continue;
+            }
+            if t.kind == TokKind::Ident && t.text == "partial_cmp" {
+                out.push(RawFinding::at(
+                    file,
+                    t,
+                    "`partial_cmp` is not a total order over f64 (NaN breaks it); use `f64::total_cmp` with the deterministic id tie-break".to_string(),
+                ));
+                continue;
+            }
+            if t.kind == TokKind::Punct && (t.text == "==" || t.text == "!=") {
+                let neighbor_float = [i.wrapping_sub(1), i + 1].into_iter().find_map(|k| {
+                    let n = toks.get(k)?;
+                    if n.kind == TokKind::Num && is_float_literal(&n.text) {
+                        Some(n.text.clone())
+                    } else {
+                        None
+                    }
+                });
+                if let Some(lit) = neighbor_float {
+                    // Exact-zero sentinel comparisons are deterministic.
+                    if float_value(&lit) != Some(0.0) {
+                        out.push(RawFinding::at(
+                            file,
+                            t,
+                            format!(
+                                "`{} {lit}` compares floats for exact equality against a non-zero literal; use an epsilon or restructure",
+                                t.text
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::findings_on;
+    use super::*;
+
+    const PATH: &str = "crates/eval/src/overlap.rs";
+
+    #[test]
+    fn total_cmp_sorts_pass() {
+        let src = r#"
+            fn order(xs: &mut Vec<(u32, f64)>) {
+                xs.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+                if mass == 0.0 { return; }
+                let keep = w != 0.0;
+            }
+        "#;
+        assert!(findings_on(&FloatTotalOrder, PATH, src).is_empty());
+    }
+
+    #[test]
+    fn partial_cmp_is_flagged_anywhere() {
+        let src = "fn f() { xs.sort_by(|a, b| a.partial_cmp(b).unwrap()); }";
+        let found = findings_on(&FloatTotalOrder, PATH, src);
+        assert_eq!(found.len(), 1);
+        assert!(found[0].message.contains("total_cmp"));
+    }
+
+    #[test]
+    fn nonzero_float_equality_is_flagged_zero_is_exempt() {
+        let src = "fn f(x: f64) -> bool { x == 0.5 || x != 1.0 || x == 0.0 }";
+        let found = findings_on(&FloatTotalOrder, PATH, src);
+        assert_eq!(found.len(), 2, "{found:?}");
+    }
+
+    #[test]
+    fn integer_equality_is_ignored() {
+        let src = "fn f(n: usize) -> bool { n == 0 || n != 10 }";
+        assert!(findings_on(&FloatTotalOrder, PATH, src).is_empty());
+    }
+
+    #[test]
+    fn tests_are_exempt() {
+        let src = "#[cfg(test)]\nmod tests { fn t() { a.partial_cmp(&b); } }";
+        assert!(findings_on(&FloatTotalOrder, PATH, src).is_empty());
+    }
+}

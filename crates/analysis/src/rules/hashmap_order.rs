@@ -1,0 +1,331 @@
+//! `hashmap-order-leak`: hash iteration must not feed ordered output.
+//!
+//! `HashMap`/`HashSet` iteration order is unspecified and — because
+//! `RandomState` seeds per-process — differs run to run. Any place
+//! that iterates a hash container and `collect()`s into an ordered
+//! container (`Vec`, `String`, ...) without sorting bakes that
+//! nondeterminism into results, snapshots, or reports. This is the
+//! exact bug class that byte-identical snapshot persistence (PR 3)
+//! exists to rule out.
+//!
+//! Heuristic, two passes per file:
+//!  1. find identifiers bound to hash containers (`x: HashMap<...>`,
+//!     `let mut x = HashSet::new()`, struct fields);
+//!  2. flag `x.iter()/...keys()/...` chains ending in `.collect()`
+//!     unless the collect target is itself unordered/sorted
+//!     (`HashMap`/`HashSet`/`BTreeMap`/`BTreeSet`) or a `sort*` call
+//!     appears within a few lines after the collect (the
+//!     collect-then-sort idiom used throughout this workspace).
+//!
+//! Warn severity: the heuristic is intentionally over-approximate, and
+//! a human-confirmed false positive is a one-line `lint:allow`.
+
+use super::{text_at, RawFinding, Rule};
+use crate::report::Severity;
+use crate::scanner::{is_keyword, SourceFile, TokKind};
+
+const HASH_TYPES: &[&str] = &["HashMap", "HashSet"];
+
+/// Collect targets that make hash-iteration order irrelevant again.
+const ORDER_SAFE_TARGETS: &[&str] = &["HashMap", "HashSet", "BTreeMap", "BTreeSet"];
+
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "into_iter",
+    "keys",
+    "values",
+    "into_keys",
+    "into_values",
+    "drain",
+    "intersection",
+    "union",
+    "difference",
+    "symmetric_difference",
+];
+
+/// How far ahead of `.collect()` (in tokens / lines) we look for the
+/// chain tail and the sort-after-collect idiom.
+const COLLECT_SCAN_TOKENS: usize = 60;
+const SORT_SCAN_LINES: u32 = 8;
+
+/// See module docs.
+pub struct HashmapOrderLeak;
+
+impl Rule for HashmapOrderLeak {
+    fn id(&self) -> &'static str {
+        "hashmap-order-leak"
+    }
+
+    fn summary(&self) -> &'static str {
+        "hash-container iteration collected into ordered output needs an explicit sort (or a BTree/hash target)"
+    }
+
+    fn default_severity(&self) -> Severity {
+        Severity::Warn
+    }
+
+    fn applies_to(&self, _path: &str) -> bool {
+        true
+    }
+
+    fn check_file(&self, file: &SourceFile) -> Vec<RawFinding> {
+        let toks = &file.tokens;
+
+        // Pass 1: names bound to hash containers.
+        let mut hash_names: Vec<&str> = Vec::new();
+        for (i, t) in toks.iter().enumerate() {
+            if t.in_test || t.kind != TokKind::Ident || is_keyword(&t.text) {
+                continue;
+            }
+            // `name: HashMap<...>` (let annotations, params, fields) or
+            // `name = HashMap::new()`. Skip `&`/`mut` noise after the
+            // separator so `x: &HashMap<..>` still registers.
+            let sep = text_at(toks, i + 1);
+            if sep != ":" && sep != "=" {
+                continue;
+            }
+            let mut k = i + 2;
+            while matches!(text_at(toks, k), "&" | "mut" | "'") {
+                k += 1;
+            }
+            if toks
+                .get(k)
+                .is_some_and(|n| n.kind == TokKind::Ident && HASH_TYPES.contains(&n.text.as_str()))
+            {
+                hash_names.push(&t.text);
+            }
+        }
+
+        // Pass 2: iteration chains off those names ending in collect().
+        let mut out = Vec::new();
+        for (i, t) in toks.iter().enumerate() {
+            if t.in_test || t.kind != TokKind::Ident {
+                continue;
+            }
+            let starts_iteration = (hash_names.contains(&t.text.as_str())
+                && text_at(toks, i + 1) == "."
+                && toks
+                    .get(i + 2)
+                    .is_some_and(|m| ITER_METHODS.contains(&m.text.as_str()))
+                && text_at(toks, i + 3) == "(")
+                // Direct `HashMap::from(...).into_iter()`-style chains.
+                || (HASH_TYPES.contains(&t.text.as_str()) && text_at(toks, i + 1) == "::");
+            if !starts_iteration {
+                continue;
+            }
+            // Walk the method chain forward looking for a consumer
+            // (`.collect`, `.sum`, `.product`), stopping at the end of
+            // the statement — `;` or a closing `}` means whatever
+            // consumes later is a different expression (a `;` inside a
+            // braced closure also stops us: erring toward silence is
+            // this rule's design stance).
+            let mut consumer = None;
+            for k in i..toks.len().min(i + COLLECT_SCAN_TOKENS) {
+                let tk = &toks[k];
+                if tk.kind == TokKind::Punct && (tk.text == ";" || tk.text == "}") {
+                    break;
+                }
+                if tk.kind == TokKind::Ident
+                    && matches!(tk.text.as_str(), "collect" | "sum" | "product")
+                    && text_at(toks, k - 1) == "."
+                {
+                    consumer = Some(k);
+                    break;
+                }
+            }
+            let Some(consumer) = consumer else {
+                continue;
+            };
+            if toks[consumer].text == "collect" {
+                if collect_target_is_safe(toks, consumer) || sorted_nearby(toks, consumer) {
+                    continue;
+                }
+                out.push(RawFinding::at(
+                    file,
+                    t,
+                    format!(
+                        "hash-container iteration starting at `{}` is collected into ordered output without a sort; iteration order is nondeterministic — sort the result or collect into a BTree container",
+                        t.text
+                    ),
+                ));
+            } else {
+                // `sum::<usize>()` and friends are exact — integer
+                // addition commutes. Only un-annotated / float sums
+                // carry rounding that depends on iteration order.
+                if text_at(toks, consumer + 1) == "::"
+                    && text_at(toks, consumer + 2) == "<"
+                    && toks.get(consumer + 3).is_some_and(|n| {
+                        matches!(
+                            n.text.as_str(),
+                            "usize"
+                                | "u8"
+                                | "u16"
+                                | "u32"
+                                | "u64"
+                                | "u128"
+                                | "isize"
+                                | "i8"
+                                | "i16"
+                                | "i32"
+                                | "i64"
+                                | "i128"
+                        )
+                    })
+                {
+                    continue;
+                }
+                // Float += is not associative: a sum/product over hash
+                // iteration rounds differently per process *and per
+                // thread* (per-thread hash seeds), so even one process
+                // serving from multiple threads diverges at ULP level.
+                out.push(RawFinding::at(
+                    file,
+                    t,
+                    format!(
+                        "`.{}()` over hash-container iteration starting at `{}` accumulates in nondeterministic order; if the elements are floats the result differs per thread — iterate a sorted collection instead",
+                        toks[consumer].text, t.text
+                    ),
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// `collect::<HashMap<_, _>>()` / `collect::<BTreeMap<..>>()` etc.,
+/// or a preceding `let name: HashSet<..> = ` annotation on the same
+/// statement (approximated: annotation type within the scan window
+/// before the chain is handled by the turbofish check only — the
+/// annotation form re-registers in pass 1 and never reaches ordered
+/// output, so turbofish is the case that matters in practice).
+fn collect_target_is_safe(toks: &[crate::scanner::Tok], collect_idx: usize) -> bool {
+    if text_at(toks, collect_idx + 1) == "::" && text_at(toks, collect_idx + 2) == "<" {
+        if let Some(target) = toks.get(collect_idx + 3) {
+            return ORDER_SAFE_TARGETS.contains(&target.text.as_str());
+        }
+    }
+    // `let x: HashSet<_> = src.iter()...collect();` — look back for a
+    // `: SafeTarget` annotation on the statement the chain belongs to.
+    let line_start = toks[collect_idx].line;
+    let mut k = collect_idx;
+    while k > 0 && line_start.saturating_sub(toks[k - 1].line) <= 12 {
+        k -= 1;
+        // Statement/block boundaries end the current statement — a
+        // `: HashMap` beyond one is a different binding (fn params,
+        // the previous let), not this collect's annotation.
+        if matches!(toks[k].text.as_str(), ";" | "{" | "}") {
+            break;
+        }
+        if toks[k].text == ":"
+            && toks
+                .get(k + 1)
+                .is_some_and(|n| ORDER_SAFE_TARGETS.contains(&n.text.as_str()))
+        {
+            return true;
+        }
+    }
+    false
+}
+
+/// A `sort*` / `reorder`-style call within a few lines after the
+/// collect — the dominant idiom in this workspace
+/// (`collect(); v.sort_by(...)`).
+fn sorted_nearby(toks: &[crate::scanner::Tok], collect_idx: usize) -> bool {
+    let line = toks[collect_idx].line;
+    toks[collect_idx..]
+        .iter()
+        .take_while(|t| t.line <= line + SORT_SCAN_LINES)
+        .any(|t| t.kind == TokKind::Ident && t.text.starts_with("sort"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::findings_on;
+    use super::*;
+
+    const PATH: &str = "crates/core/src/search/exec.rs";
+
+    #[test]
+    fn unsorted_hash_iteration_into_vec_is_flagged() {
+        let src = r#"
+            fn f(best: HashMap<u32, f64>) -> Vec<u32> {
+                best.iter().map(|(k, _)| *k).collect()
+            }
+        "#;
+        let found = findings_on(&HashmapOrderLeak, PATH, src);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert!(found[0].message.contains("nondeterministic"));
+    }
+
+    #[test]
+    fn collect_then_sort_is_fine() {
+        let src = r#"
+            fn f(best: HashMap<u32, f64>) -> Vec<(u32, f64)> {
+                let mut v: Vec<(u32, f64)> = best.iter().map(|(k, s)| (*k, *s)).collect();
+                v.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+                v
+            }
+        "#;
+        assert!(findings_on(&HashmapOrderLeak, PATH, src).is_empty());
+    }
+
+    #[test]
+    fn collect_into_unordered_or_btree_is_fine() {
+        let src = r#"
+            fn f(seen: HashSet<u32>) {
+                let copy = seen.iter().copied().collect::<HashSet<u32>>();
+                let ordered = seen.iter().copied().collect::<BTreeSet<u32>>();
+                let annotated: HashSet<u32> = seen.iter().copied().collect();
+            }
+        "#;
+        assert!(findings_on(&HashmapOrderLeak, PATH, src).is_empty());
+    }
+
+    #[test]
+    fn float_sum_over_hash_iteration_is_flagged() {
+        // The exact shape of a real bug: IDF masses summed over
+        // HashSet iteration differ per serving thread at ULP level.
+        let src = r#"
+            fn mass(query_set: HashSet<TermId>, idf: &[f64]) -> f64 {
+                query_set.iter().map(|&t| idf[t.index()]).sum()
+            }
+        "#;
+        let found = findings_on(&HashmapOrderLeak, PATH, src);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert!(found[0].message.contains("per thread"));
+    }
+
+    #[test]
+    fn integer_sum_over_hash_iteration_is_exact() {
+        let src = r#"
+            fn total(members: HashMap<u32, Vec<u32>>) -> usize {
+                members.values().map(Vec::len).sum::<usize>()
+            }
+        "#;
+        assert!(findings_on(&HashmapOrderLeak, PATH, src).is_empty());
+    }
+
+    #[test]
+    fn vec_iteration_is_not_flagged() {
+        let src = r#"
+            fn f(xs: Vec<u32>) -> Vec<u32> {
+                xs.iter().map(|x| x + 1).collect()
+            }
+        "#;
+        assert!(findings_on(&HashmapOrderLeak, PATH, src).is_empty());
+    }
+
+    #[test]
+    fn keys_chain_and_tests_exemption() {
+        let src = r#"
+            fn f(m: HashMap<String, u32>) -> Vec<String> {
+                m.keys().cloned().collect()
+            }
+            #[cfg(test)]
+            mod tests {
+                fn t(m: HashMap<String, u32>) -> Vec<String> { m.keys().cloned().collect() }
+            }
+        "#;
+        assert_eq!(findings_on(&HashmapOrderLeak, PATH, src).len(), 1);
+    }
+}

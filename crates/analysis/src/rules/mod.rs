@@ -1,0 +1,103 @@
+//! The rule set: each rule guards one architectural invariant.
+//!
+//! | rule id | invariant |
+//! |---|---|
+//! | `no-panic-serving` | the query/serve path and snapshot persistence never panic |
+//! | `no-locks-on-hot-path` | PR 3's lock-free serving claim stays true |
+//! | `float-total-order` | ranking comparisons are total (NaN-safe, deterministic) |
+//! | `no-wallclock-outside-obs` | wall-clock reads stay inside telemetry/bench code |
+//! | `span-name-drift` | CI-gated span names still exist as source literals |
+//! | `hashmap-order-leak` | hash iteration order never leaks into ranked output |
+//!
+//! Rules are token-pattern matchers over [`SourceFile`] streams — no
+//! type information. Where that forces a heuristic (float expressions,
+//! hash-iteration flow), the rule errs toward silence on patterns it
+//! cannot classify and the dynamic tests cover the remainder.
+
+use crate::engine::Workspace;
+use crate::report::Severity;
+use crate::scanner::{SourceFile, Tok};
+
+pub mod float_order;
+pub mod hashmap_order;
+pub mod no_locks;
+pub mod no_panic;
+pub mod span_drift;
+pub mod wallclock;
+
+/// A finding before severity assignment.
+#[derive(Debug, Clone)]
+pub struct RawFinding {
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line (0 = whole file).
+    pub line: u32,
+    /// 1-based column (0 = whole file).
+    pub col: u32,
+    /// Explanation.
+    pub message: String,
+}
+
+impl RawFinding {
+    /// Finding anchored at a token.
+    pub fn at(file: &SourceFile, tok: &Tok, message: String) -> Self {
+        Self {
+            path: file.path.clone(),
+            line: tok.line,
+            col: tok.col,
+            message,
+        }
+    }
+}
+
+/// One lint rule.
+pub trait Rule {
+    /// Stable id used in reports and `lint:allow(...)`.
+    fn id(&self) -> &'static str;
+    /// One-line description for `--list-rules`.
+    fn summary(&self) -> &'static str;
+    /// Severity before config overrides.
+    fn default_severity(&self) -> Severity;
+    /// Whether this per-file rule wants `path` (test paths are already
+    /// filtered by the engine). Workspace rules return `false`.
+    fn applies_to(&self, _path: &str) -> bool {
+        false
+    }
+    /// Per-file check.
+    fn check_file(&self, _file: &SourceFile) -> Vec<RawFinding> {
+        Vec::new()
+    }
+    /// Whole-workspace check (cross-file state).
+    fn check_workspace(&self, _ws: &Workspace) -> Vec<RawFinding> {
+        Vec::new()
+    }
+}
+
+/// Every rule, in report order.
+pub fn all_rules() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(no_panic::NoPanicServing),
+        Box::new(no_locks::NoLocksOnHotPath),
+        Box::new(float_order::FloatTotalOrder),
+        Box::new(wallclock::NoWallclockOutsideObs),
+        Box::new(span_drift::SpanNameDrift),
+        Box::new(hashmap_order::HashmapOrderLeak),
+    ]
+}
+
+/// Text of the token at `i`, or "".
+pub(crate) fn text_at(toks: &[Tok], i: usize) -> &str {
+    toks.get(i).map_or("", |t| t.text.as_str())
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use super::*;
+    use crate::scanner::scan;
+
+    /// Run one rule over a synthetic file.
+    pub fn findings_on(rule: &dyn Rule, path: &str, src: &str) -> Vec<RawFinding> {
+        let f = scan(path, src);
+        rule.check_file(&f)
+    }
+}

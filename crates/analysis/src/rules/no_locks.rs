@@ -1,0 +1,151 @@
+//! `no-locks-on-hot-path`: the serving modules take zero locks.
+//!
+//! PR 3's headline property is that any number of threads serve
+//! queries over an immutable `EngineSnapshot` with no synchronization
+//! at all — `serve.rs` promises "no `RwLock`, no lazy initialization,
+//! no interior mutability of any kind". This rule makes the promise
+//! machine-checked: naming a lock or interior-mutability type, or
+//! calling a lock-acquiring method, in a serving module is a finding.
+//!
+//! Atomics are deliberately *not* banned: they are lock-free and the
+//! `obs` fast-path flags read them; the invariant is no blocking and
+//! no mutation of shared query state.
+
+use super::{text_at, RawFinding, Rule};
+use crate::report::Severity;
+use crate::scanner::{SourceFile, TokKind};
+
+/// The modules every query executes.
+pub const HOT_PATH_FILES: &[&str] = &[
+    "crates/core/src/search/serve.rs",
+    "crates/core/src/search/exec.rs",
+    "crates/core/src/search/select.rs",
+    "crates/core/src/search/relevancy.rs",
+];
+
+const BANNED_TYPES: &[&str] = &[
+    "Mutex",
+    "RwLock",
+    "Condvar",
+    "RefCell",
+    "Cell",
+    "UnsafeCell",
+    "OnceLock",
+    "OnceCell",
+    "LazyLock",
+    "lazy_static",
+];
+
+const BANNED_METHODS: &[&str] = &[
+    "lock",
+    "try_lock",
+    "read",
+    "try_read",
+    "write",
+    "try_write",
+    "wait",
+    "get_or_init",
+    "get_or_insert_with",
+];
+
+/// See module docs.
+pub struct NoLocksOnHotPath;
+
+impl Rule for NoLocksOnHotPath {
+    fn id(&self) -> &'static str {
+        "no-locks-on-hot-path"
+    }
+
+    fn summary(&self) -> &'static str {
+        "serving modules must stay lock-free: no lock/interior-mutability types or lock-acquiring calls"
+    }
+
+    fn default_severity(&self) -> Severity {
+        Severity::Deny
+    }
+
+    fn applies_to(&self, path: &str) -> bool {
+        HOT_PATH_FILES.contains(&path)
+    }
+
+    fn check_file(&self, file: &SourceFile) -> Vec<RawFinding> {
+        let toks = &file.tokens;
+        let mut out = Vec::new();
+        for (i, t) in toks.iter().enumerate() {
+            if t.in_test || t.kind != TokKind::Ident {
+                continue;
+            }
+            if BANNED_TYPES.contains(&t.text.as_str()) {
+                out.push(RawFinding::at(
+                    file,
+                    t,
+                    format!(
+                        "`{}` on the serving path breaks the lock-free claim; move shared state into the immutable snapshot",
+                        t.text
+                    ),
+                ));
+            } else if BANNED_METHODS.contains(&t.text.as_str())
+                && i > 0
+                && text_at(toks, i - 1) == "."
+                && text_at(toks, i + 1) == "("
+            {
+                out.push(RawFinding::at(
+                    file,
+                    t,
+                    format!(
+                        "`.{}()` acquires a lock (or lazily initializes) on the serving path; precompute in the snapshot instead",
+                        t.text
+                    ),
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::findings_on;
+    use super::*;
+
+    const PATH: &str = "crates/core/src/search/exec.rs";
+
+    #[test]
+    fn lock_free_code_passes() {
+        let src = r#"
+            fn search(&self) -> Vec<u32> {
+                let shared = self.snapshot.index();
+                write!(f, "display impls are fine").ok();
+                shared.scores.iter().copied().collect()
+            }
+        "#;
+        assert!(findings_on(&NoLocksOnHotPath, PATH, src).is_empty());
+    }
+
+    #[test]
+    fn lock_types_and_calls_are_flagged() {
+        let src = r#"
+            fn bad(&self) {
+                let m: Mutex<u32> = Mutex::new(0);
+                let g = m.lock();
+                let v = self.cache.get_or_init(|| build());
+            }
+        "#;
+        let found = findings_on(&NoLocksOnHotPath, PATH, src);
+        assert_eq!(found.len(), 4, "{found:?}"); // Mutex ×2, .lock(), .get_or_init()
+    }
+
+    #[test]
+    fn rwlock_read_write_calls_are_flagged() {
+        let src = "fn bad(l: &RwLock<u32>) { l.read(); l.write(); }";
+        assert_eq!(findings_on(&NoLocksOnHotPath, PATH, src).len(), 3);
+    }
+
+    #[test]
+    fn tests_are_exempt_and_scope_is_hot_path() {
+        let src = "#[cfg(test)]\nmod tests { fn t(m: &Mutex<u8>) { m.lock(); } }";
+        assert!(findings_on(&NoLocksOnHotPath, PATH, src).is_empty());
+        assert!(!NoLocksOnHotPath.applies_to("crates/core/src/plan.rs"));
+        assert!(NoLocksOnHotPath.applies_to("crates/core/src/search/serve.rs"));
+    }
+}

@@ -1,0 +1,183 @@
+//! `no-panic-serving`: the serving path and snapshot persistence must
+//! not contain panic points.
+//!
+//! The paper's latency and determinism claims assume a query either
+//! completes or returns a typed error — a panic mid-query tears down a
+//! serving thread and, under `std::thread::scope`-style pools, the
+//! whole process. Scope: the three serving modules plus `persist.rs`
+//! (whose module doc promises "never panics" on the load path).
+//!
+//! Flags, outside test code: `.unwrap()` / `.expect(...)`, panicking
+//! macros (`panic!`, `unreachable!`, `todo!`, `unimplemented!`, and
+//! non-debug asserts), and `expr[...]` indexing (which can panic on
+//! out-of-bounds; `get()` is the checked spelling).
+
+use super::{text_at, RawFinding, Rule};
+use crate::report::Severity;
+use crate::scanner::{is_keyword, SourceFile, TokKind};
+
+/// Files under the panic-free contract.
+pub const SERVING_FILES: &[&str] = &[
+    "crates/core/src/search/serve.rs",
+    "crates/core/src/search/exec.rs",
+    "crates/core/src/search/select.rs",
+    "crates/core/src/persist.rs",
+];
+
+const PANIC_MACROS: &[&str] = &[
+    "panic",
+    "unreachable",
+    "todo",
+    "unimplemented",
+    "assert",
+    "assert_eq",
+    "assert_ne",
+];
+
+/// See module docs.
+pub struct NoPanicServing;
+
+impl Rule for NoPanicServing {
+    fn id(&self) -> &'static str {
+        "no-panic-serving"
+    }
+
+    fn summary(&self) -> &'static str {
+        "serving modules and snapshot persistence must be panic-free: no unwrap/expect, panicking macros, or unchecked indexing"
+    }
+
+    fn default_severity(&self) -> Severity {
+        Severity::Deny
+    }
+
+    fn applies_to(&self, path: &str) -> bool {
+        SERVING_FILES.contains(&path)
+    }
+
+    fn check_file(&self, file: &SourceFile) -> Vec<RawFinding> {
+        let toks = &file.tokens;
+        let mut out = Vec::new();
+        for (i, t) in toks.iter().enumerate() {
+            if t.in_test {
+                continue;
+            }
+            match t.kind {
+                // Method-call position only: `.unwrap(`.
+                TokKind::Ident
+                    if (t.text == "unwrap" || t.text == "expect")
+                        && i > 0
+                        && text_at(toks, i - 1) == "."
+                        && text_at(toks, i + 1) == "(" =>
+                {
+                    out.push(RawFinding::at(
+                        file,
+                        t,
+                        format!(
+                            "`.{}()` can panic on the serving path; return a typed error (e.g. `PersistError`/`ServeError`) instead",
+                            t.text
+                        ),
+                    ));
+                }
+                TokKind::Ident
+                    if PANIC_MACROS.contains(&t.text.as_str()) && text_at(toks, i + 1) == "!" =>
+                {
+                    out.push(RawFinding::at(
+                        file,
+                        t,
+                        format!(
+                            "`{}!` panics; serving code must fail with a typed error",
+                            t.text
+                        ),
+                    ));
+                }
+                TokKind::Punct if t.text == "[" && i > 0 => {
+                    let prev = &toks[i - 1];
+                    let indexes_expr = match prev.kind {
+                        TokKind::Ident => !is_keyword(&prev.text),
+                        TokKind::Punct => prev.text == ")" || prev.text == "]",
+                        _ => false,
+                    };
+                    if indexes_expr {
+                        out.push(RawFinding::at(
+                            file,
+                            t,
+                            "`expr[...]` indexing panics when out of bounds; use `.get(...)` and handle the miss".to_string(),
+                        ));
+                    }
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::findings_on;
+    use super::*;
+
+    const PATH: &str = "crates/core/src/search/serve.rs";
+
+    #[test]
+    fn clean_serving_code_passes() {
+        let src = r#"
+            fn q(&self) -> Result<Vec<u8>, ServeError> {
+                let v = self.table.get(&k).ok_or(ServeError::Missing)?;
+                let first = v.first().copied().unwrap_or_default();
+                Ok(vec![first])
+            }
+        "#;
+        assert!(findings_on(&NoPanicServing, PATH, src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_and_expect_are_flagged() {
+        let src = "fn f() { a.unwrap(); b.expect(\"msg\"); }";
+        let found = findings_on(&NoPanicServing, PATH, src);
+        assert_eq!(found.len(), 2);
+        assert!(found[0].message.contains("unwrap"));
+        assert!(found[1].message.contains("expect"));
+    }
+
+    #[test]
+    fn unwrap_or_variants_are_fine() {
+        let src = "fn f() { a.unwrap_or(0); b.unwrap_or_else(|| 1); c.unwrap_or_default(); }";
+        assert!(findings_on(&NoPanicServing, PATH, src).is_empty());
+    }
+
+    #[test]
+    fn panic_macros_are_flagged() {
+        let src = "fn f() { if bad { panic!(\"boom\") } else { unreachable!() } }";
+        assert_eq!(findings_on(&NoPanicServing, PATH, src).len(), 2);
+    }
+
+    #[test]
+    fn indexing_is_flagged_but_not_macros_attrs_or_types() {
+        let src = r#"
+            #[derive(Debug)]
+            struct S { xs: Vec<u32> }
+            fn f(s: &S, i: usize, m: &[u32]) -> u32 {
+                let v = vec![1, 2];
+                for k in [1, 2] { let _ = k; }
+                s.xs[i] + v[0] + m[1]
+            }
+        "#;
+        let found = findings_on(&NoPanicServing, PATH, src);
+        assert_eq!(found.len(), 3, "{found:?}");
+        assert!(found.iter().all(|f| f.message.contains("indexing")));
+    }
+
+    #[test]
+    fn test_module_is_exempt() {
+        let src = "#[cfg(test)]\nmod tests { fn t() { a.unwrap(); v[0]; panic!(); } }";
+        assert!(findings_on(&NoPanicServing, PATH, src).is_empty());
+    }
+
+    #[test]
+    fn scope_is_the_serving_files() {
+        assert!(NoPanicServing.applies_to("crates/core/src/persist.rs"));
+        assert!(!NoPanicServing.applies_to("crates/core/src/plan.rs"));
+        assert!(!NoPanicServing.applies_to("crates/eval/src/stats.rs"));
+    }
+}

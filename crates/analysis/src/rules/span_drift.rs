@@ -1,0 +1,155 @@
+//! `span-name-drift`: CI-gated span names must exist in source.
+//!
+//! The perf gate (`metrics-diff --gate`) compares per-span p50s against
+//! the checked-in baselines in `results/`. Its contract: a gated span
+//! missing from a current run fails the gate, because losing
+//! instrumentation silently would un-gate a hot path. But that check
+//! runs *at CI time on a produced metrics file* — if a span is renamed
+//! in source, the failure shows up as a confusing perf-gate error long
+//! after the rename. This rule moves the check to lint time: every
+//! span name recorded in a baseline must still appear as a string
+//! literal somewhere in the workspace source. An unreadable or
+//! malformed baseline is itself a finding (deleting the baseline must
+//! not silently disable the gate).
+
+use super::{RawFinding, Rule};
+use crate::engine::Workspace;
+use crate::report::Severity;
+use crate::scanner::TokKind;
+use std::collections::HashSet;
+
+/// The baseline files whose span sets are enforced, workspace-relative.
+pub const BASELINE_FILES: &[&str] = &[
+    "results/metrics_baseline.json",
+    "results/metrics_prepare_baseline.json",
+    "results/metrics_warm_baseline.json",
+];
+
+/// See module docs.
+pub struct SpanNameDrift;
+
+impl Rule for SpanNameDrift {
+    fn id(&self) -> &'static str {
+        "span-name-drift"
+    }
+
+    fn summary(&self) -> &'static str {
+        "every span name in the checked-in metrics baselines must still exist as a source string literal"
+    }
+
+    fn default_severity(&self) -> Severity {
+        Severity::Deny
+    }
+
+    fn check_workspace(&self, ws: &Workspace) -> Vec<RawFinding> {
+        let mut literals: HashSet<&str> = HashSet::new();
+        for f in &ws.files {
+            for t in &f.tokens {
+                if t.kind == TokKind::Str {
+                    literals.insert(t.text.as_str());
+                }
+            }
+        }
+        let mut out = Vec::new();
+        for b in &ws.baselines {
+            let whole_file = |message: String| RawFinding {
+                path: b.path.clone(),
+                line: 0,
+                col: 0,
+                message,
+            };
+            let content = match &b.content {
+                Ok(c) => c,
+                Err(e) => {
+                    out.push(whole_file(format!(
+                        "baseline unreadable ({e}); the perf gate depends on this file"
+                    )));
+                    continue;
+                }
+            };
+            let value: serde_json::Value = match serde_json::from_str(content) {
+                Ok(v) => v,
+                Err(e) => {
+                    out.push(whole_file(format!("baseline is not valid JSON: {e}")));
+                    continue;
+                }
+            };
+            let Some(spans) = value.get("spans").and_then(|s| s.as_array()) else {
+                out.push(whole_file(
+                    "baseline has no `spans` array; regenerate it with `--metrics`".to_string(),
+                ));
+                continue;
+            };
+            for span in spans {
+                let Some(name) = span.get("name").and_then(|n| n.as_str()) else {
+                    continue;
+                };
+                if !literals.contains(name) {
+                    out.push(whole_file(format!(
+                        "gated span {name:?} no longer appears as a string literal in source; \
+                         the rename will fail (or silently skip) the CI perf gate — \
+                         update the baseline and CI --gate flags together"
+                    )));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Workspace;
+
+    fn ws(src: &str, baseline: &str) -> Workspace {
+        Workspace::from_memory(
+            &[("crates/core/src/lib.rs", src)],
+            &[("results/metrics_baseline.json", baseline)],
+        )
+    }
+
+    #[test]
+    fn matching_spans_pass() {
+        let w = ws(
+            r#"fn f() { let _s = obs::span("engine.search"); }"#,
+            r#"{"spans": [{"name": "engine.search", "p50_ns": 1}]}"#,
+        );
+        assert!(SpanNameDrift.check_workspace(&w).is_empty());
+    }
+
+    #[test]
+    fn renamed_span_is_flagged() {
+        let w = ws(
+            r#"fn f() { let _s = obs::span("engine.search_v2"); }"#,
+            r#"{"spans": [{"name": "engine.search", "p50_ns": 1}]}"#,
+        );
+        let found = SpanNameDrift.check_workspace(&w);
+        assert_eq!(found.len(), 1);
+        assert!(found[0].message.contains("engine.search"));
+        assert_eq!(found[0].path, "results/metrics_baseline.json");
+    }
+
+    #[test]
+    fn malformed_or_missing_baseline_is_flagged() {
+        let w = ws("fn f() {}", "{not json");
+        assert_eq!(SpanNameDrift.check_workspace(&w).len(), 1);
+        let mut w2 = ws("fn f() {}", "{}");
+        assert_eq!(SpanNameDrift.check_workspace(&w2).len(), 1);
+        w2.baselines[0].content = Err("No such file".to_string());
+        let found = SpanNameDrift.check_workspace(&w2);
+        assert_eq!(found.len(), 1);
+        assert!(found[0].message.contains("unreadable"));
+    }
+
+    #[test]
+    fn literal_anywhere_in_source_counts() {
+        // The literal need not be at an obs::span call site — stage
+        // names travel through Plan::stage, CLI tables, etc.
+        let w = ws(
+            r#"const STAGES: &[&str] = &["prepare.index"];"#,
+            r#"{"spans": [{"name": "prepare.index"}]}"#,
+        );
+        assert!(SpanNameDrift.check_workspace(&w).is_empty());
+    }
+}

@@ -1,0 +1,89 @@
+//! `no-wallclock-outside-obs`: wall-clock reads belong to telemetry.
+//!
+//! Determinism and resumability both require that business logic never
+//! observe real time: prepared snapshots must be byte-identical across
+//! runs, and query results must be pure functions of (snapshot, query).
+//! `Instant::now` / `SystemTime::now` are therefore confined to
+//! `crates/obs` (span timing is telemetry's whole job) and
+//! `crates/bench` (measurement harnesses). Timing demos under
+//! `examples/` and code under `tests/`/`benches/` directories are
+//! outside the production path and exempt via the engine's test-path
+//! filter.
+
+use super::{text_at, RawFinding, Rule};
+use crate::report::Severity;
+use crate::scanner::{SourceFile, TokKind};
+
+/// Path prefixes where wall-clock reads are legitimate.
+pub const ALLOWED_PREFIXES: &[&str] = &["crates/obs/", "crates/bench/"];
+
+/// See module docs.
+pub struct NoWallclockOutsideObs;
+
+impl Rule for NoWallclockOutsideObs {
+    fn id(&self) -> &'static str {
+        "no-wallclock-outside-obs"
+    }
+
+    fn summary(&self) -> &'static str {
+        "Instant::now / SystemTime::now only in crates/obs and crates/bench; everything else must be time-free"
+    }
+
+    fn default_severity(&self) -> Severity {
+        Severity::Warn
+    }
+
+    fn applies_to(&self, path: &str) -> bool {
+        !ALLOWED_PREFIXES.iter().any(|p| path.starts_with(p))
+    }
+
+    fn check_file(&self, file: &SourceFile) -> Vec<RawFinding> {
+        let toks = &file.tokens;
+        let mut out = Vec::new();
+        for (i, t) in toks.iter().enumerate() {
+            if t.in_test || t.kind != TokKind::Ident {
+                continue;
+            }
+            if (t.text == "Instant" || t.text == "SystemTime")
+                && text_at(toks, i + 1) == "::"
+                && text_at(toks, i + 2) == "now"
+            {
+                out.push(RawFinding::at(
+                    file,
+                    t,
+                    format!(
+                        "`{}::now()` outside obs/bench makes results time-dependent; thread timing through `obs` spans instead",
+                        t.text
+                    ),
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::findings_on;
+    use super::*;
+
+    #[test]
+    fn wallclock_in_core_is_flagged() {
+        let src = "fn f() { let t = Instant::now(); let s = SystemTime::now(); }";
+        let found = findings_on(&NoWallclockOutsideObs, "crates/core/src/plan.rs", src);
+        assert_eq!(found.len(), 2);
+    }
+
+    #[test]
+    fn obs_and_bench_are_allowed() {
+        assert!(!NoWallclockOutsideObs.applies_to("crates/obs/src/lib.rs"));
+        assert!(!NoWallclockOutsideObs.applies_to("crates/bench/src/setup.rs"));
+        assert!(NoWallclockOutsideObs.applies_to("crates/core/src/plan.rs"));
+    }
+
+    #[test]
+    fn instant_type_without_now_is_fine() {
+        let src = "fn f(epoch: Instant) -> Duration { other.duration_since(epoch) }";
+        assert!(findings_on(&NoWallclockOutsideObs, "crates/core/src/plan.rs", src).is_empty());
+    }
+}

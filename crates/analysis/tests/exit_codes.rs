@@ -1,0 +1,210 @@
+//! End-to-end exit-code contract for the `litsearch-lint` binary:
+//! `0` clean, `1` findings, `2` usage errors. CI keys off these, so
+//! they are tested against the real executable, not the library.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+const BIN: &str = env!("CARGO_BIN_EXE_litsearch-lint");
+
+const CLEAN_BASELINE: &str = r#"{"spans": []}"#;
+
+/// A throwaway on-disk workspace the binary can `--root` into.
+struct Fixture {
+    root: PathBuf,
+}
+
+impl Fixture {
+    fn new(tag: &str) -> Self {
+        let root = std::env::temp_dir().join(format!(
+            "litsearch-lint-fixture-{}-{}",
+            std::process::id(),
+            tag
+        ));
+        let _ = fs::remove_dir_all(&root);
+        fs::create_dir_all(&root).expect("create fixture root");
+        let fx = Self { root };
+        // A workspace manifest so discover_root-style logic sees a root,
+        // and the three baselines span-name-drift insists on.
+        fx.write("Cargo.toml", "[workspace]\nmembers = []\n");
+        fx.write("results/metrics_baseline.json", CLEAN_BASELINE);
+        fx.write("results/metrics_prepare_baseline.json", CLEAN_BASELINE);
+        fx.write("results/metrics_warm_baseline.json", CLEAN_BASELINE);
+        fx
+    }
+
+    fn write(&self, rel: &str, content: &str) {
+        let path = self.root.join(rel);
+        fs::create_dir_all(path.parent().unwrap()).expect("fixture dirs");
+        fs::write(path, content).expect("fixture file");
+    }
+}
+
+impl Drop for Fixture {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.root);
+    }
+}
+
+fn run(args: &[&str]) -> Output {
+    Command::new(BIN).args(args).output().expect("run binary")
+}
+
+fn root_arg(fx: &Fixture) -> String {
+    fx.root.display().to_string()
+}
+
+#[test]
+fn clean_fixture_exits_zero() {
+    let fx = Fixture::new("clean");
+    fx.write(
+        "crates/core/src/search/serve.rs",
+        "pub fn serve() -> Option<u32> {\n    Some(1)\n}\n",
+    );
+    let out = run(&["--root", &root_arg(&fx)]);
+    assert!(
+        out.status.success(),
+        "expected exit 0, got {:?}\nstdout: {}\nstderr: {}",
+        out.status.code(),
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn seeded_panic_on_serving_path_exits_one_with_json_finding() {
+    let fx = Fixture::new("seeded");
+    fx.write(
+        "crates/core/src/search/serve.rs",
+        "pub fn serve(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n",
+    );
+    let out = run(&["--root", &root_arg(&fx), "--format", "json"]);
+    assert_eq!(out.status.code(), Some(1), "deny finding must fail the run");
+    let json = String::from_utf8_lossy(&out.stdout);
+    let v: serde_json::Value = serde_json::from_str(&json).expect("report is valid JSON");
+    let findings = v.get("findings").and_then(|f| f.as_array()).unwrap();
+    assert!(
+        findings.iter().any(|f| {
+            f.get("rule").and_then(|r| r.as_str()) == Some("no-panic-serving")
+                && f.get("path").and_then(|p| p.as_str()) == Some("crates/core/src/search/serve.rs")
+        }),
+        "JSON report must carry the seeded finding: {json}"
+    );
+}
+
+#[test]
+fn gated_span_missing_from_source_exits_one() {
+    let fx = Fixture::new("drift");
+    fx.write(
+        "crates/core/src/lib.rs",
+        "pub fn f() {\n    let _s = obs::span(\"engine.search\");\n}\n",
+    );
+    fx.write(
+        "results/metrics_baseline.json",
+        r#"{"spans": [{"name": "engine.search"}, {"name": "engine.renamed_away"}]}"#,
+    );
+    let out = run(&["--root", &root_arg(&fx), "--format", "text"]);
+    assert_eq!(out.status.code(), Some(1));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.contains("span-name-drift") && text.contains("engine.renamed_away"),
+        "drift finding must name the missing span: {text}"
+    );
+}
+
+#[test]
+fn warn_only_fixture_exits_zero_without_and_one_with_deny_warnings() {
+    let fx = Fixture::new("warn");
+    // hashmap-order-leak is warn severity by default.
+    fx.write(
+        "crates/core/src/lib.rs",
+        "use std::collections::HashMap;\npub fn f(m: HashMap<u32, u32>) -> Vec<u32> {\n    m.keys().copied().collect()\n}\n",
+    );
+    let soft = run(&["--root", &root_arg(&fx)]);
+    assert!(
+        soft.status.success(),
+        "warn-only must pass by default: {}",
+        String::from_utf8_lossy(&soft.stdout)
+    );
+    let hard = run(&["--root", &root_arg(&fx), "--deny-warnings"]);
+    assert_eq!(
+        hard.status.code(),
+        Some(1),
+        "--deny-warnings must gate warns"
+    );
+}
+
+#[test]
+fn the_real_workspace_exits_zero_under_deny_warnings() {
+    // crates/analysis -> crates -> root
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root");
+    let out = run(&[
+        "--root",
+        &root.display().to_string(),
+        "--deny-warnings",
+        "--format",
+        "json",
+    ]);
+    assert!(
+        out.status.success(),
+        "the workspace must lint clean (this is the CI gate):\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+}
+
+#[test]
+fn usage_errors_exit_two() {
+    for bad in [
+        &["--no-such-flag"][..],
+        &["--format", "yaml"][..],
+        &["--deny", "no-such-rule"][..],
+        &["--root"][..],
+    ] {
+        let out = run(bad);
+        assert_eq!(out.status.code(), Some(2), "args {bad:?}");
+        assert!(
+            String::from_utf8_lossy(&out.stderr).contains("litsearch-lint: error:"),
+            "args {bad:?}"
+        );
+    }
+}
+
+#[test]
+fn list_rules_names_all_six() {
+    let out = run(&["--list-rules"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for rule in [
+        "no-panic-serving",
+        "no-locks-on-hot-path",
+        "float-total-order",
+        "no-wallclock-outside-obs",
+        "span-name-drift",
+        "hashmap-order-leak",
+    ] {
+        assert!(text.contains(rule), "--list-rules missing {rule}: {text}");
+    }
+}
+
+#[test]
+fn report_lands_in_out_file() {
+    let fx = Fixture::new("outfile");
+    fx.write("crates/core/src/lib.rs", "pub fn f() {}\n");
+    let report = fx.root.join("lint-report.json");
+    let out = run(&[
+        "--root",
+        &root_arg(&fx),
+        "--format",
+        "json",
+        "--out",
+        &report.display().to_string(),
+    ]);
+    assert!(out.status.success());
+    let written = fs::read_to_string(&report).expect("report file written");
+    let v: serde_json::Value = serde_json::from_str(&written).expect("valid JSON report");
+    assert!(v.get("files_scanned").is_some());
+}

@@ -1,0 +1,80 @@
+//! The lint suite run against its own workspace: the repository must
+//! lint clean, and every suppression must be justified.
+//!
+//! This is the acceptance gate for the whole `analysis` crate — if a
+//! rule over-approximates on real code, or someone lands a violation,
+//! this test (and the CI `lint` job) fails.
+
+use analysis::{lint, LintConfig, Workspace};
+use std::path::{Path, PathBuf};
+
+/// The most suppressions the workspace is allowed to carry. More than
+/// this means rules are being silenced instead of findings fixed.
+const MAX_SUPPRESSIONS: usize = 10;
+
+fn workspace_root() -> PathBuf {
+    // crates/analysis -> crates -> root
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .to_path_buf()
+}
+
+#[test]
+fn the_workspace_lints_clean() {
+    let ws = Workspace::from_root(&workspace_root()).expect("scan workspace");
+    assert!(
+        ws.files.len() > 50,
+        "scanned only {} files — wrong root?",
+        ws.files.len()
+    );
+    let report = lint(&ws, &LintConfig::default());
+    assert_eq!(
+        report.deny_count(),
+        0,
+        "deny findings in the workspace:\n{}",
+        report.to_text()
+    );
+    assert_eq!(
+        report.warn_count(),
+        0,
+        "warn findings in the workspace (CI runs --deny-warnings):\n{}",
+        report.to_text()
+    );
+}
+
+#[test]
+fn suppressions_are_few_and_justified() {
+    let ws = Workspace::from_root(&workspace_root()).expect("scan workspace");
+    let report = lint(&ws, &LintConfig::default());
+    assert!(
+        report.suppressions.len() <= MAX_SUPPRESSIONS,
+        "{} suppressions exceed the budget of {MAX_SUPPRESSIONS}:\n{}",
+        report.suppressions.len(),
+        report.to_text()
+    );
+    for s in &report.suppressions {
+        assert!(
+            s.reason.trim().len() >= 10,
+            "suppression at {}:{} has a throwaway reason: {:?}",
+            s.path,
+            s.line,
+            s.reason
+        );
+    }
+}
+
+#[test]
+fn every_baseline_is_present_and_parsed() {
+    let ws = Workspace::from_root(&workspace_root()).expect("scan workspace");
+    assert_eq!(ws.baselines.len(), 3);
+    for b in &ws.baselines {
+        assert!(
+            b.content.is_ok(),
+            "baseline {} unreadable: {:?}",
+            b.path,
+            b.content
+        );
+    }
+}

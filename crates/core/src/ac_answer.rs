@@ -77,7 +77,7 @@ fn pagerank_quantile(scores: &[f64], q: f64) -> f64 {
         return 0.0;
     }
     let mut sorted = scores.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    sorted.sort_by(|a, b| a.total_cmp(b));
     let idx = ((sorted.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
     sorted[idx]
 }

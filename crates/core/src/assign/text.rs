@@ -73,9 +73,7 @@ fn pick_representative(index: &CorpusIndex, evidence: &[PaperId]) -> PaperId {
         .max_by(|&a, &b| {
             let sa = index.whole_cosine(a, &centroid);
             let sb = index.whole_cosine(b, &centroid);
-            sa.partial_cmp(&sb)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(b.0.cmp(&a.0))
+            sa.total_cmp(&sb).then(b.0.cmp(&a.0))
         })
         .expect("non-empty evidence")
 }

@@ -142,7 +142,7 @@ impl From<serde_json::Error> for PersistError {
 }
 
 /// Serialize context paper sets to JSON.
-pub fn context_sets_to_json(sets: &ContextPaperSets) -> String {
+pub fn context_sets_to_json(sets: &ContextPaperSets) -> Result<String, PersistError> {
     let mut members: Vec<(u32, Vec<u32>)> = sets
         .contexts()
         .map(|c| (c.0, sets.members(c).iter().map(|p| p.0).collect()))
@@ -169,7 +169,7 @@ pub fn context_sets_to_json(sets: &ContextPaperSets) -> String {
         representatives,
         inherited_from,
     };
-    serde_json::to_string(&file).expect("serializable")
+    Ok(serde_json::to_string(&file)?)
 }
 
 /// Load context paper sets from JSON produced by
@@ -201,7 +201,7 @@ pub fn context_sets_from_json(json: &str) -> Result<ContextPaperSets, PersistErr
 }
 
 /// Serialize prestige scores to JSON.
-pub fn prestige_to_json(prestige: &PrestigeScores) -> String {
+pub fn prestige_to_json(prestige: &PrestigeScores) -> Result<String, PersistError> {
     let mut scores: Vec<(u32, Vec<(u32, f64)>)> = prestige
         .contexts()
         .map(|c| {
@@ -216,7 +216,7 @@ pub fn prestige_to_json(prestige: &PrestigeScores) -> String {
         function: prestige.function.name().to_string(),
         scores,
     };
-    serde_json::to_string(&file).expect("serializable")
+    Ok(serde_json::to_string(&file)?)
 }
 
 /// Load prestige scores from JSON produced by [`prestige_to_json`].
@@ -311,17 +311,21 @@ pub fn save_snapshot(snapshot: &EngineSnapshot, dir: &Path) -> Result<(), Persis
     for kind in [ContextSetKind::TextBased, ContextSetKind::PatternBased] {
         write_file(
             &dir.join(sets_file_name(kind)),
-            &context_sets_to_json(snapshot.sets(kind)),
+            &context_sets_to_json(snapshot.sets(kind))?,
         )?;
     }
     let pairs = snapshot.pairs();
     for &(kind, function) in &pairs {
-        let table = snapshot
-            .prestige(kind, function)
-            .expect("pairs() lists only prepared tables");
+        let table = snapshot.prestige(kind, function).ok_or_else(|| {
+            PersistError::Corrupt(format!(
+                "pairs() listed unprepared table {}/{}",
+                kind.name(),
+                function.name()
+            ))
+        })?;
         write_file(
             &dir.join(prestige_file_name(kind, function)),
-            &prestige_to_json(table),
+            &prestige_to_json(table)?,
         )?;
     }
     let header = SnapshotHeader {
@@ -336,7 +340,7 @@ pub fn save_snapshot(snapshot: &EngineSnapshot, dir: &Path) -> Result<(), Persis
     };
     write_file(
         &dir.join("snapshot.json"),
-        &serde_json::to_string_pretty(&header).expect("serializable"),
+        &serde_json::to_string_pretty(&header)?,
     )?;
     obs::counter("persist.snapshots_saved", 1);
     Ok(())
@@ -403,18 +407,21 @@ pub fn load_snapshot(
         }
         prestige.insert((kind, function), table);
     }
+    let mut take_sets = |kind: ContextSetKind| {
+        sets_by_kind.remove(&kind).ok_or_else(|| {
+            PersistError::Corrupt(format!("no {} context sets were loaded", kind.name()))
+        })
+    };
+    let text_sets = take_sets(ContextSetKind::TextBased)?;
+    let pattern_sets = take_sets(ContextSetKind::PatternBased)?;
     obs::counter("persist.snapshots_loaded", 1);
     Ok(Arc::new(EngineSnapshot::from_parts(
         ontology,
         corpus,
         config,
         index,
-        sets_by_kind
-            .remove(&ContextSetKind::TextBased)
-            .expect("inserted above"),
-        sets_by_kind
-            .remove(&ContextSetKind::PatternBased)
-            .expect("inserted above"),
+        text_sets,
+        pattern_sets,
         prestige,
         None,
     )))
@@ -438,7 +445,7 @@ mod tests {
     #[test]
     fn context_sets_round_trip() {
         let sets = sample_sets();
-        let json = context_sets_to_json(&sets);
+        let json = context_sets_to_json(&sets).unwrap();
         let loaded = context_sets_from_json(&json).unwrap();
         assert_eq!(loaded.kind, sets.kind);
         assert_eq!(loaded.members(TermId(3)), sets.members(TermId(3)));
@@ -452,7 +459,7 @@ mod tests {
         let mut scores = HashMap::new();
         scores.insert(TermId(3), vec![(PaperId(1), 0.25), (PaperId(5), 1.0)]);
         let prestige = PrestigeScores::new(scores, ScoreFunction::Text);
-        let json = prestige_to_json(&prestige);
+        let json = prestige_to_json(&prestige).unwrap();
         let loaded = prestige_from_json(&json).unwrap();
         assert_eq!(loaded.function, ScoreFunction::Text);
         assert_eq!(loaded.scores(TermId(3)), prestige.scores(TermId(3)));
@@ -479,8 +486,8 @@ mod tests {
     #[test]
     fn json_is_stable_and_sorted() {
         let sets = sample_sets();
-        let a = context_sets_to_json(&sets);
-        let b = context_sets_to_json(&sets);
+        let a = context_sets_to_json(&sets).unwrap();
+        let b = context_sets_to_json(&sets).unwrap();
         assert_eq!(a, b, "serialization must be deterministic");
         // Context 3 precedes context 7 in the output.
         assert!(a.find("[3,").unwrap() < a.find("[7,").unwrap());

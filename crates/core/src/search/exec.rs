@@ -42,8 +42,7 @@ pub struct SearchResult {
 /// iteration order would otherwise leak into equal-relevancy runs.
 pub(crate) fn rank_order(a: &SearchResult, b: &SearchResult) -> std::cmp::Ordering {
     b.relevancy
-        .partial_cmp(&a.relevancy)
-        .unwrap_or(std::cmp::Ordering::Equal)
+        .total_cmp(&a.relevancy)
         .then(a.paper.cmp(&b.paper))
 }
 
@@ -296,5 +295,51 @@ mod tests {
         let ids = |v: &[SearchResult]| v.iter().map(|r| r.paper).collect::<Vec<_>>();
         assert_eq!(ids(&a), ids(&b));
         assert_eq!(ids(&a), (0..20).map(PaperId).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn nan_relevancy_sorts_deterministically_and_never_panics() {
+        // Before the total_cmp migration this comparator was
+        // `partial_cmp(..).unwrap_or(Equal)`: a NaN score compared
+        // "equal to everything", so its final position depended on the
+        // input permutation. Under IEEE 754 totalOrder, positive NaN
+        // sorts above +inf — in this descending comparator, NaN-scored
+        // results surface at the front, identically from any order.
+        let scores = [f64::NAN, 0.7, f64::NAN, 0.1, f64::INFINITY, 0.4];
+        let mut fwd: Vec<SearchResult> = scores
+            .iter()
+            .enumerate()
+            .map(|(p, &s)| result(p as u32, s))
+            .collect();
+        let mut rev: Vec<SearchResult> = fwd.clone();
+        rev.reverse();
+        fwd.sort_by(rank_order);
+        rev.sort_by(rank_order);
+        let ids = |v: &[SearchResult]| v.iter().map(|r| r.paper).collect::<Vec<_>>();
+        assert_eq!(
+            ids(&fwd),
+            ids(&rev),
+            "NaN must not make order input-dependent"
+        );
+        assert_eq!(
+            ids(&fwd),
+            [0, 2, 4, 1, 5, 3].map(PaperId).to_vec(),
+            "NaN > +inf > finite, ties by paper id"
+        );
+    }
+
+    #[test]
+    fn negative_zero_relevancy_stays_adjacent_to_positive_zero() {
+        // totalOrder distinguishes -0.0 from +0.0; the paper tie-break
+        // no longer applies across the pair, but the order is still a
+        // pure function of the inputs.
+        let mut v = [result(3, -0.0), result(1, 0.0), result(2, 0.0)];
+        v.sort_by(rank_order);
+        let ids: Vec<PaperId> = v.iter().map(|r| r.paper).collect();
+        assert_eq!(
+            ids,
+            [1, 2, 3].map(PaperId).to_vec(),
+            "+0.0 ranks above -0.0"
+        );
     }
 }

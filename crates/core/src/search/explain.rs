@@ -84,8 +84,7 @@ pub fn explain_hit(
         .collect();
     matched_terms.sort_by(|a, b| {
         b.contribution
-            .partial_cmp(&a.contribution)
-            .unwrap_or(std::cmp::Ordering::Equal)
+            .total_cmp(&a.contribution)
             .then_with(|| a.term.cmp(&b.term))
     });
     let term = ontology.term(hit.context);

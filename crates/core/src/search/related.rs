@@ -59,8 +59,7 @@ pub fn more_like_this(
     let mut out: Vec<RelatedPaper> = best.into_values().collect();
     out.sort_by(|a, b| {
         b.similarity
-            .partial_cmp(&a.similarity)
-            .unwrap_or(std::cmp::Ordering::Equal)
+            .total_cmp(&a.similarity)
             .then(a.paper.cmp(&b.paper))
     });
     if limit > 0 {

@@ -24,36 +24,42 @@ pub fn select_contexts(
     sets: &ContextPaperSets,
     config: &SelectionConfig,
 ) -> Vec<(ContextId, f64)> {
-    let query_set: HashSet<TermId> = query_tokens.iter().copied().collect();
-    if query_set.is_empty() {
+    // IDF masses are summed in ascending term order. Summing over
+    // `HashSet` iteration would give each thread its own ULP-level
+    // rounding (per-thread hash seeds), letting near-tied contexts
+    // swap ranks across serving threads.
+    let mut query_terms: Vec<TermId> = query_tokens.to_vec();
+    query_terms.sort_unstable();
+    query_terms.dedup();
+    if query_terms.is_empty() {
         return Vec::new();
     }
-    let query_mass: f64 = query_set.iter().map(|&t| index.model.idf(t)).sum();
+    let query_set: HashSet<TermId> = query_terms.iter().copied().collect();
+    let query_mass: f64 = query_terms.iter().map(|&t| index.model.idf(t)).sum();
     let mut scored: Vec<(ContextId, f64)> = sets
         .contexts()
         .filter_map(|c| {
-            let name = &index.term_name_tokens[c.index()];
+            let name = index.term_name_tokens.get(c.index())?;
             if name.is_empty() {
                 return None;
             }
-            let name_set: HashSet<TermId> = name.iter().copied().collect();
-            let shared: f64 = name_set
-                .intersection(&query_set)
+            let mut name_terms: Vec<TermId> = name.to_vec();
+            name_terms.sort_unstable();
+            name_terms.dedup();
+            let shared: f64 = name_terms
+                .iter()
+                .filter(|t| query_set.contains(t))
                 .map(|&t| index.model.idf(t))
                 .sum();
             if shared <= 0.0 {
                 return None;
             }
-            let name_mass: f64 = name_set.iter().map(|&t| index.model.idf(t)).sum();
+            let name_mass: f64 = name_terms.iter().map(|&t| index.model.idf(t)).sum();
             let dice = 2.0 * shared / (query_mass + name_mass);
             Some((c, dice))
         })
         .collect();
-    scored.sort_by(|a, b| {
-        b.1.partial_cmp(&a.1)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(a.0.cmp(&b.0))
-    });
+    scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
     scored.retain(|&(_, s)| s >= config.min_match);
     scored.truncate(config.max_contexts);
     scored

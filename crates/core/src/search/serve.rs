@@ -184,6 +184,7 @@ impl Searcher {
             simplified,
             propagate,
             || {
+                // lint:allow(no-panic-serving, ablation-only hook: pattern prestige is never requested on warm-loaded snapshots and the message documents the contract)
                 Arc::clone(self.snapshot.patterns().expect(
                     "pattern prestige needs mined patterns; \
                      warm-loaded snapshots do not carry them",

@@ -438,8 +438,8 @@ mod tests {
         let par = prepare_with_threads(4);
         for kind in [ContextSetKind::TextBased, ContextSetKind::PatternBased] {
             assert_eq!(
-                context_sets_to_json(seq.sets(kind)),
-                context_sets_to_json(par.sets(kind)),
+                context_sets_to_json(seq.sets(kind)).unwrap(),
+                context_sets_to_json(par.sets(kind)).unwrap(),
                 "context sets differ for {}",
                 kind.name()
             );
@@ -447,8 +447,8 @@ mod tests {
         assert_eq!(seq.pairs(), par.pairs());
         for (k, f) in seq.pairs() {
             assert_eq!(
-                prestige_to_json(seq.prestige(k, f).unwrap()),
-                prestige_to_json(par.prestige(k, f).unwrap()),
+                prestige_to_json(seq.prestige(k, f).unwrap()).unwrap(),
+                prestige_to_json(par.prestige(k, f).unwrap()).unwrap(),
                 "prestige differs for {}/{}",
                 k.name(),
                 f.name()
@@ -489,12 +489,12 @@ mod tests {
         let text_sets = engine.text_context_sets();
         let pattern_sets = engine.pattern_context_sets();
         assert_eq!(
-            context_sets_to_json(snap.sets(ContextSetKind::TextBased)),
-            context_sets_to_json(&text_sets)
+            context_sets_to_json(snap.sets(ContextSetKind::TextBased)).unwrap(),
+            context_sets_to_json(&text_sets).unwrap()
         );
         assert_eq!(
-            context_sets_to_json(snap.sets(ContextSetKind::PatternBased)),
-            context_sets_to_json(&pattern_sets)
+            context_sets_to_json(snap.sets(ContextSetKind::PatternBased)).unwrap(),
+            context_sets_to_json(&pattern_sets).unwrap()
         );
         let cases: [(ContextSetKind, ScoreFunction, PrestigeScores); 4] = [
             (
@@ -520,8 +520,8 @@ mod tests {
         ];
         for (k, f, expected) in &cases {
             assert_eq!(
-                prestige_to_json(snap.prestige(*k, *f).unwrap()),
-                prestige_to_json(expected),
+                prestige_to_json(snap.prestige(*k, *f).unwrap()).unwrap(),
+                prestige_to_json(expected).unwrap(),
                 "{}/{} differs from the engine path",
                 k.name(),
                 f.name()
@@ -538,8 +538,9 @@ mod tests {
             prestige_to_json(
                 snap.prestige(ContextSetKind::PatternBased, ScoreFunction::Text)
                     .unwrap()
-            ),
-            prestige_to_json(&expected)
+            )
+            .unwrap(),
+            prestige_to_json(&expected).unwrap()
         );
     }
 

@@ -1,0 +1,206 @@
+//! Schedule-permutation stress for the prepare-plan executor.
+//!
+//! The plan's correctness claim is schedule independence: for a fixed
+//! dependency graph, every stage insertion order, thread count, and
+//! interleaving must produce the same result — every stage exactly
+//! once, never before its dependencies, slot handoffs intact. These
+//! tests attack that claim deterministically: insertion orders are
+//! enumerated exhaustively (Heap's algorithm), interleavings are
+//! perturbed with seeded per-stage jitter, and the whole suite is a
+//! pure function of its seeds so a failure replays exactly.
+
+use context_search::plan::{Plan, Slot};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The prepare DAG shape from `EngineSnapshot::prepare`, abstracted:
+/// one root (index), two mid stages fanning out of it (text sets,
+/// pattern mining), and four leaves fanning out of the mids (the
+/// per-(set, function) prestige tables).
+const STAGES: [(&str, &[&str]); 7] = [
+    ("index", &[]),
+    ("text_sets", &["index"]),
+    ("patterns", &["index"]),
+    ("text_citation", &["text_sets"]),
+    ("text_cocitation", &["text_sets"]),
+    ("pattern_citation", &["patterns"]),
+    ("pattern_cocitation", &["patterns"]),
+];
+
+/// All permutations of `items` via Heap's algorithm — deterministic,
+/// no allocation games, 5040 orders for the 7-stage graph.
+fn permutations<T: Clone>(items: &[T]) -> Vec<Vec<T>> {
+    fn heap<T: Clone>(k: usize, arr: &mut Vec<T>, out: &mut Vec<Vec<T>>) {
+        if k <= 1 {
+            out.push(arr.clone());
+            return;
+        }
+        for i in 0..k {
+            heap(k - 1, arr, out);
+            if k.is_multiple_of(2) {
+                arr.swap(i, k - 1);
+            } else {
+                arr.swap(0, k - 1);
+            }
+        }
+    }
+    let mut arr = items.to_vec();
+    let mut out = Vec::new();
+    heap(arr.len(), &mut arr, &mut out);
+    out
+}
+
+/// Run the 7-stage DAG with stages inserted in `order`, recording the
+/// completion sequence. `jitter_seed` adds a seeded busy-wait per stage
+/// so different seeds realize different interleavings on the pool.
+fn run_dag(order: &[usize], threads: usize, jitter_seed: u64) -> Vec<&'static str> {
+    let mut rng = SmallRng::seed_from_u64(jitter_seed);
+    let spins: Vec<u32> = (0..STAGES.len()).map(|_| rng.gen_range(0..2000)).collect();
+    let log: Mutex<Vec<&'static str>> = Mutex::new(Vec::new());
+    let mut plan = Plan::new();
+    for &i in order {
+        let (name, deps) = STAGES[i];
+        let spin = spins[i];
+        let log = &log;
+        plan.stage(name, deps, move || {
+            // Deterministic-length busy work; `hint::spin_loop` keeps
+            // the optimizer from deleting it.
+            for _ in 0..spin {
+                std::hint::spin_loop();
+            }
+            log.lock().unwrap().push(name);
+        });
+    }
+    plan.run(threads).expect("valid plan");
+    log.into_inner().unwrap()
+}
+
+fn assert_valid_schedule(completed: &[&str], ctx: &str) {
+    assert_eq!(completed.len(), STAGES.len(), "{ctx}: every stage ran once");
+    let pos = |s: &str| {
+        completed
+            .iter()
+            .position(|&x| x == s)
+            .unwrap_or_else(|| panic!("{ctx}: stage {s} missing from {completed:?}"))
+    };
+    for (name, deps) in STAGES {
+        for dep in deps {
+            assert!(
+                pos(dep) < pos(name),
+                "{ctx}: {name} completed before its dependency {dep}: {completed:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn every_insertion_order_yields_a_valid_parallel_schedule() {
+    // 5040 permutations × one pool run each. Two worker threads keeps
+    // real contention while the whole sweep stays fast.
+    let idx: Vec<usize> = (0..STAGES.len()).collect();
+    for (p, order) in permutations(&idx).into_iter().enumerate() {
+        let completed = run_dag(&order, 2, p as u64);
+        assert_valid_schedule(&completed, &format!("permutation {p} ({order:?})"));
+    }
+}
+
+#[test]
+fn sequential_execution_is_identical_across_jitter_seeds() {
+    // threads == 1 promises deterministic topological order: the
+    // completion log must be byte-identical regardless of timing.
+    let idx: Vec<usize> = (0..STAGES.len()).collect();
+    let reference = run_dag(&idx, 1, 0);
+    for seed in 1..16 {
+        assert_eq!(run_dag(&idx, 1, seed), reference, "seed {seed}");
+    }
+}
+
+#[test]
+fn jittered_interleavings_respect_dependencies_at_higher_thread_counts() {
+    let idx: Vec<usize> = (0..STAGES.len()).collect();
+    // A deliberately adversarial insertion order: leaves first.
+    let reversed: Vec<usize> = idx.iter().rev().copied().collect();
+    for threads in [2, 4] {
+        for seed in 0..32u64 {
+            for order in [&idx, &reversed] {
+                let completed = run_dag(order, threads, seed);
+                assert_valid_schedule(
+                    &completed,
+                    &format!("threads={threads} seed={seed} order={order:?}"),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn slot_handoffs_survive_every_permutation_of_a_linear_chain() {
+    // a -> b -> c via take-once slots: any scheduling bug that runs a
+    // consumer early or twice shows up as a poisoned `take()` here.
+    let idx = [0usize, 1, 2];
+    for (p, order) in permutations(&idx).into_iter().enumerate() {
+        let a_out: Slot<u32> = Slot::new();
+        let b_out: Slot<u32> = Slot::new();
+        let c_out: Slot<u32> = Slot::new();
+        let mut plan = Plan::new();
+        for &i in &order {
+            match i {
+                0 => plan.stage("a", &[], || a_out.put(20)),
+                1 => plan.stage("b", &["a"], || b_out.put(a_out.take().unwrap() + 1)),
+                _ => plan.stage("c", &["b"], || c_out.put(b_out.take().unwrap() * 2)),
+            };
+        }
+        plan.run(2).expect("valid plan");
+        assert_eq!(c_out.take(), Some(42), "permutation {p}: {order:?}");
+        assert_eq!(a_out.take(), None, "a's output was consumed");
+        assert_eq!(b_out.take(), None, "b's output was consumed");
+    }
+}
+
+#[test]
+fn panic_mid_dag_skips_transitive_dependents_under_every_order() {
+    // "patterns" panics: both pattern-prestige leaves must be skipped,
+    // the panic must reach the caller, and unrelated branches may or
+    // may not have run — but never the dependents.
+    let idx: Vec<usize> = (0..STAGES.len()).collect();
+    for (p, order) in permutations(&idx).into_iter().enumerate().step_by(97) {
+        let ran = Mutex::new(Vec::<&'static str>::new());
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut plan = Plan::new();
+            for &i in &order {
+                let (name, deps) = STAGES[i];
+                if name == "patterns" {
+                    plan.stage(name, deps, || panic!("mining failed"));
+                } else {
+                    plan.stage(name, deps, || ran.lock().unwrap().push(name));
+                }
+            }
+            plan.run(2).expect("valid plan");
+        }));
+        assert!(result.is_err(), "permutation {p}: panic must propagate");
+        let ran = ran.into_inner().unwrap();
+        for skipped in ["pattern_citation", "pattern_cocitation"] {
+            assert!(
+                !ran.contains(&skipped),
+                "permutation {p}: dependent {skipped} ran after its dependency panicked: {ran:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn stage_run_counts_are_exact_under_contention() {
+    // Many more worker threads than ready stages: claiming must still
+    // hand each stage to exactly one worker.
+    let count = AtomicUsize::new(0);
+    let mut plan = Plan::new();
+    for (name, deps) in STAGES {
+        plan.stage(name, deps, || {
+            count.fetch_add(1, Ordering::SeqCst);
+        });
+    }
+    plan.run(16).expect("valid plan");
+    assert_eq!(count.load(Ordering::SeqCst), STAGES.len());
+}

@@ -19,11 +19,7 @@ fn top_k_set(scored: &[(u32, f64)], k: usize) -> HashSet<u32> {
         return HashSet::new();
     }
     let mut sorted: Vec<(u32, f64)> = scored.to_vec();
-    sorted.sort_by(|a, b| {
-        b.1.partial_cmp(&a.1)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(a.0.cmp(&b.0))
-    });
+    sorted.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
     let k = k.min(sorted.len());
     let kth_score = sorted[k - 1].1;
     sorted

@@ -16,7 +16,7 @@ pub fn median(xs: &[f64]) -> f64 {
         return 0.0;
     }
     let mut v = xs.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    v.sort_by(|a, b| a.total_cmp(b));
     let n = v.len();
     if n % 2 == 1 {
         v[n / 2]
@@ -60,7 +60,7 @@ pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
 pub fn spearman(xs: &[f64], ys: &[f64]) -> f64 {
     let rank = |v: &[f64]| -> Vec<f64> {
         let mut idx: Vec<usize> = (0..v.len()).collect();
-        idx.sort_by(|&a, &b| v[a].partial_cmp(&v[b]).unwrap_or(std::cmp::Ordering::Equal));
+        idx.sort_by(|&a, &b| v[a].total_cmp(&v[b]));
         let mut ranks = vec![0.0f64; v.len()];
         let mut i = 0;
         while i < idx.len() {

@@ -86,11 +86,7 @@ pub fn most_informative_common_ancestor(
     common
         .into_iter()
         .map(|t| (t, information_content(ontology, t)))
-        .max_by(|(ta, ia), (tb, ib)| {
-            ia.partial_cmp(ib)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(tb.cmp(ta))
-        })
+        .max_by(|(ta, ia), (tb, ib)| ia.total_cmp(ib).then(tb.cmp(ta)))
         .map(|(t, _)| t)
 }
 

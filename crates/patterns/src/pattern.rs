@@ -155,8 +155,7 @@ pub fn build_patterns(
 pub(crate) fn sort_by_score(patterns: &mut [Pattern]) {
     patterns.sort_by(|a, b| {
         b.score
-            .partial_cmp(&a.score)
-            .unwrap_or(std::cmp::Ordering::Equal)
+            .total_cmp(&a.score)
             .then_with(|| a.middle.cmp(&b.middle))
     });
 }

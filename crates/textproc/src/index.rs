@@ -105,11 +105,7 @@ impl InvertedIndex {
             .filter(|&(_, s)| s > min_score)
             .map(|(d, s)| (DocId(d as u32), s))
             .collect();
-        hits.sort_by(|a, b| {
-            b.1.partial_cmp(&a.1)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.0.cmp(&b.0))
-        });
+        hits.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         hits
     }
 }

@@ -45,6 +45,7 @@ impl SparseVector {
         for &t in terms {
             *counts.entry(t).or_insert(0.0) += 1.0;
         }
+        // lint:allow(hashmap-order-leak, from_pairs sorts by term id before storing)
         Self::from_pairs(counts.into_iter().collect())
     }
 

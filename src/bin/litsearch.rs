@@ -298,7 +298,8 @@ fn cmd_assign(flags: &Flags) -> Result<(), String> {
         _ => engine.pattern_context_sets(),
     };
     let path = sets_path(&dir, kind);
-    std::fs::write(&path, context_sets_to_json(&sets)).map_err(|e| e.to_string())?;
+    let json = context_sets_to_json(&sets).map_err(|e| e.to_string())?;
+    std::fs::write(&path, json).map_err(|e| e.to_string())?;
     eprintln!(
         "wrote {} ({} contexts, mean size {:.1})",
         path.display(),
@@ -318,7 +319,8 @@ fn cmd_prestige(flags: &Flags) -> Result<(), String> {
     eprintln!("computing {} prestige…", function.name());
     let prestige = engine.prestige(&sets, function);
     let path = prestige_path(&dir, kind, function);
-    std::fs::write(&path, prestige_to_json(&prestige)).map_err(|e| e.to_string())?;
+    let json = prestige_to_json(&prestige).map_err(|e| e.to_string())?;
+    std::fs::write(&path, json).map_err(|e| e.to_string())?;
     eprintln!(
         "wrote {} ({} scored contexts)",
         path.display(),
