@@ -11,8 +11,10 @@
 
 pub mod diff;
 pub mod experiments;
+pub mod load;
 pub mod setup;
 
 pub use diff::{diff_snapshots, DiffReport, DiffThresholds, SpanDiff, SpanVerdict};
 pub use experiments::*;
+pub use load::{default_serve_slos, sim_cost_ns, LoadConfig, LoadHarness, LoadReport, LoopMode};
 pub use setup::{ExpConfig, Setup};

@@ -1,0 +1,788 @@
+//! Closed- and open-loop load generation over a shared lock-free
+//! [`Searcher`], feeding the live-observability layer.
+//!
+//! N worker threads drive queries against one snapshot and record
+//! end-to-end latencies into a sharded [`RollingRecorder`]; at the end
+//! (and, live, on every tick) the harness reads windowed per-stage
+//! stats, evaluates the configured SLOs, and reports the slow-query
+//! leaderboard with captured explain traces.
+//!
+//! Two timing modes:
+//!
+//! - **Real** (`sim = false`): latencies are wall-clock measurements
+//!   from a [`MonotonicClock`]; the harness also enables global
+//!   metrics and attaches its recorder to the registry, so per-stage
+//!   span durations (`engine.search`, `search.*`) stream into their
+//!   own windowed series.
+//! - **Simulated** (`sim = true`): every query still *executes* for
+//!   real (results and work counters are exact), but its duration is a
+//!   deterministic cost model over its [`QueryStats`], and each worker
+//!   advances its own virtual clock and owns shard = worker index.
+//!   Because queries are pure functions of (snapshot, query) and the
+//!   merge across shards is commutative, the entire windowed output —
+//!   p50/p95/p99, QPS, error rates, SLO burn — is **bit-identical
+//!   across runs and thread interleavings**. CI asserts on exactly
+//!   this.
+//!
+//! Loop shapes: **closed** — each worker issues its next query the
+//! moment the previous completes (latency = service time); **open** —
+//! arrivals follow a fixed per-worker rate and latency includes queue
+//! wait (`completion − arrival`), so an overloaded server shows the
+//! classic open-loop latency blow-up instead of coordinated omission.
+//!
+//! Slow-query capture: any query whose (real or simulated) latency
+//! reaches the threshold is re-executed once with the global tracer
+//! armed — queries are deterministic, so the re-execution *is* the
+//! slow execution, minus the queueing. Captures are serialized behind
+//! a process-wide mutex and filtered to the capturing thread's events,
+//! so concurrent workers never interleave their explain traces.
+
+use context_search::{ContextSetKind, QueryStats, ScoreFunction, Searcher};
+use obs::{
+    Clock, ManualClock, MonotonicClock, RollingConfig, RollingRecorder, SloReport, SloSpec,
+    SloTracker, SlowQuery, SlowQueryLog, TraceData, WindowStats,
+};
+use serde::Value;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// How workers pace their queries.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LoopMode {
+    /// Next query starts when the previous one completes.
+    Closed,
+    /// Arrivals at a fixed per-worker rate; latency includes queueing.
+    Open {
+        /// Arrival rate per worker, queries per second.
+        qps_per_worker: f64,
+    },
+}
+
+impl LoopMode {
+    fn name(&self) -> &'static str {
+        match self {
+            LoopMode::Closed => "closed",
+            LoopMode::Open { .. } => "open",
+        }
+    }
+}
+
+/// Shape of one load run.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Worker threads (each owns one rolling shard).
+    pub threads: usize,
+    /// Queries issued per worker.
+    pub queries_per_thread: usize,
+    /// Closed or open loop.
+    pub mode: LoopMode,
+    /// Deterministic simulated time (see module docs).
+    pub sim: bool,
+    /// Result limit per query.
+    pub limit: usize,
+    /// Context paper set served.
+    pub kind: ContextSetKind,
+    /// Prestige function served.
+    pub function: ScoreFunction,
+    /// Window the final report reads, seconds.
+    pub window_secs: u64,
+    /// Slow-query threshold, nanoseconds.
+    pub slow_threshold_ns: u64,
+    /// Slow-query leaderboard size.
+    pub slow_capacity: usize,
+    /// Capture an explain trace for each slow query.
+    pub capture_traces: bool,
+    /// Record every Nth query as an error (0 = none) — synthetic
+    /// unavailability for exercising burn-rate alerts end to end.
+    pub error_every: u64,
+    /// Objectives evaluated over the run.
+    pub slos: Vec<SloSpec>,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        Self {
+            threads: 4,
+            queries_per_thread: 100,
+            mode: LoopMode::Closed,
+            sim: true,
+            limit: 10,
+            kind: ContextSetKind::PatternBased,
+            function: ScoreFunction::Pattern,
+            window_secs: 60,
+            slow_threshold_ns: 50 * 1_000_000,
+            slow_capacity: 16,
+            capture_traces: true,
+            error_every: 0,
+            slos: default_serve_slos(50 * 1_000_000),
+        }
+    }
+}
+
+/// The stock serving objectives: "99% of `serve.query` under the
+/// threshold" and "99.9% of queries succeed".
+pub fn default_serve_slos(latency_threshold_ns: u64) -> Vec<SloSpec> {
+    vec![
+        SloSpec::latency(
+            "serve-latency-p99",
+            "serve.query",
+            latency_threshold_ns,
+            0.99,
+        ),
+        SloSpec::availability("serve-availability", "serve.query", 0.999),
+    ]
+}
+
+/// Deterministic service-time model for simulation mode: a fixed
+/// dispatch overhead plus per-unit costs for each work counter. The
+/// coefficients are arbitrary but fixed — what matters is that cost is
+/// a pure function of the query's exact work, so heavy contexts
+/// produce the heavy tail the paper's per-context scoring predicts.
+pub fn sim_cost_ns(stats: &QueryStats) -> u64 {
+    200_000
+        + 2_000 * stats.selected_contexts
+        + 60 * stats.keyword_candidates
+        + 150 * stats.scored_pairs
+        + 1_000 * stats.results
+}
+
+/// Per-stage split of a simulated duration, mirroring the real span
+/// hierarchy so the dashboard has the same series in both modes.
+const SIM_STAGES: &[(&str, u64)] = &[
+    ("search.select_contexts", 15),
+    ("search.keyword_match", 25),
+    ("search.relevancy", 45),
+];
+
+/// Serializes slow-query trace captures: the global tracer is a single
+/// sink, so only one worker may arm it at a time.
+static CAPTURE: Mutex<()> = Mutex::new(());
+
+/// Re-execute `query` with the global tracer armed and return this
+/// thread's events — the explain trace of the (deterministic) slow
+/// execution. Goes through the span-free [`Searcher::search_with_stats`]
+/// path so the re-execution never lands a second `serve.query`
+/// observation in an attached rolling recorder.
+fn capture_explain_trace(
+    searcher: &Searcher,
+    query: &str,
+    kind: ContextSetKind,
+    function: ScoreFunction,
+    limit: usize,
+) -> Option<TraceData> {
+    let _serialize = CAPTURE.lock().unwrap_or_else(|e| e.into_inner());
+    let prestige = searcher.prestige(kind, function)?;
+    let tid = obs::trace::current_tid();
+    obs::trace_start();
+    let _ = searcher.search_with_stats(query, searcher.sets(kind), prestige, limit);
+    obs::trace_finish().map(|data| data.filter_tid(tid))
+}
+
+/// One load run's worth of shared observability state plus the
+/// configuration to drive it.
+pub struct LoadHarness {
+    config: LoadConfig,
+    rolling: Arc<RollingRecorder>,
+    slo: Arc<SloTracker>,
+    slowlog: Arc<SlowQueryLog>,
+    clock: Arc<dyn Clock>,
+    queries_issued: AtomicU64,
+    errors_seen: AtomicU64,
+}
+
+impl LoadHarness {
+    /// Build the harness: a real clock drives real mode; simulation
+    /// ignores the clock entirely (workers pass explicit virtual
+    /// timestamps).
+    pub fn new(config: LoadConfig) -> Self {
+        let clock: Arc<dyn Clock> = if config.sim {
+            Arc::new(ManualClock::new(0))
+        } else {
+            Arc::new(MonotonicClock::new())
+        };
+        // The ring must answer the report's window; sizing it to the
+        // configured window (min 60 s) keeps memory bounded.
+        let rolling = Arc::new(RollingRecorder::new(
+            RollingConfig {
+                bucket_secs: 1,
+                window_secs: config.window_secs.max(60),
+                shards: config.threads.max(1),
+            },
+            clock.clone(),
+        ));
+        let slo = Arc::new(SloTracker::new(
+            config.slos.clone(),
+            obs::default_burn_windows(),
+        ));
+        let slowlog = Arc::new(SlowQueryLog::new(
+            config.slow_threshold_ns,
+            config.slow_capacity,
+        ));
+        Self {
+            config,
+            rolling,
+            slo,
+            slowlog,
+            clock,
+            queries_issued: AtomicU64::new(0),
+            errors_seen: AtomicU64::new(0),
+        }
+    }
+
+    /// The harness's rolling recorder (live dashboards read it).
+    pub fn rolling(&self) -> &Arc<RollingRecorder> {
+        &self.rolling
+    }
+
+    /// The harness's SLO tracker.
+    pub fn slo(&self) -> &Arc<SloTracker> {
+        &self.slo
+    }
+
+    /// The harness's slow-query log.
+    pub fn slowlog(&self) -> &Arc<SlowQueryLog> {
+        &self.slowlog
+    }
+
+    /// The harness clock.
+    pub fn clock(&self) -> &Arc<dyn Clock> {
+        &self.clock
+    }
+
+    /// The configuration this harness runs.
+    pub fn config(&self) -> &LoadConfig {
+        &self.config
+    }
+
+    /// Run the load to completion and build the final report.
+    pub fn run(&self, searcher: &Searcher, queries: &[String]) -> LoadReport {
+        self.run_with_tick(searcher, queries, 0, |_| {})
+    }
+
+    /// [`run`](Self::run), invoking `tick` every `tick_ms` milliseconds
+    /// from the calling thread while workers are busy (live dashboard
+    /// hook; `tick_ms = 0` disables ticking). The callback sees the
+    /// harness, so it can snapshot windows and SLOs mid-run.
+    pub fn run_with_tick(
+        &self,
+        searcher: &Searcher,
+        queries: &[String],
+        tick_ms: u64,
+        mut tick: impl FnMut(&Self),
+    ) -> LoadReport {
+        assert!(!queries.is_empty(), "load run needs at least one query");
+        let cfg = &self.config;
+        let threads = cfg.threads.max(1);
+        let real_mode = !cfg.sim;
+        if real_mode {
+            // Per-stage span durations stream into the same recorder.
+            obs::enable();
+            obs::attach_rolling(self.rolling.clone());
+        }
+        self.queries_issued.store(0, Ordering::Relaxed);
+        self.errors_seen.store(0, Ordering::Relaxed);
+        let total_errors = &self.errors_seen;
+        let total_queries = &self.queries_issued;
+        let max_virtual_ns = AtomicU64::new(0);
+        let live_workers = AtomicU64::new(threads as u64);
+
+        std::thread::scope(|scope| {
+            for w in 0..threads {
+                let searcher = searcher.clone();
+                let rolling = self.rolling.clone();
+                let slowlog = self.slowlog.clone();
+                let clock = self.clock.clone();
+                let max_virtual_ns = &max_virtual_ns;
+                let live_workers = &live_workers;
+                scope.spawn(move || {
+                    let mut virtual_ns = 0u64; // sim-mode worker clock
+                    for i in 0..cfg.queries_per_thread {
+                        let q_idx = (w * cfg.queries_per_thread + i) % queries.len();
+                        let query = &queries[q_idx];
+                        let seq = (w * cfg.queries_per_thread + i) as u64 + 1;
+                        let injected_error =
+                            cfg.error_every > 0 && seq.is_multiple_of(cfg.error_every);
+                        total_queries.fetch_add(1, Ordering::Relaxed);
+
+                        // Execute (errors are injected by skipping the
+                        // execution — the "server" was unavailable).
+                        let (stats, service_ns) = if injected_error {
+                            (QueryStats::default(), 100_000)
+                        } else if cfg.sim {
+                            let (_, stats) = searcher
+                                .query_with_stats(query, cfg.kind, cfg.function, cfg.limit)
+                                .unwrap_or_default();
+                            let cost = sim_cost_ns(&stats);
+                            (stats, cost)
+                        } else {
+                            // Span-free execution path: the worker
+                            // records the end-to-end `serve.query`
+                            // observation itself, so the attached
+                            // registry feed (which carries the
+                            // per-stage spans) never double-counts the
+                            // serve series.
+                            let t0 = clock.now_ns();
+                            let executed =
+                                searcher.prestige(cfg.kind, cfg.function).map(|prestige| {
+                                    searcher.search_with_stats(
+                                        query,
+                                        searcher.sets(cfg.kind),
+                                        prestige,
+                                        cfg.limit,
+                                    )
+                                });
+                            let elapsed = clock.now_ns().saturating_sub(t0);
+                            match executed {
+                                Some((_, stats)) => (stats, elapsed),
+                                None => {
+                                    total_errors.fetch_add(1, Ordering::Relaxed);
+                                    rolling.record_at(
+                                        w,
+                                        "serve.query",
+                                        clock.now_ns(),
+                                        elapsed,
+                                        true,
+                                    );
+                                    continue;
+                                }
+                            }
+                        };
+
+                        // Advance the worker's timeline and derive the
+                        // observed latency for its loop shape.
+                        let (completion_ns, latency_ns) = if cfg.sim {
+                            match cfg.mode {
+                                LoopMode::Closed => {
+                                    let start = virtual_ns;
+                                    virtual_ns = start + service_ns;
+                                    (virtual_ns, service_ns)
+                                }
+                                LoopMode::Open { qps_per_worker } => {
+                                    let arrival =
+                                        (i as f64 * 1e9 / qps_per_worker.max(1e-9)) as u64;
+                                    let start = arrival.max(virtual_ns);
+                                    virtual_ns = start + service_ns;
+                                    (virtual_ns, virtual_ns - arrival)
+                                }
+                            }
+                        } else {
+                            (clock.now_ns(), service_ns)
+                        };
+
+                        let error = injected_error;
+                        if error {
+                            total_errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                        rolling.record_at(w, "serve.query", completion_ns, latency_ns, error);
+                        if cfg.sim && !error {
+                            // Mirror the span hierarchy with synthetic
+                            // per-stage series (real mode gets these
+                            // from the attached registry).
+                            let mut accounted = 0u64;
+                            for &(stage, pct) in SIM_STAGES {
+                                let d = service_ns * pct / 100;
+                                accounted += d;
+                                rolling.record_at(w, stage, completion_ns, d, false);
+                            }
+                            rolling.record_at(
+                                w,
+                                "engine.search",
+                                completion_ns,
+                                accounted + service_ns * 5 / 100,
+                                false,
+                            );
+                        }
+
+                        if !error && slowlog.is_slow(latency_ns) {
+                            let trace = if cfg.capture_traces {
+                                capture_explain_trace(
+                                    &searcher,
+                                    query,
+                                    cfg.kind,
+                                    cfg.function,
+                                    cfg.limit,
+                                )
+                            } else {
+                                None
+                            };
+                            slowlog.push(SlowQuery {
+                                query: query.clone(),
+                                duration_ns: latency_ns,
+                                ts_ns: completion_ns,
+                                stats: vec![
+                                    ("selected_contexts".to_string(), stats.selected_contexts),
+                                    ("keyword_candidates".to_string(), stats.keyword_candidates),
+                                    ("scored_pairs".to_string(), stats.scored_pairs),
+                                    ("results".to_string(), stats.results),
+                                ],
+                                trace,
+                            });
+                        }
+                    }
+                    max_virtual_ns.fetch_max(virtual_ns, Ordering::Relaxed);
+                    live_workers.fetch_sub(1, Ordering::Relaxed);
+                });
+            }
+            if tick_ms > 0 {
+                while live_workers.load(Ordering::Relaxed) > 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(tick_ms));
+                    tick(self);
+                }
+            }
+        });
+        if real_mode {
+            obs::global().detach_rolling();
+        }
+
+        let wall_ns = if cfg.sim {
+            max_virtual_ns.load(Ordering::Relaxed)
+        } else {
+            self.clock.now_ns()
+        };
+        self.report_at(
+            wall_ns,
+            total_queries.load(Ordering::Relaxed),
+            total_errors.load(Ordering::Relaxed),
+        )
+    }
+
+    /// A mid-run report at the clock's current reading — what a live
+    /// dashboard tick renders. (Under simulated time the manual clock
+    /// stays at 0, so live ticks are meaningful in real mode; simulated
+    /// runs read their final report from [`run`](Self::run).)
+    pub fn report_now(&self) -> LoadReport {
+        self.report_at(
+            self.clock.now_ns(),
+            self.queries_issued.load(Ordering::Relaxed),
+            self.errors_seen.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Build a report from the current recorder contents, read at
+    /// `at_ns` on the harness timeline.
+    pub fn report_at(&self, at_ns: u64, total_queries: u64, total_errors: u64) -> LoadReport {
+        let windows = self.rolling.snapshot_at(self.config.window_secs, at_ns);
+        let slo = self.slo.evaluate_at(&self.rolling, at_ns);
+        let trace_dropped = obs::snapshot()
+            .counter("obs.trace.dropped_events")
+            .unwrap_or(0);
+        LoadReport {
+            threads: self.config.threads,
+            mode: self.config.mode.name(),
+            sim: self.config.sim,
+            total_queries,
+            errors: total_errors,
+            wall_ns: at_ns,
+            window_secs: self.config.window_secs,
+            windows,
+            slo,
+            slow: self.slowlog.leaderboard(),
+            trace_dropped,
+        }
+    }
+}
+
+/// Everything one load run (or one live tick) observed.
+pub struct LoadReport {
+    /// Worker threads that drove the load.
+    pub threads: usize,
+    /// `"closed"` or `"open"`.
+    pub mode: &'static str,
+    /// Whether durations were simulated.
+    pub sim: bool,
+    /// Queries issued (including injected errors).
+    pub total_queries: u64,
+    /// Errors observed (injected + real).
+    pub errors: u64,
+    /// Run length on the harness timeline, nanoseconds.
+    pub wall_ns: u64,
+    /// Window the stats were read over, seconds.
+    pub window_secs: u64,
+    /// Windowed per-series stats, sorted by series name.
+    pub windows: Vec<WindowStats>,
+    /// The SLO evaluation at end of run.
+    pub slo: SloReport,
+    /// Slow-query leaderboard, slowest first.
+    pub slow: Vec<SlowQuery>,
+    /// Global trace-sink overflow count at report time.
+    pub trace_dropped: u64,
+}
+
+impl LoadReport {
+    /// Whether any objective is in hard violation.
+    pub fn has_hard_violation(&self) -> bool {
+        self.slo.has_hard_violation()
+    }
+
+    /// JSON object form. Deterministic in simulation mode: windowed
+    /// stats, SLO burn rates, and the slow-query leaderboard (minus
+    /// trace internals) are pure functions of the workload.
+    pub fn to_value(&self) -> Value {
+        let slow: Vec<Value> = self
+            .slow
+            .iter()
+            .map(|s| {
+                let stats: Vec<(String, Value)> = s
+                    .stats
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Value::UInt(*v)))
+                    .collect();
+                Value::Map(vec![
+                    ("query".to_string(), Value::Str(s.query.clone())),
+                    ("duration_ns".to_string(), Value::UInt(s.duration_ns)),
+                    ("ts_ns".to_string(), Value::UInt(s.ts_ns)),
+                    ("stats".to_string(), Value::Map(stats)),
+                    ("trace_captured".to_string(), Value::Bool(s.trace.is_some())),
+                ])
+            })
+            .collect();
+        Value::Map(vec![
+            ("threads".to_string(), Value::UInt(self.threads as u64)),
+            ("mode".to_string(), Value::Str(self.mode.to_string())),
+            ("sim".to_string(), Value::Bool(self.sim)),
+            ("total_queries".to_string(), Value::UInt(self.total_queries)),
+            ("errors".to_string(), Value::UInt(self.errors)),
+            ("wall_ns".to_string(), Value::UInt(self.wall_ns)),
+            ("window_secs".to_string(), Value::UInt(self.window_secs)),
+            (
+                "windows".to_string(),
+                Value::Seq(self.windows.iter().map(WindowStats::to_value).collect()),
+            ),
+            ("slo".to_string(), self.slo.to_value()),
+            ("slow_queries".to_string(), Value::Seq(slow)),
+            ("trace_dropped".to_string(), Value::UInt(self.trace_dropped)),
+        ])
+    }
+
+    /// Pretty JSON document.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(&self.to_value()).expect("report serializes")
+    }
+
+    /// The terminal dashboard: windowed per-stage stats, SLO burn, and
+    /// the slow-query leaderboard — `litsearch top` renders exactly
+    /// this.
+    pub fn render_dashboard(&self) -> String {
+        let ms = |ns: u64| ns as f64 / 1e6;
+        let mut out = format!(
+            "serving dashboard — {} loop, {} workers, window {}s, t={:.1}s{}\n",
+            self.mode,
+            self.threads,
+            self.window_secs,
+            self.wall_ns as f64 / 1e9,
+            if self.sim { " (simulated time)" } else { "" },
+        );
+        out.push_str(&format!(
+            "queries {}  errors {}  throughput {:.1} q/s overall\n\n",
+            self.total_queries,
+            self.errors,
+            if self.wall_ns == 0 {
+                0.0
+            } else {
+                self.total_queries as f64 * 1e9 / self.wall_ns as f64
+            },
+        ));
+        out.push_str(&format!(
+            "{:<28} {:>7} {:>8} {:>9} {:>9} {:>9} {:>7}\n",
+            "series", "count", "qps", "p50 ms", "p95 ms", "p99 ms", "err%"
+        ));
+        for w in &self.windows {
+            out.push_str(&format!(
+                "{:<28} {:>7} {:>8.1} {:>9.3} {:>9.3} {:>9.3} {:>6.2}%\n",
+                w.name,
+                w.count,
+                w.qps,
+                ms(w.p50_ns),
+                ms(w.p95_ns),
+                ms(w.p99_ns),
+                w.error_rate * 100.0,
+            ));
+        }
+        out.push_str("\nSLO burn:\n");
+        out.push_str(&format!(
+            "{:<24} {:>8} {:>12} {:>12} {:>9}\n",
+            "objective", "target", "short burn", "long burn", "status"
+        ));
+        for e in &self.slo.evals {
+            let burn = |i: usize| e.windows.get(i).map_or(0.0, |w| w.burn_rate);
+            out.push_str(&format!(
+                "{:<24} {:>8.4} {:>12.3} {:>12.3} {:>9}\n",
+                e.spec.name,
+                e.spec.target,
+                burn(0),
+                burn(1),
+                match e.status {
+                    obs::SloStatus::Ok => "ok",
+                    obs::SloStatus::Warn => "WARN",
+                    obs::SloStatus::Critical => "CRITICAL",
+                },
+            ));
+        }
+        out.push_str("\nslow queries (threshold-crossing, slowest first):\n");
+        if self.slow.is_empty() {
+            out.push_str("  none\n");
+        } else {
+            for s in &self.slow {
+                let pairs = s
+                    .stats
+                    .iter()
+                    .find(|(k, _)| k == "scored_pairs")
+                    .map_or(0, |(_, v)| *v);
+                out.push_str(&format!(
+                    "  {:>9.3} ms  {:<32} scored_pairs={:<7} trace={}\n",
+                    ms(s.duration_ns),
+                    s.query,
+                    pairs,
+                    if s.trace.is_some() { "yes" } else { "no" },
+                ));
+            }
+        }
+        if self.trace_dropped > 0 {
+            out.push_str(&format!(
+                "\nwarning: trace sink dropped {} events (obs.trace.dropped_events)\n",
+                self.trace_dropped
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::setup::{ExpConfig, Setup};
+    use std::sync::OnceLock;
+
+    /// One tiny shared testbed for every load test (building a
+    /// snapshot is the expensive part).
+    fn testbed() -> &'static (Setup, Vec<String>) {
+        static TESTBED: OnceLock<(Setup, Vec<String>)> = OnceLock::new();
+        TESTBED.get_or_init(|| {
+            let setup = Setup::build(ExpConfig {
+                n_terms: 60,
+                n_papers: 150,
+                n_queries: 12,
+                seed: 5,
+                min_context_size: 5,
+                ..Default::default()
+            });
+            let queries: Vec<String> = setup.queries.iter().map(|q| q.text.clone()).collect();
+            (setup, queries)
+        })
+    }
+
+    fn sim_config(threads: usize) -> LoadConfig {
+        LoadConfig {
+            threads,
+            queries_per_thread: 30,
+            slow_threshold_ns: 300_000,
+            slow_capacity: 4,
+            error_every: 10,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn simulated_runs_are_bit_identical_across_runs() {
+        let (setup, queries) = testbed();
+        let run = || {
+            let harness = LoadHarness::new(sim_config(8));
+            let report = harness.run(&setup.searcher, queries);
+            report.to_json()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "sim-mode report must be bit-identical");
+        assert!(a.contains("serve.query"));
+        assert!(a.contains("search.relevancy"));
+    }
+
+    #[test]
+    fn slow_queries_carry_captured_explain_traces() {
+        let (setup, queries) = testbed();
+        let harness = LoadHarness::new(LoadConfig {
+            threads: 2,
+            queries_per_thread: 10,
+            slow_threshold_ns: 1, // everything is slow
+            slow_capacity: 4,
+            ..Default::default()
+        });
+        let report = harness.run(&setup.searcher, queries);
+        assert!(!report.slow.is_empty());
+        for s in &report.slow {
+            let trace = s.trace.as_ref().expect("slow query carries a trace");
+            assert!(
+                trace.events.iter().any(|e| e.name == "engine.search"),
+                "trace has the search span"
+            );
+            assert!(
+                trace.events.iter().any(|e| e.name == "explain.hit"),
+                "trace has explain instants"
+            );
+        }
+    }
+
+    #[test]
+    fn open_loop_latency_includes_queue_wait() {
+        let (setup, queries) = testbed();
+        let closed = LoadHarness::new(sim_config(2)).run(&setup.searcher, queries);
+        let open = LoadHarness::new(LoadConfig {
+            mode: LoopMode::Open {
+                // Arrivals far faster than service: the queue builds
+                // and open-loop latency must exceed pure service time.
+                qps_per_worker: 1e6,
+            },
+            ..sim_config(2)
+        })
+        .run(&setup.searcher, queries);
+        let p99 = |r: &LoadReport| {
+            r.windows
+                .iter()
+                .find(|w| w.name == "serve.query")
+                .expect("serve.query series")
+                .p99_ns
+        };
+        assert!(
+            p99(&open) > p99(&closed),
+            "open p99 {} must exceed closed p99 {}",
+            p99(&open),
+            p99(&closed)
+        );
+    }
+
+    #[test]
+    fn injected_errors_burn_the_availability_slo() {
+        let (setup, queries) = testbed();
+        let harness = LoadHarness::new(LoadConfig {
+            error_every: 2, // 50% unavailability
+            capture_traces: false,
+            ..sim_config(2)
+        });
+        let report = harness.run(&setup.searcher, queries);
+        assert!(report.errors > 0);
+        assert!(
+            report.has_hard_violation(),
+            "50% error rate against 99.9% availability must be critical"
+        );
+        let avail = report
+            .slo
+            .evals
+            .iter()
+            .find(|e| e.spec.name == "serve-availability")
+            .expect("availability objective");
+        assert_eq!(avail.status, obs::SloStatus::Critical);
+        // The dashboard renders the violation.
+        assert!(report.render_dashboard().contains("CRITICAL"));
+    }
+
+    #[test]
+    fn dashboard_renders_all_sections() {
+        let (setup, queries) = testbed();
+        let report = LoadHarness::new(sim_config(2)).run(&setup.searcher, queries);
+        let dash = report.render_dashboard();
+        assert!(dash.contains("serving dashboard"));
+        assert!(dash.contains("serve.query"));
+        assert!(dash.contains("SLO burn:"));
+        assert!(dash.contains("slow queries"));
+    }
+}

@@ -62,6 +62,7 @@ pub use config::EngineConfig;
 pub use context::{ContextId, ContextPaperSets, ContextSetKind};
 pub use prestige::{PrestigeScores, ScoreFunction};
 pub use search::engine::{ContextSearchEngine, SearchResult};
+pub use search::exec::QueryStats;
 pub use search::serve::{Searcher, ServeError};
 pub use snapshot::{EngineSnapshot, PrepareOptions};
 

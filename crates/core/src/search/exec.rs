@@ -36,6 +36,23 @@ pub struct SearchResult {
     pub context: ContextId,
 }
 
+/// Work counters from one query execution — how much the engine did,
+/// not how long it took. Pure functions of (snapshot, query), so they
+/// are identical across runs and threads; the load generator's
+/// deterministic simulation mode derives synthetic per-query costs
+/// from exactly these numbers.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryStats {
+    /// Contexts the selection stage picked.
+    pub selected_contexts: u64,
+    /// Papers with a nonzero keyword match.
+    pub keyword_candidates: u64,
+    /// (context, paper) pairs scored by the relevancy stage.
+    pub scored_pairs: u64,
+    /// Ranked results returned (after the limit).
+    pub results: u64,
+}
+
 /// The total order of ranked output: descending relevancy, ties broken
 /// by ascending paper id. The tie-break is what makes repeated runs
 /// byte-identical — candidates are accumulated in a `HashMap`, whose
@@ -99,6 +116,19 @@ impl QueryParts<'_> {
         prestige: &PrestigeScores,
         limit: usize,
     ) -> Vec<SearchResult> {
+        self.search_with_stats(query, sets, prestige, limit).0
+    }
+
+    /// [`search`](Self::search) plus the execution's [`QueryStats`] —
+    /// the serve path and load harness read the work counters without
+    /// needing tracing armed.
+    pub fn search_with_stats(
+        &self,
+        query: &str,
+        sets: &ContextPaperSets,
+        prestige: &PrestigeScores,
+        limit: usize,
+    ) -> (Vec<SearchResult>, QueryStats) {
         let _span = obs::span("engine.search");
         obs::counter("engine.queries", 1);
         let tracing = obs::trace_enabled();
@@ -127,14 +157,13 @@ impl QueryParts<'_> {
         let _scoring = obs::span("search.relevancy");
         let mut best: HashMap<PaperId, SearchResult> = HashMap::new();
         let mut scored_pairs = 0u64;
+        let n_contexts = contexts.len() as u64;
         for (context, _ctx_score) in contexts {
             for &(paper, pscore) in prestige.scores(context) {
                 let Some(&m) = matching.get(&paper) else {
                     continue; // no text match at all → not in the output
                 };
-                if tracing {
-                    scored_pairs += 1;
-                }
+                scored_pairs += 1;
                 let r = relevancy(pscore, m, &self.config.relevancy);
                 let candidate = SearchResult {
                     paper,
@@ -171,7 +200,13 @@ impl QueryParts<'_> {
             self.trace_explain_hits(&out);
         }
         obs::observe_ns("engine.search.results", out.len() as u64);
-        out
+        let stats = QueryStats {
+            selected_contexts: n_contexts,
+            keyword_candidates: matching.len() as u64,
+            scored_pairs,
+            results: out.len() as u64,
+        };
+        (out, stats)
     }
 
     /// Emit one `explain.hit` instant per top result: the context that

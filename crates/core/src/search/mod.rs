@@ -11,6 +11,7 @@ pub mod select;
 pub mod serve;
 
 pub use engine::{ContextSearchEngine, SearchResult};
+pub use exec::QueryStats;
 pub use relevancy::relevancy;
 pub use select::select_contexts;
 pub use serve::{Searcher, ServeError};

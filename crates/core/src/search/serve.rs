@@ -10,7 +10,7 @@
 
 use crate::context::{ContextId, ContextPaperSets, ContextSetKind};
 use crate::prestige::{PrestigeScores, ScoreFunction};
-use crate::search::exec::{QueryParts, SearchResult};
+use crate::search::exec::{QueryParts, QueryStats, SearchResult};
 use crate::snapshot::EngineSnapshot;
 use corpus::PaperId;
 use std::collections::HashSet;
@@ -112,10 +112,30 @@ impl Searcher {
         function: ScoreFunction,
         limit: usize,
     ) -> Result<Vec<SearchResult>, ServeError> {
-        let prestige = self
-            .prestige(kind, function)
-            .ok_or(ServeError::MissingPrestige { kind, function })?;
-        Ok(self.search(query, self.sets(kind), prestige, limit))
+        self.query_with_stats(query, kind, function, limit)
+            .map(|(results, _)| results)
+    }
+
+    /// [`query`](Self::query) plus the execution's [`QueryStats`].
+    /// This is the serve path proper: it carries the `serve.query` span
+    /// (the end-to-end latency series the rolling windows and SLOs
+    /// watch) and the `serve.queries` / `serve.errors` counters.
+    pub fn query_with_stats(
+        &self,
+        query: &str,
+        kind: ContextSetKind,
+        function: ScoreFunction,
+        limit: usize,
+    ) -> Result<(Vec<SearchResult>, QueryStats), ServeError> {
+        let _span = obs::span("serve.query");
+        obs::counter("serve.queries", 1);
+        let Some(prestige) = self.prestige(kind, function) else {
+            obs::counter("serve.errors", 1);
+            return Err(ServeError::MissingPrestige { kind, function });
+        };
+        Ok(self
+            .parts()
+            .search_with_stats(query, self.sets(kind), prestige, limit))
     }
 
     /// Tasks 4 + 5 with explicit tables (the engine-compatible form;
@@ -128,6 +148,17 @@ impl Searcher {
         limit: usize,
     ) -> Vec<SearchResult> {
         self.parts().search(query, sets, prestige, limit)
+    }
+
+    /// [`search`](Self::search) plus the execution's [`QueryStats`].
+    pub fn search_with_stats(
+        &self,
+        query: &str,
+        sets: &ContextPaperSets,
+        prestige: &PrestigeScores,
+        limit: usize,
+    ) -> (Vec<SearchResult>, QueryStats) {
+        self.parts().search_with_stats(query, sets, prestige, limit)
     }
 
     /// Task 3: select the contexts a query should search.

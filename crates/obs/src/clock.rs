@@ -1,0 +1,109 @@
+//! Injectable time sources for the live-observability layer.
+//!
+//! Everything windowed ([`crate::rolling`]) or burn-rate-shaped
+//! ([`crate::slo`]) needs a notion of "now". Reading the wall clock
+//! directly would make every windowed statistic time-dependent and
+//! untestable — and the `no-wallclock-outside-obs` lint confines
+//! `Instant::now` to this crate for exactly that reason. The [`Clock`]
+//! trait is the single seam: production code hands a
+//! [`MonotonicClock`] to the recorder, tests and the deterministic
+//! load generator hand a [`ManualClock`] (or pass explicit timestamps)
+//! and get bit-identical window contents on every run.
+//!
+//! All clocks report **nanoseconds since their own epoch** — an
+//! arbitrary zero point. Only differences and bucket indexes derived
+//! from the value are meaningful; no clock here ever exposes calendar
+//! time.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A monotonic nanosecond time source with an arbitrary epoch.
+pub trait Clock: Send + Sync {
+    /// Nanoseconds since this clock's epoch. Implementations should be
+    /// monotonic; consumers clamp regressions defensively anyway.
+    fn now_ns(&self) -> u64;
+}
+
+/// Real time: wraps [`Instant`], epoch = construction time.
+#[derive(Debug)]
+pub struct MonotonicClock {
+    epoch: Instant,
+}
+
+impl MonotonicClock {
+    /// A clock whose zero is "now".
+    pub fn new() -> Self {
+        Self {
+            epoch: Instant::now(),
+        }
+    }
+}
+
+impl Default for MonotonicClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for MonotonicClock {
+    fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+}
+
+/// A hand-driven clock for tests and deterministic simulation: time
+/// only moves when told to.
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    ns: AtomicU64,
+}
+
+impl ManualClock {
+    /// A manual clock starting at `start_ns`.
+    pub fn new(start_ns: u64) -> Self {
+        Self {
+            ns: AtomicU64::new(start_ns),
+        }
+    }
+
+    /// Jump to an absolute time. Going backwards is allowed — the
+    /// recorder's clamping is exercised by exactly this.
+    pub fn set_ns(&self, ns: u64) {
+        self.ns.store(ns, Ordering::Relaxed);
+    }
+
+    /// Move forward by `delta_ns` and return the new time.
+    pub fn advance(&self, delta_ns: u64) -> u64 {
+        self.ns.fetch_add(delta_ns, Ordering::Relaxed) + delta_ns
+    }
+}
+
+impl Clock for ManualClock {
+    fn now_ns(&self) -> u64 {
+        self.ns.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manual_clock_moves_only_when_told() {
+        let c = ManualClock::new(5);
+        assert_eq!(c.now_ns(), 5);
+        assert_eq!(c.advance(10), 15);
+        assert_eq!(c.now_ns(), 15);
+        c.set_ns(3);
+        assert_eq!(c.now_ns(), 3, "backwards jumps are permitted");
+    }
+
+    #[test]
+    fn monotonic_clock_never_regresses() {
+        let c = MonotonicClock::new();
+        let a = c.now_ns();
+        let b = c.now_ns();
+        assert!(b >= a);
+    }
+}

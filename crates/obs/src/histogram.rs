@@ -133,6 +133,40 @@ impl Histogram {
         self.max
     }
 
+    /// Approximate number of recorded values strictly greater than
+    /// `v`, at bucket resolution: whole buckets above `v`'s bucket
+    /// count fully, and `v`'s own bucket counts when `v` lies below
+    /// its midpoint (the same representative [`quantile`](Self::quantile)
+    /// uses). Exact at the extremes: `v < min` returns `count`,
+    /// `v >= max` returns 0; elsewhere the relative error matches the
+    /// bucket width (~6%).
+    pub fn count_over(&self, v: u64) -> u64 {
+        if self.count == 0 || v >= self.max {
+            return 0;
+        }
+        if v < self.min {
+            return self.count;
+        }
+        let b = bucket_of(v);
+        let mut over = 0u64;
+        for (idx, &c) in self.buckets.iter().enumerate().skip(b) {
+            if c == 0 {
+                continue;
+            }
+            if idx > b {
+                over += c;
+            } else {
+                let lo = lower_bound(idx);
+                let hi = lower_bound(idx + 1);
+                let mid = lo + (hi - lo) / 2;
+                if v < mid {
+                    over += c;
+                }
+            }
+        }
+        over
+    }
+
     /// Merge another histogram into this one. `min`/`max` stay exact:
     /// an empty side contributes nothing (its zeroed extremes are never
     /// mixed in), and two non-empty sides take the true elementwise
@@ -231,6 +265,35 @@ mod tests {
         empty.merge(&a);
         assert_eq!((empty.min(), empty.max(), empty.count()), before);
         assert_eq!(empty.sum(), a.sum());
+    }
+
+    #[test]
+    fn count_over_is_exact_in_the_exact_range_and_clamped_outside() {
+        let mut h = Histogram::new();
+        for v in 0..16u64 {
+            h.record(v); // one bucket per value below EXACT_LIMIT
+        }
+        assert_eq!(h.count_over(0), 15);
+        assert_eq!(h.count_over(7), 8);
+        assert_eq!(h.count_over(15), 0, "v >= max is exactly zero");
+        assert_eq!(h.count_over(100), 0);
+        assert_eq!(Histogram::new().count_over(5), 0, "empty histogram");
+
+        // Log-range: bounded relative error against the exact count.
+        let mut big = Histogram::new();
+        for v in 1..=10_000u64 {
+            big.record(v);
+        }
+        for &threshold in &[100u64, 1_000, 5_000, 9_000] {
+            let exact = 10_000 - threshold;
+            let got = big.count_over(threshold);
+            let err = (got as f64 - exact as f64).abs() / 10_000.0;
+            assert!(
+                err < 0.07,
+                "threshold {threshold}: got {got}, exact {exact}"
+            );
+        }
+        assert_eq!(big.count_over(0), 10_000, "below min counts everything");
     }
 
     #[test]

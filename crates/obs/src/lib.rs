@@ -24,19 +24,40 @@
 //! individual begin/end events into a bounded sink, and instrumented
 //! code can attach typed attributes with [`trace_instant`] — exported
 //! as JSONL or Chrome trace format (see [`TraceData`]).
+//!
+//! The live-serving layer builds on both: [`rolling`] turns span
+//! durations into windowed p50/p95/p99/QPS/error-rate ("right now",
+//! not "whole run") once a [`RollingRecorder`] is attached with
+//! [`attach_rolling`]; [`slo`] evaluates burn rates against declared
+//! objectives; [`slowlog`] keeps the slowest queries with their
+//! captured explain traces. All of it reads time through the
+//! injectable [`Clock`] in [`clock`], so windowed output is
+//! deterministic under a [`ManualClock`].
 
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 use parking_lot::Mutex;
 
+pub mod clock;
 mod histogram;
+pub mod rolling;
+pub mod slo;
+pub mod slowlog;
 mod snapshot;
 pub mod trace;
 
+pub use clock::{Clock, ManualClock, MonotonicClock};
 pub use histogram::Histogram;
+pub use rolling::{RollingConfig, RollingRecorder, WindowStats, SECOND_NS};
+pub use slo::{
+    default_burn_windows, BurnWindow, SloEval, SloKind, SloReport, SloSpec, SloStatus, SloTracker,
+    WindowBurn,
+};
+pub use slowlog::{SlowQuery, SlowQueryLog};
 pub use snapshot::{
     CounterSnapshot, GaugeSnapshot, HistogramSnapshot, MetricsSnapshot, SpanSnapshot,
 };
@@ -56,6 +77,18 @@ struct SpanStats {
 /// A thread-safe metrics registry. Most code uses the process-global
 /// one through the free functions in this crate; independent registries
 /// exist for tests.
+///
+/// # Reset contract
+///
+/// [`reset`](Self::reset) drops every recorded datum — counters,
+/// gauges, histograms, span stats — **and** clears the live-serving
+/// attachments' state: an attached [`RollingRecorder`]'s windows are
+/// emptied, an attached [`SloTracker`]'s latched worst status returns
+/// to `Ok`, and an attached [`SlowQueryLog`] is cleared. The
+/// attachments themselves stay attached and the enabled flag is
+/// unchanged, so a reset registry keeps feeding the same windows. A
+/// reset registry therefore reports empty windows until new
+/// observations arrive.
 #[derive(Default)]
 pub struct Registry {
     enabled: AtomicBool,
@@ -63,6 +96,12 @@ pub struct Registry {
     gauges: Mutex<BTreeMap<String, f64>>,
     histograms: Mutex<BTreeMap<String, Histogram>>,
     spans: Mutex<BTreeMap<String, SpanStats>>,
+    /// Fast-path flag mirroring `rolling.is_some()`: span drops check
+    /// one relaxed load before touching the attachment mutex.
+    rolling_on: AtomicBool,
+    rolling: Mutex<Option<Arc<RollingRecorder>>>,
+    slo: Mutex<Option<Arc<SloTracker>>>,
+    slowlog: Mutex<Option<Arc<SlowQueryLog>>>,
 }
 
 impl Registry {
@@ -74,6 +113,10 @@ impl Registry {
             gauges: Mutex::new(BTreeMap::new()),
             histograms: Mutex::new(BTreeMap::new()),
             spans: Mutex::new(BTreeMap::new()),
+            rolling_on: AtomicBool::new(false),
+            rolling: Mutex::new(None),
+            slo: Mutex::new(None),
+            slowlog: Mutex::new(None),
         }
     }
 
@@ -93,12 +136,67 @@ impl Registry {
         self.enabled.load(Ordering::Relaxed)
     }
 
-    /// Drop all recorded data (the enabled flag is unchanged).
+    /// Drop all recorded data and clear the state of every live-serving
+    /// attachment (rolling windows, SLO latch, slow-query log). The
+    /// attachments stay attached; the enabled flag is unchanged. See
+    /// the type-level reset contract.
     pub fn reset(&self) {
         self.counters.lock().clear();
         self.gauges.lock().clear();
         self.histograms.lock().clear();
         self.spans.lock().clear();
+        if let Some(rolling) = self.rolling.lock().as_ref() {
+            rolling.reset();
+        }
+        if let Some(slo) = self.slo.lock().as_ref() {
+            slo.reset();
+        }
+        if let Some(slowlog) = self.slowlog.lock().as_ref() {
+            slowlog.clear();
+        }
+    }
+
+    /// Attach a rolling recorder: every span recorded from now on also
+    /// lands in its time-bucketed windows (series name = span name).
+    pub fn attach_rolling(&self, recorder: Arc<RollingRecorder>) {
+        *self.rolling.lock() = Some(recorder);
+        self.rolling_on.store(true, Ordering::Relaxed);
+    }
+
+    /// Detach the rolling recorder (its data is left as-is).
+    pub fn detach_rolling(&self) {
+        self.rolling_on.store(false, Ordering::Relaxed);
+        *self.rolling.lock() = None;
+    }
+
+    /// The attached rolling recorder, if any.
+    pub fn rolling(&self) -> Option<Arc<RollingRecorder>> {
+        if !self.rolling_on.load(Ordering::Relaxed) {
+            return None;
+        }
+        self.rolling.lock().clone()
+    }
+
+    /// Attach an SLO tracker so [`reset`](Self::reset) covers its latch
+    /// and dashboards can find it.
+    pub fn attach_slo(&self, tracker: Arc<SloTracker>) {
+        *self.slo.lock() = Some(tracker);
+    }
+
+    /// The attached SLO tracker, if any.
+    pub fn slo_tracker(&self) -> Option<Arc<SloTracker>> {
+        self.slo.lock().clone()
+    }
+
+    /// Attach a slow-query log so [`reset`](Self::reset) covers it and
+    /// dashboards can find it.
+    pub fn attach_slow_log(&self, log: Arc<SlowQueryLog>) {
+        *self.slowlog.lock() = Some(log);
+    }
+
+    /// The attached slow-query log, if any.
+    pub fn slow_log(&self) -> Option<Arc<SlowQueryLog>> {
+        self.slowlog.lock().clone()
     }
 
     /// Add `delta` to a monotonic counter.
@@ -145,12 +243,17 @@ impl Registry {
     }
 
     fn record_span(&self, name: &str, total_ns: u64, self_ns: u64) {
-        let mut map = self.spans.lock();
-        let stats = map.entry(name.to_string()).or_default();
-        stats.count += 1;
-        stats.total_ns += total_ns;
-        stats.self_ns += self_ns;
-        stats.durations.record(total_ns);
+        {
+            let mut map = self.spans.lock();
+            let stats = map.entry(name.to_string()).or_default();
+            stats.count += 1;
+            stats.total_ns += total_ns;
+            stats.self_ns += self_ns;
+            stats.durations.record(total_ns);
+        }
+        if let Some(rolling) = self.rolling() {
+            rolling.record(name, total_ns, false);
+        }
     }
 
     /// Export everything recorded so far.
@@ -261,6 +364,37 @@ pub fn observe_ns(name: &str, ns: u64) {
 /// Snapshot the global registry.
 pub fn snapshot() -> MetricsSnapshot {
     GLOBAL.snapshot()
+}
+
+/// Attach a rolling recorder to the global registry: span durations
+/// start feeding its windowed stats.
+pub fn attach_rolling(recorder: Arc<RollingRecorder>) {
+    GLOBAL.attach_rolling(recorder);
+}
+
+/// The global registry's rolling recorder, if attached.
+pub fn rolling() -> Option<Arc<RollingRecorder>> {
+    GLOBAL.rolling()
+}
+
+/// Attach an SLO tracker to the global registry.
+pub fn attach_slo(tracker: Arc<SloTracker>) {
+    GLOBAL.attach_slo(tracker);
+}
+
+/// The global registry's SLO tracker, if attached.
+pub fn slo_tracker() -> Option<Arc<SloTracker>> {
+    GLOBAL.slo_tracker()
+}
+
+/// Attach a slow-query log to the global registry.
+pub fn attach_slow_log(log: Arc<SlowQueryLog>) {
+    GLOBAL.attach_slow_log(log);
+}
+
+/// The global registry's slow-query log, if attached.
+pub fn slow_log() -> Option<Arc<SlowQueryLog>> {
+    GLOBAL.slow_log()
 }
 
 /// Snapshot the global registry and write pretty JSON to `path`,

@@ -285,6 +285,13 @@ impl Tracer {
         };
         if state.events.len() >= state.capacity {
             state.dropped += 1;
+            drop(guard);
+            // Surface the loss instead of silently truncating: the
+            // global sink's overflows show up as a metrics counter
+            // (test tracers stay out of the global registry).
+            if std::ptr::eq(self, global()) {
+                crate::counter("obs.trace.dropped_events", 1);
+            }
             return;
         }
         let ts_ns = state.epoch.elapsed().as_nanos() as u64;
@@ -292,7 +299,7 @@ impl Tracer {
             ts_ns,
             phase,
             name: name.to_string(),
-            tid: current_thread_number(),
+            tid: current_tid(),
             attrs,
         });
     }
@@ -304,9 +311,13 @@ impl Default for Tracer {
     }
 }
 
-/// Small dense per-thread numbers for the Chrome `tid` field (real
-/// thread ids are opaque and unstable across platforms).
-fn current_thread_number() -> u64 {
+/// Small dense per-thread number, assigned on first use — the Chrome
+/// `tid` field (real thread ids are opaque and unstable across
+/// platforms). Public so trace consumers can filter a multi-thread
+/// capture down to the calling thread's events
+/// ([`TraceData::filter_tid`]) and so the rolling recorder can shard
+/// by thread.
+pub fn current_tid() -> u64 {
     static NEXT: AtomicU64 = AtomicU64::new(1);
     thread_local! {
         static NUMBER: u64 = NEXT.fetch_add(1, Ordering::Relaxed);
@@ -464,6 +475,26 @@ impl TraceData {
     /// Aggregate the trace into a self-time tree (see [`TraceSummary`]).
     pub fn summary(&self) -> TraceSummary {
         TraceSummary::build(self)
+    }
+
+    /// Keep only the events recorded on thread `tid` (see
+    /// [`current_tid`]). The slow-query capture path re-executes a
+    /// query with the global tracer armed and then cuts the capture
+    /// down to its own thread's events, so neighbours' spans never
+    /// leak into an explain trace.
+    pub fn filter_tid(mut self, tid: u64) -> TraceData {
+        self.events.retain(|e| e.tid == tid);
+        self
+    }
+
+    /// Every event as a JSON value (JSONL-line form, in order) — for
+    /// embedding a trace inside a larger document, e.g. a slow-query
+    /// log entry.
+    pub fn event_values(&self) -> Vec<Value> {
+        self.events
+            .iter()
+            .map(|e| event_to_value(e, self.trace_id, false))
+            .collect()
     }
 }
 

@@ -1,0 +1,164 @@
+//! Edge-case coverage for the sharded rolling-window recorder:
+//! bucket rotation at window boundaries, idle-gap expiry,
+//! non-monotonic clock clamping, and concurrent observers under the
+//! injected clock.
+
+use obs::{Clock, ManualClock, RollingConfig, RollingRecorder, SECOND_NS};
+use std::sync::Arc;
+
+fn recorder(window_secs: u64, shards: usize) -> (Arc<ManualClock>, Arc<RollingRecorder>) {
+    let clock = Arc::new(ManualClock::new(0));
+    let rec = Arc::new(RollingRecorder::new(
+        RollingConfig {
+            bucket_secs: 1,
+            window_secs,
+            shards,
+        },
+        clock.clone() as Arc<dyn Clock>,
+    ));
+    (clock, rec)
+}
+
+#[test]
+fn bucket_rotation_at_window_boundaries() {
+    let (_, rec) = recorder(5, 1);
+    // One observation per second for 12 s into a 5-bucket ring: each
+    // new second reuses the slot written 5 s earlier.
+    for s in 0..12u64 {
+        rec.record_at(0, "q", s * SECOND_NS, 100 + s, false);
+    }
+    // At t = 11 s the 5 s window holds exactly seconds 7..=11.
+    let w = rec.window_at("q", 5, 11 * SECOND_NS).expect("series known");
+    assert_eq!(w.count, 5);
+    assert_eq!(w.min_ns, 107);
+    assert_eq!(w.max_ns, 111);
+
+    // A 1 s window isolates the bucket containing `at`.
+    let w1 = rec.window_at("q", 1, 9 * SECOND_NS).expect("series known");
+    assert_eq!((w1.count, w1.min_ns, w1.max_ns), (1, 109, 109));
+
+    // Exactly at the rotation boundary: at t = 12 s (no data yet in
+    // bucket 12) the window holds seconds 8..=12, i.e. four old points.
+    let wb = rec.window_at("q", 5, 12 * SECOND_NS).expect("series known");
+    assert_eq!(wb.count, 4);
+    assert_eq!(wb.min_ns, 108);
+}
+
+#[test]
+fn idle_gap_expires_old_data_without_a_sweeper() {
+    let (clock, rec) = recorder(10, 2);
+    clock.set_ns(SECOND_NS);
+    rec.record("q", 42, false);
+    assert_eq!(rec.window_at("q", 10, SECOND_NS).unwrap().count, 1);
+
+    // Jump far past the ring extent without recording anything: the
+    // series is still known but every bucket is out of the window.
+    let later = 1000 * SECOND_NS;
+    let w = rec.window_at("q", 10, later).expect("known series");
+    assert_eq!(w.count, 0, "idle series reports zeros, not stale data");
+    assert_eq!(w.qps, 0.0);
+    assert_eq!((w.p50_ns, w.p99_ns), (0, 0));
+
+    // New traffic after the gap starts a fresh window; the pre-gap
+    // observation must not resurrect even though its slot epoch is
+    // long gone.
+    rec.record_at(0, "q", later, 7, false);
+    let w2 = rec.window_at("q", 10, later).unwrap();
+    assert_eq!((w2.count, w2.min_ns, w2.max_ns), (1, 7, 7));
+}
+
+#[test]
+fn non_monotonic_clock_clamps_into_the_latest_bucket() {
+    let (clock, rec) = recorder(30, 1);
+    clock.set_ns(20 * SECOND_NS);
+    rec.record("q", 1000, false);
+    // The clock regresses 15 s (NTP-style): the observation must land
+    // in the shard's latest bucket (second 20), not resurrect second 5.
+    clock.set_ns(5 * SECOND_NS);
+    rec.record("q", 2000, false);
+    let bucket20 = rec.window_at("q", 1, 20 * SECOND_NS).unwrap();
+    assert_eq!(bucket20.count, 2, "regressed write clamped forward");
+    let bucket5 = rec.window_at("q", 1, 5 * SECOND_NS).unwrap();
+    assert_eq!(bucket5.count, 0, "no write landed in the stale second");
+
+    // Recovery: once the clock moves forward again, writes follow it.
+    clock.set_ns(21 * SECOND_NS);
+    rec.record("q", 3000, false);
+    let bucket21 = rec.window_at("q", 1, 21 * SECOND_NS).unwrap();
+    assert_eq!((bucket21.count, bucket21.min_ns), (1, 3000));
+}
+
+/// Concurrent observers under the injected clock: exact counts, and
+/// window contents independent of which thread recorded what.
+fn concurrent_observers(threads: usize) {
+    let (_, rec) = recorder(60, threads);
+    let per_thread = 500u64;
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let rec = rec.clone();
+            std::thread::spawn(move || {
+                for i in 0..per_thread {
+                    // Each worker owns shard = its index and walks its
+                    // own monotonic virtual timeline: 10 obs/s, 50 s.
+                    let ts = i * SECOND_NS / 10;
+                    rec.record_at(t, "q", ts, (t as u64 + 1) * 1000 + i, i % 10 == 0);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("observer thread panicked");
+    }
+    let w = rec.window_at("q", 60, 49 * SECOND_NS).expect("recorded");
+    assert_eq!(w.count, threads as u64 * per_thread, "exact total count");
+    assert_eq!(w.errors, threads as u64 * per_thread / 10);
+    assert_eq!(w.min_ns, 1000, "thread 0's first value");
+    assert_eq!(
+        w.max_ns,
+        threads as u64 * 1000 + per_thread - 1,
+        "last thread's last value"
+    );
+    // A 10 s sub-window sees exactly the observations whose virtual
+    // timestamps fall in seconds 40..=49, i.e. i in 400..500.
+    let sub = rec.window_at("q", 10, 49 * SECOND_NS).unwrap();
+    assert_eq!(sub.count, threads as u64 * per_thread / 5);
+}
+
+#[test]
+fn concurrent_observers_two_threads_exact_counts() {
+    concurrent_observers(2);
+}
+
+#[test]
+fn concurrent_observers_eight_threads_exact_counts() {
+    concurrent_observers(8);
+}
+
+#[test]
+fn concurrent_runs_are_bit_identical() {
+    // The acceptance bar behind the load generator: same inputs, same
+    // windowed percentiles, regardless of scheduling. Run the same
+    // 8-thread workload twice and compare the full windowed summary.
+    let run = || {
+        let (_, rec) = recorder(60, 8);
+        let handles: Vec<_> = (0..8usize)
+            .map(|t| {
+                let rec = rec.clone();
+                std::thread::spawn(move || {
+                    for i in 0..400u64 {
+                        let ts = (i % 30) * SECOND_NS + (t as u64) * 1_000_000;
+                        rec.record_at(t, "q", ts, i * i % 77_777, i % 13 == 0);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("worker panicked");
+        }
+        let w = rec.window_at("q", 30, 29 * SECOND_NS).expect("recorded");
+        (
+            w.count, w.errors, w.p50_ns, w.p95_ns, w.p99_ns, w.min_ns, w.max_ns,
+        )
+    };
+    assert_eq!(run(), run());
+}

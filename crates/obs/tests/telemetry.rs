@@ -156,6 +156,95 @@ fn markdown_report_lists_all_metrics() {
     assert!(md.contains("md.hist"));
 }
 
+/// The documented reset contract: `Registry::reset` clears recorded
+/// metrics AND the attached rolling windows, SLO latch, and slow-query
+/// log, while keeping the attachments attached.
+#[test]
+fn reset_clears_rolling_windows_slo_latch_and_slow_log() {
+    use obs::{Clock, ManualClock, RollingConfig, RollingRecorder, SECOND_NS};
+    use std::sync::Arc;
+
+    let registry = obs::Registry::new();
+    registry.enable();
+    let clock = Arc::new(ManualClock::new(0));
+    let rolling = Arc::new(RollingRecorder::new(
+        RollingConfig::default(),
+        clock.clone() as Arc<dyn Clock>,
+    ));
+    registry.attach_rolling(rolling.clone());
+    let slo = Arc::new(obs::SloTracker::new(
+        vec![obs::SloSpec::availability("avail", "q", 0.999)],
+        obs::default_burn_windows(),
+    ));
+    registry.attach_slo(slo.clone());
+    let slowlog = Arc::new(obs::SlowQueryLog::new(0, 8));
+    registry.attach_slow_log(slowlog.clone());
+
+    // Populate all three: errors burn the SLO critical, a slow query
+    // lands in the log, windows fill.
+    for i in 0..600u64 {
+        rolling.record_at(0, "q", i * SECOND_NS / 10, 1000, true);
+    }
+    clock.set_ns(60 * SECOND_NS);
+    slo.evaluate(&rolling);
+    slowlog.push(obs::SlowQuery {
+        query: "kinase".to_string(),
+        duration_ns: 99,
+        ts_ns: 0,
+        stats: Vec::new(),
+        trace: None,
+    });
+    registry.counter("resettest.hits", 3);
+    assert_eq!(slo.latched(), obs::SloStatus::Critical);
+    assert_eq!(slowlog.len(), 1);
+    assert!(rolling.window_at("q", 60, 60 * SECOND_NS).is_some());
+
+    registry.reset();
+
+    // Everything empty, attachments still live.
+    assert!(registry.snapshot().counter("resettest.hits").is_none());
+    assert!(
+        rolling.window_at("q", 60, 60 * SECOND_NS).is_none(),
+        "reset registry reports empty windows"
+    );
+    assert_eq!(slo.latched(), obs::SloStatus::Ok, "SLO latch cleared");
+    assert!(slowlog.is_empty(), "slow-query log cleared");
+    assert!(registry.rolling().is_some(), "attachment survives reset");
+    assert!(registry.slo_tracker().is_some());
+    assert!(registry.slow_log().is_some());
+
+    // New observations land in the still-attached windows.
+    rolling.record_at(0, "q", 61 * SECOND_NS, 500, false);
+    let w = rolling.window_at("q", 10, 61 * SECOND_NS).expect("rearmed");
+    assert_eq!(w.count, 1);
+}
+
+/// Span durations recorded through an attached rolling recorder show
+/// up in windowed stats under the span's name.
+#[test]
+fn attached_rolling_recorder_sees_span_durations() {
+    let _guard = GLOBAL_STATE.lock().unwrap();
+    use obs::{Clock, ManualClock, RollingConfig, RollingRecorder};
+    use std::sync::Arc;
+
+    obs::enable();
+    let clock = Arc::new(ManualClock::new(0));
+    let rolling = Arc::new(RollingRecorder::new(
+        RollingConfig::default(),
+        clock as Arc<dyn Clock>,
+    ));
+    obs::attach_rolling(rolling.clone());
+    {
+        let _s = obs::span("rolltest.query");
+    }
+    let w = rolling
+        .window("rolltest.query", 60)
+        .expect("span fed the window");
+    assert_eq!(w.count, 1);
+    obs::global().detach_rolling();
+    assert!(obs::rolling().is_none());
+}
+
 /// Disabled spans cost no bookkeeping and record nothing.
 #[test]
 fn disabled_spans_record_nothing() {

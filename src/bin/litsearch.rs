@@ -66,6 +66,7 @@ fn main() -> ExitCode {
         "search" => cmd_search(&flags),
         "stats" => cmd_stats(&flags),
         "trace" => cmd_trace(&flags),
+        "top" => cmd_top(&flags),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -128,6 +129,113 @@ fn cmd_trace(flags: &Flags) -> Result<(), String> {
     let data = obs::TraceData::from_chrome_json(&text)
         .map_err(|e| format!("{path} is not a Chrome trace: {e}"))?;
     print!("{}", data.summary().render());
+    if data.dropped > 0 {
+        eprintln!(
+            "warning: the trace sink dropped {} event(s) during capture \
+             (tracked live as the obs.trace.dropped_events counter)",
+            data.dropped
+        );
+    }
+    Ok(())
+}
+
+/// `litsearch top`: drive load at a snapshot (or an in-process demo
+/// build) and render the live serving dashboard — windowed per-stage
+/// latencies, SLO burn rates, and the slow-query leaderboard.
+/// `--once --json` prints a single machine-readable report for CI.
+fn cmd_top(flags: &Flags) -> Result<(), String> {
+    use bench::load::{default_serve_slos, LoadConfig, LoadHarness, LoopMode};
+    use litsearch::corpus::queries::{generate_queries, QueryConfig};
+
+    let seed = flags.get_usize("seed", 2007)? as u64;
+
+    // Validate every flag before touching the snapshot: loading a large
+    // snapshot costs real time, and a typo'd --kind should fail now,
+    // not after the load.
+    let kind = match flags.get("kind").unwrap_or("pattern") {
+        "text" => litsearch::context_search::ContextSetKind::TextBased,
+        "pattern" => litsearch::context_search::ContextSetKind::PatternBased,
+        other => return Err(format!("--kind must be text or pattern, got {other:?}")),
+    };
+    let function = match flags.get("function") {
+        Some(_) => parse_function(flags)?,
+        None => ScoreFunction::Pattern,
+    };
+    let slow_threshold_ns = flags.get_usize("slow-threshold-ms", 50)? as u64 * 1_000_000;
+    let config = LoadConfig {
+        threads: flags.get_usize("threads", 4)?,
+        queries_per_thread: flags.get_usize("queries", 200)?,
+        mode: LoopMode::Closed,
+        sim: flags.get_bool("sim"),
+        limit: flags.get_usize("limit", 10)?,
+        kind,
+        function,
+        window_secs: flags.get_usize("window", 60)? as u64,
+        slow_threshold_ns,
+        slow_capacity: flags.get_usize("slow-capacity", 10)?,
+        capture_traces: true,
+        error_every: flags.get_usize("error-every", 0)? as u64,
+        slos: default_serve_slos(slow_threshold_ns),
+    };
+    let once = flags.get_bool("once");
+    let as_json = flags.get_bool("json");
+    let refresh_ms = flags.get_usize("refresh-ms", 500)? as u64;
+
+    let (searcher, queries): (Searcher, Vec<String>) = if let Some(dir) = flags.get("snapshot") {
+        eprintln!("loading snapshot from {dir}…");
+        let snapshot =
+            load_snapshot(Path::new(dir), EngineConfig::default()).map_err(|e| e.to_string())?;
+        let queries = generate_queries(
+            snapshot.ontology(),
+            snapshot.corpus(),
+            &QueryConfig {
+                seed,
+                ..Default::default()
+            },
+        );
+        (
+            snapshot.searcher(),
+            queries.into_iter().map(|q| q.text).collect(),
+        )
+    } else {
+        eprintln!("no --snapshot: preparing a tiny in-process demo snapshot…");
+        let snapshot = litsearch::demo::snapshot(litsearch::demo::Scale::Tiny, seed);
+        let queries = generate_queries(
+            snapshot.ontology(),
+            snapshot.corpus(),
+            &QueryConfig {
+                n_queries: 40,
+                seed,
+                ..Default::default()
+            },
+        );
+        (
+            snapshot.searcher(),
+            queries.into_iter().map(|q| q.text).collect(),
+        )
+    };
+    if queries.is_empty() {
+        return Err("workload produced no queries".to_string());
+    }
+
+    let harness = LoadHarness::new(config);
+    let report = if once || harness.config().sim {
+        // No live ticking: simulated time has no live timeline to
+        // watch, and --once wants exactly one report.
+        harness.run(&searcher, &queries)
+    } else {
+        harness.run_with_tick(&searcher, &queries, refresh_ms, |h| {
+            // ANSI clear + home, then the current windowed view.
+            print!("\x1b[2J\x1b[H{}", h.report_now().render_dashboard());
+            use std::io::Write;
+            let _ = std::io::stdout().flush();
+        })
+    };
+    if as_json {
+        println!("{}", report.to_json());
+    } else {
+        print!("{}", report.render_dashboard());
+    }
     Ok(())
 }
 
@@ -145,6 +253,9 @@ USAGE:
                      --query TEXT [--limit N] [--repeat N]
   litsearch stats    --data DIR
   litsearch trace    --file PATH
+  litsearch top      [--snapshot DIR] [--threads N] [--queries N] [--window SECS]
+                     [--slow-threshold-ms MS] [--error-every N] [--refresh-ms MS]
+                     [--sim] [--once] [--json]
   litsearch help
 
 `prepare` runs the whole offline phase — context sets, pattern mining,
@@ -165,12 +276,22 @@ Perfetto or chrome://tracing) and/or `--trace-jsonl PATH` (one event
 per line): capture begin/end span events plus explain instants — the
 selected contexts, candidate counts per stage, and per-function score
 components for the top results. `litsearch trace --file PATH` prints
-a self-time tree summarizing a captured Chrome trace.";
+a self-time tree summarizing a captured Chrome trace.
+
+`top` drives query load at a snapshot (or a tiny in-process demo build
+when no `--snapshot` is given) and renders a live terminal dashboard:
+rolling-window p50/p95/p99 per pipeline stage, SLO burn rates, and the
+slow-query leaderboard with captured explain traces. `--once` runs one
+batch and prints a single report; `--json` emits it machine-readable
+(the CI artifact form); `--sim` uses deterministic simulated timing.";
 
 /// Minimal `--flag value` parser (no external dependencies).
 struct Flags {
     pairs: Vec<(String, String)>,
 }
+
+/// Flags that take no value (presence means `true`).
+const BOOL_FLAGS: &[&str] = &["once", "json", "sim", "quiet"];
 
 impl Flags {
     fn parse(args: &[String]) -> Result<Self, String> {
@@ -180,6 +301,11 @@ impl Flags {
             let key = args[i]
                 .strip_prefix("--")
                 .ok_or_else(|| format!("expected --flag, got {:?}", args[i]))?;
+            if BOOL_FLAGS.contains(&key) {
+                pairs.push((key.to_string(), "true".to_string()));
+                i += 1;
+                continue;
+            }
             let value = args
                 .get(i + 1)
                 .ok_or_else(|| format!("--{key} needs a value"))?;
@@ -205,6 +331,10 @@ impl Flags {
             Some(v) => v.parse().map_err(|_| format!("--{key} must be a number")),
             None => Ok(default),
         }
+    }
+
+    fn get_bool(&self, key: &str) -> bool {
+        self.get(key).is_some_and(|v| v == "true")
     }
 }
 
@@ -393,7 +523,11 @@ fn cmd_prepare(flags: &Flags) -> Result<(), String> {
 /// warm-loaded `--snapshot` directory.
 enum Backend {
     Cold(Box<ContextSearchEngine>),
-    Warm(Searcher),
+    Warm(
+        Searcher,
+        litsearch::context_search::ContextSetKind,
+        ScoreFunction,
+    ),
 }
 
 impl Backend {
@@ -406,35 +540,42 @@ impl Backend {
     ) -> Vec<SearchResult> {
         match self {
             Self::Cold(e) => e.search(query, sets, prestige, limit),
-            Self::Warm(s) => s.search(query, sets, prestige, limit),
+            // Warm serving goes through the serve path proper, so every
+            // query carries the `serve.query` span the rolling windows
+            // and SLOs watch. The snapshot holds the same tables the
+            // caller resolved, so results are identical to the explicit
+            // form (and the explicit form is the fallback).
+            Self::Warm(s, kind, function) => s
+                .query(query, *kind, *function, limit)
+                .unwrap_or_else(|_| s.search(query, sets, prestige, limit)),
         }
     }
 
     fn select_contexts(&self, query: &str, sets: &ContextPaperSets) -> Vec<(ContextId, f64)> {
         match self {
             Self::Cold(e) => e.select_contexts(query, sets),
-            Self::Warm(s) => s.select_contexts(query, sets),
+            Self::Warm(s, ..) => s.select_contexts(query, sets),
         }
     }
 
     fn ontology(&self) -> &Ontology {
         match self {
             Self::Cold(e) => e.ontology(),
-            Self::Warm(s) => s.ontology(),
+            Self::Warm(s, ..) => s.ontology(),
         }
     }
 
     fn corpus(&self) -> &Corpus {
         match self {
             Self::Cold(e) => e.corpus(),
-            Self::Warm(s) => s.corpus(),
+            Self::Warm(s, ..) => s.corpus(),
         }
     }
 
     fn snippet(&self, paper: litsearch::corpus::PaperId, query: &str) -> String {
         match self {
             Self::Cold(e) => e.snippet(paper, query),
-            Self::Warm(s) => s.snippet(paper, query),
+            Self::Warm(s, ..) => s.snippet(paper, query),
         }
     }
 }
@@ -463,7 +604,11 @@ fn cmd_search(flags: &Flags) -> Result<(), String> {
                 )
             })?
             .clone();
-        (Backend::Warm(snapshot.searcher()), sets, prestige)
+        (
+            Backend::Warm(snapshot.searcher(), set_kind, function),
+            sets,
+            prestige,
+        )
     } else {
         let (ontology, corpus, dir) = load_data(flags)?;
         let sets = load_sets(&dir, kind)?;

@@ -5,6 +5,7 @@
 //! builder of a synthetic ontology + corpus + engine used by the
 //! examples and integration tests.
 
+pub extern crate bench;
 pub use citegraph;
 pub use context_search;
 pub use corpus;

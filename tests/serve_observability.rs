@@ -1,0 +1,129 @@
+//! The live-observability acceptance bar: a simulated 8-thread load
+//! run produces **bit-identical** windowed percentiles and SLO
+//! burn-rate output across runs, and every threshold-crossing slow
+//! query carries a captured explain trace.
+
+use litsearch::bench::load::{LoadConfig, LoadHarness, LoadReport, LoopMode};
+use litsearch::context_search::Searcher;
+use litsearch::corpus::queries::{generate_queries, QueryConfig};
+use litsearch::demo::{snapshot, Scale};
+use std::sync::OnceLock;
+
+fn testbed() -> &'static (Searcher, Vec<String>) {
+    static TESTBED: OnceLock<(Searcher, Vec<String>)> = OnceLock::new();
+    TESTBED.get_or_init(|| {
+        let snap = snapshot(Scale::Tiny, 42);
+        let queries = generate_queries(
+            snap.ontology(),
+            snap.corpus(),
+            &QueryConfig {
+                n_queries: 24,
+                seed: 42,
+                ..Default::default()
+            },
+        );
+        let queries = queries.into_iter().map(|q| q.text).collect();
+        (snap.searcher(), queries)
+    })
+}
+
+fn sim_config(threads: usize) -> LoadConfig {
+    LoadConfig {
+        threads,
+        queries_per_thread: 50,
+        sim: true,
+        slow_threshold_ns: 400_000,
+        slow_capacity: 8,
+        error_every: 40,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn eight_thread_simulated_runs_are_bit_identical() {
+    let (searcher, queries) = testbed();
+    let run = || {
+        let harness = LoadHarness::new(sim_config(8));
+        harness.run(searcher, queries).to_json()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b, "windowed p50/p95/p99 and SLO burn must reproduce");
+    // The report actually carries the serving series and burn rates.
+    assert!(a.contains("\"serve.query\""));
+    assert!(a.contains("\"burn_rate\""));
+    assert!(a.contains("\"p99_ns\""));
+}
+
+#[test]
+fn every_slow_query_carries_a_captured_explain_trace() {
+    let (searcher, queries) = testbed();
+    let harness = LoadHarness::new(LoadConfig {
+        slow_threshold_ns: 1, // everything crosses the bar
+        ..sim_config(4)
+    });
+    let report = harness.run(searcher, queries);
+    assert!(!report.slow.is_empty(), "threshold 1 ns must catch queries");
+    for slow in &report.slow {
+        assert!(
+            slow.duration_ns >= harness.slowlog().threshold_ns(),
+            "leaderboard only holds threshold-crossers"
+        );
+        let trace = slow
+            .trace
+            .as_ref()
+            .unwrap_or_else(|| panic!("slow query {:?} lost its trace", slow.query));
+        assert!(
+            trace.events.iter().any(|e| e.name == "engine.search"),
+            "trace spans the search pipeline"
+        );
+        assert!(
+            trace.events.iter().any(|e| e.name == "explain.hit"),
+            "trace carries the score decomposition instants"
+        );
+    }
+}
+
+#[test]
+fn open_loop_overload_shows_queueing_latency() {
+    let (searcher, queries) = testbed();
+    let p99 = |r: &LoadReport| {
+        r.windows
+            .iter()
+            .find(|w| w.name == "serve.query")
+            .expect("serve series present")
+            .p99_ns
+    };
+    let closed = LoadHarness::new(sim_config(2)).run(searcher, queries);
+    let open = LoadHarness::new(LoadConfig {
+        mode: LoopMode::Open {
+            qps_per_worker: 1e6, // arrivals far above service capacity
+        },
+        ..sim_config(2)
+    })
+    .run(searcher, queries);
+    assert!(
+        p99(&open) > p99(&closed),
+        "open-loop latency includes queue wait: open {} vs closed {}",
+        p99(&open),
+        p99(&closed)
+    );
+}
+
+#[test]
+fn dashboard_and_slo_report_render_from_one_run() {
+    let (searcher, queries) = testbed();
+    let report = LoadHarness::new(LoadConfig {
+        error_every: 2, // hard availability violation
+        capture_traces: false,
+        ..sim_config(2)
+    })
+    .run(searcher, queries);
+    assert!(report.has_hard_violation());
+    let dash = report.render_dashboard();
+    assert!(dash.contains("serving dashboard"));
+    assert!(dash.contains("CRITICAL"));
+    let md = report.slo.to_markdown();
+    assert!(md.contains("serve-availability"));
+    assert!(md.contains("critical"));
+}
