@@ -264,6 +264,7 @@ mod tests {
     use super::*;
 
     const CLEAN_BASELINE: &str = r#"{"spans": []}"#;
+    const CLEAN_SERIES_BASELINE: &str = r#"{"series": []}"#;
 
     fn lint_mem(sources: &[(&str, &str)]) -> LintReport {
         let ws = Workspace::from_memory(
@@ -272,6 +273,7 @@ mod tests {
                 ("results/metrics_baseline.json", CLEAN_BASELINE),
                 ("results/metrics_prepare_baseline.json", CLEAN_BASELINE),
                 ("results/metrics_warm_baseline.json", CLEAN_BASELINE),
+                ("results/quality_baseline.json", CLEAN_SERIES_BASELINE),
             ],
         );
         lint(&ws, &LintConfig::default())
@@ -349,6 +351,7 @@ mod tests {
                 ("results/metrics_baseline.json", CLEAN_BASELINE),
                 ("results/metrics_prepare_baseline.json", CLEAN_BASELINE),
                 ("results/metrics_warm_baseline.json", CLEAN_BASELINE),
+                ("results/quality_baseline.json", CLEAN_SERIES_BASELINE),
             ],
         );
         let cfg = LintConfig {

@@ -19,10 +19,15 @@ use crate::scanner::TokKind;
 use std::collections::HashSet;
 
 /// The baseline files whose span sets are enforced, workspace-relative.
+/// Metrics baselines carry a `spans` array of `{name, ...}` objects;
+/// the quality baseline carries a `series` array of plain name strings
+/// (the rolling series the drift gate reads) — both spellings are
+/// names that must survive in source.
 pub const BASELINE_FILES: &[&str] = &[
     "results/metrics_baseline.json",
     "results/metrics_prepare_baseline.json",
     "results/metrics_warm_baseline.json",
+    "results/quality_baseline.json",
 ];
 
 /// See module docs.
@@ -74,16 +79,24 @@ impl Rule for SpanNameDrift {
                     continue;
                 }
             };
-            let Some(spans) = value.get("spans").and_then(|s| s.as_array()) else {
-                out.push(whole_file(
-                    "baseline has no `spans` array; regenerate it with `--metrics`".to_string(),
-                ));
-                continue;
-            };
-            for span in spans {
-                let Some(name) = span.get("name").and_then(|n| n.as_str()) else {
+            // Gated names, from either baseline shape.
+            let names: Vec<&str> =
+                if let Some(spans) = value.get("spans").and_then(|s| s.as_array()) {
+                    spans
+                        .iter()
+                        .filter_map(|span| span.get("name").and_then(|n| n.as_str()))
+                        .collect()
+                } else if let Some(series) = value.get("series").and_then(|s| s.as_array()) {
+                    series.iter().filter_map(|s| s.as_str()).collect()
+                } else {
+                    out.push(whole_file(
+                        "baseline has neither a `spans` nor a `series` array; \
+                     regenerate it with `--metrics` / `--write-quality-baseline`"
+                            .to_string(),
+                    ));
                     continue;
                 };
+            for name in names {
                 if !literals.contains(name) {
                     out.push(whole_file(format!(
                         "gated span {name:?} no longer appears as a string literal in source; \
@@ -140,6 +153,24 @@ mod tests {
         let found = SpanNameDrift.check_workspace(&w2);
         assert_eq!(found.len(), 1);
         assert!(found[0].message.contains("unreadable"));
+    }
+
+    #[test]
+    fn series_string_arrays_are_gated_too() {
+        // The quality baseline lists rolling-series names as plain
+        // strings rather than span objects.
+        let w = ws(
+            r#"pub const OVERLAP: &str = "quality.overlap.citation_text";"#,
+            r#"{"series": ["quality.overlap.citation_text"]}"#,
+        );
+        assert!(SpanNameDrift.check_workspace(&w).is_empty());
+        let w = ws(
+            r#"pub const OVERLAP: &str = "quality.overlap.citation_text";"#,
+            r#"{"series": ["quality.overlap.citation_text_v2"]}"#,
+        );
+        let found = SpanNameDrift.check_workspace(&w);
+        assert_eq!(found.len(), 1);
+        assert!(found[0].message.contains("citation_text_v2"));
     }
 
     #[test]

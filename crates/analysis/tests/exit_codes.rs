@@ -26,11 +26,12 @@ impl Fixture {
         fs::create_dir_all(&root).expect("create fixture root");
         let fx = Self { root };
         // A workspace manifest so discover_root-style logic sees a root,
-        // and the three baselines span-name-drift insists on.
+        // and the four baselines span-name-drift insists on.
         fx.write("Cargo.toml", "[workspace]\nmembers = []\n");
         fx.write("results/metrics_baseline.json", CLEAN_BASELINE);
         fx.write("results/metrics_prepare_baseline.json", CLEAN_BASELINE);
         fx.write("results/metrics_warm_baseline.json", CLEAN_BASELINE);
+        fx.write("results/quality_baseline.json", r#"{"series": []}"#);
         fx
     }
 

@@ -68,7 +68,7 @@ fn suppressions_are_few_and_justified() {
 #[test]
 fn every_baseline_is_present_and_parsed() {
     let ws = Workspace::from_root(&workspace_root()).expect("scan workspace");
-    assert_eq!(ws.baselines.len(), 3);
+    assert_eq!(ws.baselines.len(), 4);
     for b in &ws.baselines {
         assert!(
             b.content.is_ok(),

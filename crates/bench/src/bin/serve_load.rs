@@ -28,12 +28,21 @@
 //!            [--slow-jsonl FILE]     slow-query log incl. traces, JSONL
 //!            [--quiet]               suppress the dashboard on stdout
 //!            [--fail-on-violation]   exit 1 on any hard SLO violation
+//!            [--quality N]           shadow-score 1/N queries under all
+//!                                    three prestige functions
+//!            [--quality-top-pct F]   overlap depth as a fraction (default 0.10)
+//!            [--quality-baseline F]  judge drift against a checked-in baseline
+//!            [--write-quality-baseline F] derive a baseline from this run
+//!            [--quality-json FILE]   quality report JSON
+//!            [--quality-md FILE]     quality report markdown
+//!            [--fail-on-drift]       exit 1 on a critical quality drift
 //! ```
 //!
 //! Exit code 0 on success, 1 on a hard SLO violation (only with
-//! `--fail-on-violation`), 2 on usage/IO errors.
+//! `--fail-on-violation`) or a critical ranking-quality drift (only
+//! with `--fail-on-drift`), 2 on usage/IO errors.
 
-use bench::load::{LoadConfig, LoadHarness, LoopMode};
+use bench::load::{LoadConfig, LoadHarness, LoopMode, QualityLoadConfig};
 use bench::setup::{ExpConfig, Setup};
 use context_search::persist::load_snapshot;
 use context_search::{ContextSetKind, EngineConfig, ScoreFunction, Searcher};
@@ -67,6 +76,10 @@ struct Args {
     slow_jsonl: Option<String>,
     quiet: bool,
     fail_on_violation: bool,
+    quality_json: Option<String>,
+    quality_md: Option<String>,
+    write_quality_baseline: Option<String>,
+    fail_on_drift: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -90,7 +103,15 @@ fn parse_args() -> Result<Args, String> {
         slow_jsonl: None,
         quiet: false,
         fail_on_violation: false,
+        quality_json: None,
+        quality_md: None,
+        write_quality_baseline: None,
+        fail_on_drift: false,
     };
+    // Quality knobs accumulate here; the config gets them only when
+    // `--quality` (or `--quality-baseline`) actually enables sampling.
+    let mut quality = QualityLoadConfig::default();
+    let mut quality_on = false;
     let mut i = 0;
     let next = |argv: &[String], i: usize, what: &str| -> Result<String, String> {
         argv.get(i)
@@ -205,6 +226,39 @@ fn parse_args() -> Result<Args, String> {
             }
             "--quiet" => a.quiet = true,
             "--fail-on-violation" => a.fail_on_violation = true,
+            "--quality" => {
+                i += 1;
+                let every: u64 = parse(&next(&argv, i, "--quality")?)?;
+                quality.sample_every = every.max(1);
+                quality_on = true;
+            }
+            "--quality-top-pct" => {
+                i += 1;
+                quality.top_pct = parse(&next(&argv, i, "--quality-top-pct")?)?;
+            }
+            "--quality-baseline" => {
+                i += 1;
+                let path = next(&argv, i, "--quality-baseline")?;
+                let text = std::fs::read_to_string(&path)
+                    .map_err(|e| format!("cannot read {path}: {e}"))?;
+                quality.baseline = Some(
+                    obs::QualityBaseline::from_json(&text).map_err(|e| format!("{path}: {e}"))?,
+                );
+                quality_on = true;
+            }
+            "--write-quality-baseline" => {
+                i += 1;
+                a.write_quality_baseline = Some(next(&argv, i, "--write-quality-baseline")?);
+            }
+            "--quality-json" => {
+                i += 1;
+                a.quality_json = Some(next(&argv, i, "--quality-json")?);
+            }
+            "--quality-md" => {
+                i += 1;
+                a.quality_md = Some(next(&argv, i, "--quality-md")?);
+            }
+            "--fail-on-drift" => a.fail_on_drift = true,
             flag => return Err(format!("unknown flag {flag}")),
         }
         i += 1;
@@ -213,6 +267,15 @@ fn parse_args() -> Result<Args, String> {
         a.config.mode = LoopMode::Open {
             qps_per_worker: a.qps,
         };
+    }
+    if quality_on {
+        a.config.quality = Some(quality);
+    } else if a.quality_json.is_some()
+        || a.quality_md.is_some()
+        || a.write_quality_baseline.is_some()
+        || a.fail_on_drift
+    {
+        return Err("quality outputs need --quality N (shadow sampling is off)".to_string());
     }
     Ok(a)
 }
@@ -300,13 +363,40 @@ fn run() -> Result<bool, String> {
         write_file(path, &harness.slowlog().dump_jsonl())?;
         eprintln!("slow-query log: {path}");
     }
+    if let Some(quality) = &report.quality {
+        if let Some(path) = &args.quality_json {
+            write_file(path, &quality.to_json())?;
+            eprintln!("quality report: {path}");
+        }
+        if let Some(path) = &args.quality_md {
+            write_file(path, &quality.to_markdown())?;
+            eprintln!("quality report: {path}");
+        }
+        if let Some(path) = &args.write_quality_baseline {
+            let n_bins = args.config.quality.as_ref().map_or(10, |q| q.n_bins);
+            let baseline = obs::QualityBaseline::from_summary(
+                &quality.summary,
+                n_bins,
+                &obs::BaselineTolerances::default(),
+            );
+            write_file(path, &baseline.to_json())?;
+            eprintln!("quality baseline: {path}");
+        }
+    }
+    let mut ok = true;
     if report.has_hard_violation() {
         eprintln!("SLO HARD VIOLATION (see report)");
         if args.fail_on_violation {
-            return Ok(false);
+            ok = false;
         }
     }
-    Ok(true)
+    if report.has_quality_drift() {
+        eprintln!("RANKING-QUALITY DRIFT (see quality report)");
+        if args.fail_on_drift {
+            ok = false;
+        }
+    }
+    Ok(ok)
 }
 
 fn write_file(path: &str, contents: &str) -> Result<(), String> {

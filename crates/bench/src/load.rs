@@ -37,10 +37,13 @@
 //! a process-wide mutex and filtered to the capturing thread's events,
 //! so concurrent workers never interleave their explain traces.
 
-use context_search::{ContextSetKind, QueryStats, ScoreFunction, Searcher};
+use context_search::{
+    ContextSetKind, QualityShadow, QueryStats, ScoreFunction, Searcher, ShadowConfig,
+};
 use obs::{
-    Clock, ManualClock, MonotonicClock, RollingConfig, RollingRecorder, SloReport, SloSpec,
-    SloTracker, SlowQuery, SlowQueryLog, TraceData, WindowStats,
+    Clock, ManualClock, MonotonicClock, QualityAggregator, QualityBaseline, QualityReport,
+    QualityTracker, RollingConfig, RollingRecorder, SloReport, SloSpec, SloTracker, SlowQuery,
+    SlowQueryLog, TraceData, WindowStats,
 };
 use serde::Value;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -97,6 +100,40 @@ pub struct LoadConfig {
     pub error_every: u64,
     /// Objectives evaluated over the run.
     pub slos: Vec<SloSpec>,
+    /// Shadow-score a sample of queries and report ranking quality
+    /// (`None` = off; the serve path is untouched either way).
+    pub quality: Option<QualityLoadConfig>,
+}
+
+/// Quality-observability knobs for one load run.
+#[derive(Debug, Clone)]
+pub struct QualityLoadConfig {
+    /// Shadow-score one of every `sample_every` queries (>= 1).
+    pub sample_every: u64,
+    /// Top fraction compared between the functions' rankings.
+    pub top_pct: f64,
+    /// Separability sketch bins.
+    pub n_bins: usize,
+    /// Bounded queue depth to the shadow worker. In sim mode the
+    /// submitter blocks when full (every sample must be evaluated for
+    /// byte-stable reports); in real mode overflow samples are dropped
+    /// and counted.
+    pub queue_capacity: usize,
+    /// Baseline to judge drift against (`None` = report without a
+    /// verdict).
+    pub baseline: Option<QualityBaseline>,
+}
+
+impl Default for QualityLoadConfig {
+    fn default() -> Self {
+        Self {
+            sample_every: 4,
+            top_pct: 0.10,
+            n_bins: 10,
+            queue_capacity: 256,
+            baseline: None,
+        }
+    }
 }
 
 impl Default for LoadConfig {
@@ -115,6 +152,7 @@ impl Default for LoadConfig {
             capture_traces: true,
             error_every: 0,
             slos: default_serve_slos(50 * 1_000_000),
+            quality: None,
         }
     }
 }
@@ -188,6 +226,10 @@ pub struct LoadHarness {
     clock: Arc<dyn Clock>,
     queries_issued: AtomicU64,
     errors_seen: AtomicU64,
+    /// Quality aggregation, when the run shadow-scores (its series
+    /// land in `rolling`, so dashboards show them alongside latency).
+    quality_agg: Option<Arc<QualityAggregator>>,
+    quality_tracker: Option<Arc<QualityTracker>>,
 }
 
 impl LoadHarness {
@@ -218,6 +260,15 @@ impl LoadHarness {
             config.slow_threshold_ns,
             config.slow_capacity,
         ));
+        let quality_agg = config
+            .quality
+            .as_ref()
+            .map(|qc| Arc::new(QualityAggregator::new(rolling.clone(), qc.n_bins)));
+        let quality_tracker = config
+            .quality
+            .as_ref()
+            .and_then(|qc| qc.baseline.clone())
+            .map(|baseline| Arc::new(QualityTracker::new(baseline)));
         Self {
             config,
             rolling,
@@ -226,6 +277,8 @@ impl LoadHarness {
             clock,
             queries_issued: AtomicU64::new(0),
             errors_seen: AtomicU64::new(0),
+            quality_agg,
+            quality_tracker,
         }
     }
 
@@ -247,6 +300,16 @@ impl LoadHarness {
     /// The harness clock.
     pub fn clock(&self) -> &Arc<dyn Clock> {
         &self.clock
+    }
+
+    /// The quality aggregator, when this run shadow-scores.
+    pub fn quality(&self) -> Option<&Arc<QualityAggregator>> {
+        self.quality_agg.as_ref()
+    }
+
+    /// The quality drift tracker, when a baseline was configured.
+    pub fn quality_tracker(&self) -> Option<&Arc<QualityTracker>> {
+        self.quality_tracker.as_ref()
     }
 
     /// The configuration this harness runs.
@@ -285,6 +348,29 @@ impl LoadHarness {
         let total_queries = &self.queries_issued;
         let max_virtual_ns = AtomicU64::new(0);
         let live_workers = AtomicU64::new(threads as u64);
+
+        // The shadow scorer lives outside the worker scope: workers
+        // only submit; the background evaluation drains after they
+        // finish, so the final report sees every accepted sample.
+        let shadow = match (&cfg.quality, &self.quality_agg) {
+            (Some(qc), Some(agg)) => Some(QualityShadow::spawn(
+                searcher.clone(),
+                ShadowConfig {
+                    sample_every: qc.sample_every.max(1),
+                    kind: cfg.kind,
+                    limit: cfg.limit,
+                    top_pct: qc.top_pct,
+                    queue_capacity: qc.queue_capacity,
+                    // Sim reports must be byte-stable, so every sample
+                    // is evaluated; latencies are virtual, so blocking
+                    // a worker costs nothing observable.
+                    block_when_full: cfg.sim,
+                },
+                Arc::clone(agg),
+            )),
+            _ => None,
+        };
+        let shadow_ref = shadow.as_ref();
 
         std::thread::scope(|scope| {
             for w in 0..threads {
@@ -374,6 +460,14 @@ impl LoadHarness {
                             total_errors.fetch_add(1, Ordering::Relaxed);
                         }
                         rolling.record_at(w, "serve.query", completion_ns, latency_ns, error);
+                        if !error {
+                            if let Some(shadow) = shadow_ref {
+                                // Deterministic sampling key: the same
+                                // (worker, iteration) pair samples the
+                                // same queries on every run.
+                                shadow.observe_seq(seq, query, w, completion_ns);
+                            }
+                        }
                         if cfg.sim && !error {
                             // Mirror the span hierarchy with synthetic
                             // per-stage series (real mode gets these
@@ -430,6 +524,11 @@ impl LoadHarness {
                 }
             }
         });
+        // Drain and join the shadow worker: every accepted sample is
+        // aggregated before the report reads the summary.
+        if let Some(shadow) = &shadow {
+            shadow.finish();
+        }
         if real_mode {
             obs::global().detach_rolling();
         }
@@ -466,6 +565,14 @@ impl LoadHarness {
         let trace_dropped = obs::snapshot()
             .counter("obs.trace.dropped_events")
             .unwrap_or(0);
+        let quality = self.quality_agg.as_ref().map(|agg| {
+            let summary = agg.summary_at(at_ns);
+            let drift = self
+                .quality_tracker
+                .as_ref()
+                .map(|tracker| tracker.evaluate(&summary));
+            QualityReport { summary, drift }
+        });
         LoadReport {
             threads: self.config.threads,
             mode: self.config.mode.name(),
@@ -478,6 +585,7 @@ impl LoadHarness {
             slo,
             slow: self.slowlog.leaderboard(),
             trace_dropped,
+            quality,
         }
     }
 }
@@ -506,12 +614,23 @@ pub struct LoadReport {
     pub slow: Vec<SlowQuery>,
     /// Global trace-sink overflow count at report time.
     pub trace_dropped: u64,
+    /// Ranking-quality report, when the run shadow-scored.
+    pub quality: Option<QualityReport>,
 }
 
 impl LoadReport {
     /// Whether any objective is in hard violation.
     pub fn has_hard_violation(&self) -> bool {
         self.slo.has_hard_violation()
+    }
+
+    /// Whether the quality drift verdict is critical — the
+    /// `--fail-on-drift` signal (false when no baseline was judged).
+    pub fn has_quality_drift(&self) -> bool {
+        self.quality
+            .as_ref()
+            .and_then(|q| q.drift.as_ref())
+            .is_some_and(|d| d.has_hard_violation())
     }
 
     /// JSON object form. Deterministic in simulation mode: windowed
@@ -536,7 +655,7 @@ impl LoadReport {
                 ])
             })
             .collect();
-        Value::Map(vec![
+        let mut value = Value::Map(vec![
             ("threads".to_string(), Value::UInt(self.threads as u64)),
             ("mode".to_string(), Value::Str(self.mode.to_string())),
             ("sim".to_string(), Value::Bool(self.sim)),
@@ -551,7 +670,11 @@ impl LoadReport {
             ("slo".to_string(), self.slo.to_value()),
             ("slow_queries".to_string(), Value::Seq(slow)),
             ("trace_dropped".to_string(), Value::UInt(self.trace_dropped)),
-        ])
+        ]);
+        if let (Value::Map(fields), Some(quality)) = (&mut value, &self.quality) {
+            fields.push(("quality".to_string(), quality.to_value()));
+        }
+        value
     }
 
     /// Pretty JSON document.
@@ -635,6 +758,54 @@ impl LoadReport {
                     pairs,
                     if s.trace.is_some() { "yes" } else { "no" },
                 ));
+            }
+        }
+        if let Some(quality) = &self.quality {
+            let s = &quality.summary;
+            out.push_str(&format!(
+                "\nranking quality (shadow-scored sample):\n\
+                 sampled {}  dropped {}  winning-context agreement {:.1}%\n",
+                s.sampled,
+                s.dropped,
+                100.0 * s.agreement_rate,
+            ));
+            out.push_str(&format!(
+                "{:<34} {:>7} {:>10}\n",
+                "overlap pair", "queries", "mean"
+            ));
+            for o in &s.overlaps {
+                out.push_str(&format!(
+                    "{:<34} {:>7} {:>10.4}\n",
+                    o.series, o.count, o.mean
+                ));
+            }
+            out.push_str(&format!(
+                "{:<34} {:>7} {:>7} {:>7} {:>10}\n",
+                "score function", "scores", "p50", "p90", "sep SD"
+            ));
+            for f in &s.functions {
+                out.push_str(&format!(
+                    "{:<34} {:>7} {:>7.3} {:>7.3} {:>10.2}\n",
+                    f.series, f.count, f.p50, f.p90, f.separability_sd
+                ));
+            }
+            if let Some(drift) = &quality.drift {
+                let verdict = match drift.status {
+                    obs::SloStatus::Ok => "ok",
+                    obs::SloStatus::Warn => "WARN",
+                    obs::SloStatus::Critical => "CRITICAL",
+                };
+                out.push_str(&format!("quality drift vs baseline: {verdict}\n"));
+                for c in drift
+                    .checks
+                    .iter()
+                    .filter(|c| c.status != obs::SloStatus::Ok)
+                {
+                    out.push_str(&format!(
+                        "  {} {} observed {:.4} (bound {})\n",
+                        c.name, c.subject, c.observed, c.bound
+                    ));
+                }
             }
         }
         if self.trace_dropped > 0 {
@@ -784,5 +955,143 @@ mod tests {
         assert!(dash.contains("serve.query"));
         assert!(dash.contains("SLO burn:"));
         assert!(dash.contains("slow queries"));
+    }
+
+    fn quality_config(threads: usize) -> LoadConfig {
+        LoadConfig {
+            quality: Some(QualityLoadConfig {
+                sample_every: 2,
+                ..Default::default()
+            }),
+            ..sim_config(threads)
+        }
+    }
+
+    #[test]
+    fn quality_sampling_leaves_serve_windows_bit_identical() {
+        let (setup, queries) = testbed();
+        let without = LoadHarness::new(sim_config(8)).run(&setup.searcher, queries);
+        let with = LoadHarness::new(quality_config(8)).run(&setup.searcher, queries);
+        // Quality records only into `quality.*` series, so every
+        // serve/stage series is bit-identical with sampling on (the
+        // windows merely gain the quality series alongside).
+        let series_json = |r: &LoadReport, name: &str| {
+            r.windows
+                .iter()
+                .find(|w| w.name == name)
+                .map(|w| serde_json::to_string(&w.to_value()).unwrap())
+        };
+        for series in [
+            "serve.query",
+            "engine.search",
+            "search.select_contexts",
+            "search.keyword_match",
+            "search.relevancy",
+        ] {
+            assert_eq!(
+                series_json(&without, series),
+                series_json(&with, series),
+                "series {series} must be unaffected by quality sampling"
+            );
+        }
+        // Every other report field (SLOs, slow queries, totals) agrees
+        // too once the quality-only parts are stripped.
+        let strip = |r: &LoadReport| {
+            let mut v = r.to_value();
+            if let Value::Map(fields) = &mut v {
+                fields.retain(|(k, _)| k != "quality" && k != "windows");
+            }
+            serde_json::to_string(&v).unwrap()
+        };
+        assert_eq!(strip(&without), strip(&with));
+    }
+
+    #[test]
+    fn quality_reports_are_bit_identical_across_runs() {
+        let (setup, queries) = testbed();
+        let run = || {
+            let harness = LoadHarness::new(quality_config(8));
+            let report = harness.run(&setup.searcher, queries);
+            let quality = report.quality.as_ref().expect("quality configured");
+            assert!(quality.summary.sampled > 0, "samples were evaluated");
+            assert_eq!(quality.summary.dropped, 0, "sim mode never drops");
+            quality.to_json()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "quality report must be byte-stable in sim mode");
+        assert!(a.contains("quality.overlap.citation_text"));
+        assert!(a.contains("quality.separability.pattern"));
+    }
+
+    #[test]
+    fn quality_drift_gate_fires_on_flattened_prestige() {
+        let (setup, queries) = testbed();
+        // Healthy run writes the baseline...
+        let healthy = LoadHarness::new(quality_config(4)).run(&setup.searcher, queries);
+        let summary = &healthy.quality.as_ref().unwrap().summary;
+        let baseline =
+            QualityBaseline::from_summary(summary, 10, &obs::BaselineTolerances::default());
+        assert_eq!(
+            baseline.evaluate(summary).status,
+            obs::SloStatus::Ok,
+            "healthy run judges clean against its own baseline"
+        );
+
+        // ...then the citation function collapses to a constant table
+        // (the what-if override keeps the snapshot itself pristine).
+        let flat = {
+            let table = setup
+                .searcher
+                .prestige(ContextSetKind::PatternBased, ScoreFunction::Citation)
+                .expect("citation table prepared");
+            let mut by_context = std::collections::HashMap::new();
+            for context in table.contexts() {
+                by_context.insert(
+                    context,
+                    table
+                        .scores(context)
+                        .iter()
+                        .map(|&(p, _)| (p, 1.0))
+                        .collect::<Vec<_>>(),
+                );
+            }
+            context_search::PrestigeScores::new(by_context, ScoreFunction::Citation)
+        };
+        let perturbed = setup.searcher.with_prestige_override(
+            ContextSetKind::PatternBased,
+            ScoreFunction::Citation,
+            flat,
+        );
+        let drifted = LoadHarness::new(LoadConfig {
+            quality: Some(QualityLoadConfig {
+                sample_every: 2,
+                baseline: Some(baseline),
+                ..Default::default()
+            }),
+            ..sim_config(4)
+        })
+        .run(&perturbed, queries);
+        let drift = drifted
+            .quality
+            .as_ref()
+            .unwrap()
+            .drift
+            .as_ref()
+            .expect("baseline produces a verdict");
+        assert!(
+            drifted.has_quality_drift(),
+            "flattened prestige must trip the gate; verdict was {:?}: {}",
+            drift.status,
+            drift
+                .checks
+                .iter()
+                .map(|c| format!(
+                    "{} {} obs={:.4} [{}]",
+                    c.name, c.subject, c.observed, c.bound
+                ))
+                .collect::<Vec<_>>()
+                .join("; ")
+        );
     }
 }

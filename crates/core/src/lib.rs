@@ -64,6 +64,7 @@ pub use prestige::{PrestigeScores, ScoreFunction};
 pub use search::engine::{ContextSearchEngine, SearchResult};
 pub use search::exec::QueryStats;
 pub use search::serve::{Searcher, ServeError};
+pub use search::shadow::{shadow_evaluate, QualityShadow, ShadowConfig, SHADOW_FUNCTIONS};
 pub use snapshot::{EngineSnapshot, PrepareOptions};
 
 /// Map `f` over `items` on up to `threads` worker threads (0 ⇒ available

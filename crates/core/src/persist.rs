@@ -358,6 +358,8 @@ pub fn load_snapshot(
     config: EngineConfig,
 ) -> Result<Arc<EngineSnapshot>, PersistError> {
     let _span = obs::span("persist.load_snapshot");
+    let clock = obs::MonotonicClock::default();
+    let load_start_ns = obs::Clock::now_ns(&clock);
     let header: SnapshotHeader = serde_json::from_str(&read_file(&dir.join("snapshot.json"))?)?;
     if header.magic != SNAPSHOT_MAGIC {
         return Err(PersistError::BadMagic(header.magic));
@@ -415,6 +417,11 @@ pub fn load_snapshot(
     let text_sets = take_sets(ContextSetKind::TextBased)?;
     let pattern_sets = take_sets(ContextSetKind::PatternBased)?;
     obs::counter("persist.snapshots_loaded", 1);
+    // Surface parse-bound load cost directly (the span only reaches the
+    // histogram; the gauge makes the latest load time greppable in any
+    // metrics snapshot, e.g. by load-smoke at larger corpus scales).
+    let load_ms = (obs::Clock::now_ns(&clock).saturating_sub(load_start_ns)) as f64 / 1e6;
+    obs::gauge("persist.load_snapshot_ms", load_ms);
     Ok(Arc::new(EngineSnapshot::from_parts(
         ontology,
         corpus,

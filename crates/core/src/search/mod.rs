@@ -9,9 +9,11 @@ pub mod related;
 pub mod relevancy;
 pub mod select;
 pub mod serve;
+pub mod shadow;
 
 pub use engine::{ContextSearchEngine, SearchResult};
 pub use exec::QueryStats;
 pub use relevancy::relevancy;
 pub use select::select_contexts;
 pub use serve::{Searcher, ServeError};
+pub use shadow::{shadow_evaluate, QualityShadow, ShadowConfig, SHADOW_FUNCTIONS};

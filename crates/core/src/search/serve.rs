@@ -13,7 +13,7 @@ use crate::prestige::{PrestigeScores, ScoreFunction};
 use crate::search::exec::{QueryParts, QueryStats, SearchResult};
 use crate::snapshot::EngineSnapshot;
 use corpus::PaperId;
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 /// A serve-time problem: the snapshot lacks a requested table.
@@ -48,12 +48,45 @@ impl std::error::Error for ServeError {}
 #[derive(Clone)]
 pub struct Searcher {
     snapshot: Arc<EngineSnapshot>,
+    /// Immutable prestige-table overrides consulted before the
+    /// snapshot's own tables: the perturbation/ablation hook (what-if
+    /// serving, quality-drift injection in tests). `None` on the
+    /// ordinary serve path, so the common case costs one branch.
+    overrides: Option<Arc<HashMap<(ContextSetKind, ScoreFunction), PrestigeScores>>>,
 }
 
 impl Searcher {
     /// Wrap a snapshot.
     pub fn new(snapshot: Arc<EngineSnapshot>) -> Self {
-        Self { snapshot }
+        Self {
+            snapshot,
+            overrides: None,
+        }
+    }
+
+    /// A handle that serves `(kind, function)` from `scores` instead of
+    /// the snapshot's prepared table. Other pairs are unaffected; the
+    /// snapshot itself is untouched, so handles with and without the
+    /// override serve concurrently from the same memory. This is the
+    /// what-if/ablation hook — the quality gate's tests use it to
+    /// inject a degraded prestige function and prove drift detection
+    /// fires.
+    pub fn with_prestige_override(
+        &self,
+        kind: ContextSetKind,
+        function: ScoreFunction,
+        scores: PrestigeScores,
+    ) -> Self {
+        let mut map = self
+            .overrides
+            .as_ref()
+            .map(|m| (**m).clone())
+            .unwrap_or_default();
+        map.insert((kind, function), scores);
+        Self {
+            snapshot: Arc::clone(&self.snapshot),
+            overrides: Some(Arc::new(map)),
+        }
     }
 
     /// The underlying snapshot.
@@ -86,12 +119,20 @@ impl Searcher {
         self.snapshot.sets(kind)
     }
 
-    /// A prepared prestige table, if the snapshot has it.
+    /// A prepared prestige table, if the snapshot (or an override
+    /// installed with
+    /// [`with_prestige_override`](Self::with_prestige_override)) has
+    /// it.
     pub fn prestige(
         &self,
         kind: ContextSetKind,
         function: ScoreFunction,
     ) -> Option<&PrestigeScores> {
+        if let Some(overrides) = &self.overrides {
+            if let Some(table) = overrides.get(&(kind, function)) {
+                return Some(table);
+            }
+        }
         self.snapshot.prestige(kind, function)
     }
 

@@ -1,0 +1,502 @@
+//! Shadow scoring: sampled re-ranking of served queries under every
+//! prepared prestige function, off the serve path.
+//!
+//! The serve path ranks with *one* prestige function. The paper's
+//! evaluation chapter shows the functions disagree in interesting ways
+//! (top-k% overlap, Fig 5.3) and separate contexts differently (Figs
+//! 5.4–5.7) — signals worth watching continuously, not only in offline
+//! experiments. A [`QualityShadow`] does exactly that: a sampled
+//! fraction of served queries is handed to a background worker over a
+//! bounded channel; the worker re-executes each one under all three
+//! [`ScoreFunction`]s against the same immutable snapshot and folds
+//! the comparison into an [`obs::QualityAggregator`].
+//!
+//! Serve-path cost when sampling is on: one atomic increment, one
+//! modulo, and (for sampled queries) one bounded `try_send` of an
+//! already-owned `String`. The worker never touches the snapshot
+//! mutably — [`Searcher`] is a lock-free handle — so serve results are
+//! bit-identical with the shadow on or off.
+
+use crate::context::ContextSetKind;
+use crate::prestige::ScoreFunction;
+use crate::search::serve::Searcher;
+use eval::{streaming_top_k_percent_overlap, StreamingTopK};
+use obs::{QualityAggregator, QualityEvent};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// The three prestige functions, in the fixed order every event and
+/// report uses.
+pub const SHADOW_FUNCTIONS: [ScoreFunction; 3] = [
+    ScoreFunction::Citation,
+    ScoreFunction::Text,
+    ScoreFunction::Pattern,
+];
+
+/// Knobs for a [`QualityShadow`].
+#[derive(Debug, Clone)]
+pub struct ShadowConfig {
+    /// Sample one of every `sample_every` observed queries; `0`
+    /// disables shadow scoring entirely (no worker is spawned).
+    pub sample_every: u64,
+    /// Which §4 context paper set to rank against.
+    pub kind: ContextSetKind,
+    /// Result-list depth each function ranks to.
+    pub limit: usize,
+    /// Top fraction compared between rankings (the paper's top-k%
+    /// overlapping ratio).
+    pub top_pct: f64,
+    /// Bounded queue depth between serve threads and the worker.
+    pub queue_capacity: usize,
+    /// When the queue is full: `false` drops the sample (serving never
+    /// blocks — the live default), `true` blocks the submitter (the
+    /// deterministic harness, where every sample must be evaluated for
+    /// byte-stable reports and latencies are virtual anyway).
+    pub block_when_full: bool,
+}
+
+impl Default for ShadowConfig {
+    fn default() -> Self {
+        Self {
+            sample_every: 16,
+            // The pattern-based set is the one the default prepare plan
+            // equips with all three functions (§5's five tables).
+            kind: ContextSetKind::PatternBased,
+            limit: 50,
+            top_pct: 0.10,
+            queue_capacity: 256,
+            block_when_full: false,
+        }
+    }
+}
+
+/// One sampled query in flight to the worker.
+struct ShadowJob {
+    query: String,
+    shard: usize,
+    ts_ns: u64,
+}
+
+/// Handle to the shadow-scoring worker. Submission is cheap and
+/// lock-free on the non-sampled path; [`finish`](Self::finish) drains
+/// the queue and joins the worker so every accepted sample is in the
+/// aggregator before a report is built.
+pub struct QualityShadow {
+    tx: Mutex<Option<SyncSender<ShadowJob>>>,
+    worker: Mutex<Option<JoinHandle<()>>>,
+    aggregator: Arc<QualityAggregator>,
+    sample_every: u64,
+    block_when_full: bool,
+    submitted: AtomicU64,
+    accepted: AtomicU64,
+}
+
+impl QualityShadow {
+    /// Spawn the background worker (unless `sample_every == 0`, which
+    /// yields an inert shadow whose observe calls are near-free).
+    pub fn spawn(
+        searcher: Searcher,
+        config: ShadowConfig,
+        aggregator: Arc<QualityAggregator>,
+    ) -> Self {
+        if config.sample_every == 0 {
+            return Self {
+                tx: Mutex::new(None),
+                worker: Mutex::new(None),
+                aggregator,
+                sample_every: 0,
+                block_when_full: false,
+                submitted: AtomicU64::new(0),
+                accepted: AtomicU64::new(0),
+            };
+        }
+        let (tx, rx) = sync_channel::<ShadowJob>(config.queue_capacity.max(1));
+        let agg = Arc::clone(&aggregator);
+        let cfg = config.clone();
+        let worker = std::thread::spawn(move || {
+            while let Ok(job) = rx.recv() {
+                if let Some(event) =
+                    shadow_evaluate(&searcher, &cfg, &job.query, job.shard, job.ts_ns)
+                {
+                    agg.record(&event);
+                }
+            }
+        });
+        Self {
+            tx: Mutex::new(Some(tx)),
+            worker: Mutex::new(Some(worker)),
+            aggregator,
+            sample_every: config.sample_every,
+            block_when_full: config.block_when_full,
+            submitted: AtomicU64::new(0),
+            accepted: AtomicU64::new(0),
+        }
+    }
+
+    /// The aggregator sampled events land in.
+    pub fn aggregator(&self) -> &Arc<QualityAggregator> {
+        &self.aggregator
+    }
+
+    /// Observe a served query with an internally assigned sequence
+    /// number (convenience for single-threaded callers; concurrent
+    /// callers should use [`observe_seq`](Self::observe_seq) with
+    /// their own deterministic sequence).
+    pub fn observe(&self, query: &str) {
+        let seq = self.submitted.fetch_add(1, Ordering::Relaxed);
+        let rolling = self.aggregator.rolling();
+        let shard = (seq as usize) % rolling.n_shards();
+        let ts_ns = rolling.clock().now_ns();
+        self.submit(seq, query, shard, ts_ns);
+    }
+
+    /// Observe a served query under a caller-supplied sequence number:
+    /// the sampling decision is `seq % sample_every == 0`, so a
+    /// deterministic sequence (e.g. the load harness's per-worker
+    /// iteration index) yields the same sampled set on every run.
+    /// `shard`/`ts_ns` place the resulting events in the rolling
+    /// windows.
+    pub fn observe_seq(&self, seq: u64, query: &str, shard: usize, ts_ns: u64) {
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+        self.submit(seq, query, shard, ts_ns);
+    }
+
+    fn submit(&self, seq: u64, query: &str, shard: usize, ts_ns: u64) {
+        if self.sample_every == 0 || !seq.is_multiple_of(self.sample_every) {
+            return;
+        }
+        let tx = self.tx.lock();
+        let Some(tx) = tx.as_ref() else {
+            return;
+        };
+        let job = ShadowJob {
+            query: query.to_string(),
+            shard,
+            ts_ns,
+        };
+        if self.block_when_full {
+            if tx.send(job).is_ok() {
+                self.accepted.fetch_add(1, Ordering::Relaxed);
+            }
+        } else {
+            match tx.try_send(job) {
+                Ok(()) => {
+                    self.accepted.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
+                    self.aggregator.add_dropped(1);
+                }
+            }
+        }
+    }
+
+    /// Queries observed (sampled or not).
+    pub fn submitted(&self) -> u64 {
+        self.submitted.load(Ordering::Relaxed)
+    }
+
+    /// Samples accepted onto the queue.
+    pub fn accepted(&self) -> u64 {
+        self.accepted.load(Ordering::Relaxed)
+    }
+
+    /// Close the queue and join the worker: on return, every accepted
+    /// sample has been evaluated and aggregated. Idempotent.
+    pub fn finish(&self) {
+        *self.tx.lock() = None;
+        if let Some(worker) = self.worker.lock().take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for QualityShadow {
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
+/// Re-rank `query` under every prepared prestige function and build
+/// the quality event: pairwise top-k% overlap between the rankings,
+/// winning-context agreement, top1−top2 margins, and the winning
+/// context's prestige score values per function (separability input).
+/// `None` when no prepared function produced results.
+pub fn shadow_evaluate(
+    searcher: &Searcher,
+    config: &ShadowConfig,
+    query: &str,
+    shard: usize,
+    ts_ns: u64,
+) -> Option<QualityEvent> {
+    let _span = obs::span(obs::quality::SHADOW_EVAL_SPAN);
+    let sets = searcher.sets(config.kind);
+
+    // (function name, ranking, winning context) per prepared function,
+    // in SHADOW_FUNCTIONS order.
+    let mut ranked: Vec<(&'static str, StreamingTopK, crate::context::ContextId, f64)> =
+        Vec::with_capacity(SHADOW_FUNCTIONS.len());
+    let mut margins: Vec<(&'static str, f64)> = Vec::new();
+    let mut scores: Vec<(&'static str, Vec<f64>)> = Vec::new();
+    for function in SHADOW_FUNCTIONS {
+        let Some(prestige) = searcher.prestige(config.kind, function) else {
+            continue;
+        };
+        let (results, _stats) = searcher.search_with_stats(query, sets, prestige, config.limit);
+        if results.is_empty() {
+            continue;
+        }
+        let mut top = StreamingTopK::keep_all();
+        for r in &results {
+            top.push(r.paper.0, r.relevancy);
+        }
+        let winner = results[0].context;
+        let margin = if results.len() > 1 {
+            (results[0].relevancy - results[1].relevancy).clamp(0.0, 1.0)
+        } else {
+            results[0].relevancy.clamp(0.0, 1.0)
+        };
+        margins.push((function.name(), margin));
+        scores.push((function.name(), prestige.score_values(winner)));
+        ranked.push((function.name(), top, winner, margin));
+    }
+    if ranked.is_empty() {
+        return None;
+    }
+
+    let mut overlaps = Vec::new();
+    for i in 0..ranked.len() {
+        for j in (i + 1)..ranked.len() {
+            let ratio = streaming_top_k_percent_overlap(&ranked[i].1, &ranked[j].1, config.top_pct);
+            overlaps.push((ranked[i].0, ranked[j].0, ratio));
+        }
+    }
+    let agreement = if ranked.len() >= 2 {
+        Some(
+            ranked
+                .iter()
+                .all(|(_, _, winner, _)| *winner == ranked[0].2),
+        )
+    } else {
+        None
+    };
+
+    Some(QualityEvent {
+        shard,
+        ts_ns,
+        overlaps,
+        agreement,
+        margins,
+        scores,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EngineConfig;
+    use crate::snapshot::EngineSnapshot;
+    use corpus::{generate_corpus, CorpusConfig};
+    use obs::clock::{Clock, ManualClock};
+    use obs::{RollingConfig, RollingRecorder};
+    use ontology::{generate_ontology, GeneratorConfig};
+
+    fn testbed_searcher() -> Searcher {
+        let onto = generate_ontology(&GeneratorConfig {
+            n_terms: 70,
+            seed: 11,
+            ..Default::default()
+        });
+        let corp = generate_corpus(
+            &onto,
+            &CorpusConfig {
+                n_papers: 160,
+                seed: 13,
+                body_len: (40, 60),
+                abstract_len: (20, 30),
+                ..Default::default()
+            },
+        );
+        EngineSnapshot::prepare(onto, corp, EngineConfig::default()).searcher()
+    }
+
+    fn aggregator(shards: usize) -> Arc<QualityAggregator> {
+        let rolling = Arc::new(RollingRecorder::new(
+            RollingConfig {
+                bucket_secs: 1,
+                window_secs: 120,
+                shards,
+            },
+            Arc::new(ManualClock::new(0)) as Arc<dyn Clock>,
+        ));
+        Arc::new(QualityAggregator::new(rolling, 10))
+    }
+
+    #[test]
+    fn shadow_evaluate_compares_all_prepared_functions() {
+        let searcher = testbed_searcher();
+        let config = ShadowConfig::default();
+        let event = shadow_evaluate(&searcher, &config, "biological process", 0, 0)
+            .expect("testbed queries produce results");
+        // Default prepare has all three functions for the text-based
+        // set: three pairwise overlaps, three margins, three sketches.
+        assert_eq!(event.overlaps.len(), 3);
+        assert_eq!(event.margins.len(), 3);
+        assert_eq!(event.scores.len(), 3);
+        assert!(event.agreement.is_some());
+        for &(_, _, ratio) in &event.overlaps {
+            assert!((0.0..=1.0).contains(&ratio));
+        }
+        for (_, values) in &event.scores {
+            assert!(!values.is_empty(), "winning context has prestige scores");
+        }
+    }
+
+    #[test]
+    fn shadow_evaluate_is_deterministic() {
+        let searcher = testbed_searcher();
+        let config = ShadowConfig::default();
+        let a = shadow_evaluate(&searcher, &config, "binding", 3, 7).unwrap();
+        let b = shadow_evaluate(&searcher, &config, "binding", 3, 7).unwrap();
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+
+    #[test]
+    fn worker_drains_into_aggregator_on_finish() {
+        let searcher = testbed_searcher();
+        let agg = aggregator(2);
+        let shadow = QualityShadow::spawn(
+            searcher,
+            ShadowConfig {
+                sample_every: 2,
+                block_when_full: true,
+                ..Default::default()
+            },
+            Arc::clone(&agg),
+        );
+        let queries = ["biological process", "binding", "molecular function"];
+        for (i, q) in queries.iter().enumerate() {
+            shadow.observe_seq(i as u64, q, i % 2, i as u64 * obs::SECOND_NS);
+        }
+        shadow.finish();
+        // Sequences 0 and 2 sample; both must be aggregated by now.
+        assert_eq!(shadow.submitted(), 3);
+        assert_eq!(shadow.accepted(), 2);
+        assert_eq!(agg.events(), 2);
+        let summary = agg.summary_at(0);
+        assert_eq!(summary.sampled, 2);
+        assert_eq!(summary.dropped, 0);
+        assert!(!summary.overlaps.is_empty());
+    }
+
+    #[test]
+    fn disabled_shadow_is_inert() {
+        let searcher = testbed_searcher();
+        let agg = aggregator(1);
+        let shadow = QualityShadow::spawn(
+            searcher,
+            ShadowConfig {
+                sample_every: 0,
+                ..Default::default()
+            },
+            Arc::clone(&agg),
+        );
+        shadow.observe("binding");
+        shadow.finish();
+        assert_eq!(agg.events(), 0);
+        assert_eq!(shadow.accepted(), 0);
+    }
+
+    #[test]
+    fn serve_results_identical_with_shadow_on() {
+        let searcher = testbed_searcher();
+        let baseline: Vec<_> = ["biological process", "binding"]
+            .iter()
+            .map(|q| {
+                searcher
+                    .query(q, ContextSetKind::TextBased, ScoreFunction::Text, 10)
+                    .unwrap()
+            })
+            .collect();
+        let agg = aggregator(1);
+        let shadow = QualityShadow::spawn(
+            searcher.clone(),
+            ShadowConfig {
+                sample_every: 1,
+                block_when_full: true,
+                ..Default::default()
+            },
+            Arc::clone(&agg),
+        );
+        let with_shadow: Vec<_> = ["biological process", "binding"]
+            .iter()
+            .enumerate()
+            .map(|(i, q)| {
+                let r = searcher
+                    .query(q, ContextSetKind::TextBased, ScoreFunction::Text, 10)
+                    .unwrap();
+                shadow.observe_seq(i as u64, q, 0, 0);
+                r
+            })
+            .collect();
+        shadow.finish();
+        assert_eq!(agg.events(), 2);
+        for (a, b) in baseline.iter().zip(&with_shadow) {
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(b) {
+                assert_eq!(x.paper, y.paper);
+                assert_eq!(x.relevancy.to_bits(), y.relevancy.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn prestige_override_degrades_the_shadow_signal() {
+        let searcher = testbed_searcher();
+        let config = ShadowConfig::default();
+        let healthy = shadow_evaluate(&searcher, &config, "biological process", 0, 0).unwrap();
+
+        // Flatten the citation function: every paper in every context
+        // gets the same score. Separability collapses to the worst
+        // case for that function's sketch.
+        let flat = {
+            let table = searcher
+                .prestige(config.kind, ScoreFunction::Citation)
+                .unwrap();
+            let mut by_context = std::collections::HashMap::new();
+            for context in table.contexts() {
+                let flat: Vec<_> = table
+                    .scores(context)
+                    .iter()
+                    .map(|&(p, _)| (p, 1.0))
+                    .collect();
+                by_context.insert(context, flat);
+            }
+            crate::prestige::PrestigeScores::new(by_context, ScoreFunction::Citation)
+        };
+        let perturbed_searcher =
+            searcher.with_prestige_override(config.kind, ScoreFunction::Citation, flat);
+        let perturbed =
+            shadow_evaluate(&perturbed_searcher, &config, "biological process", 0, 0).unwrap();
+
+        let flat_scores = &perturbed
+            .scores
+            .iter()
+            .find(|(f, _)| *f == "citation")
+            .unwrap()
+            .1;
+        assert!(flat_scores.iter().all(|&s| s == 1.0));
+        let healthy_scores = &healthy
+            .scores
+            .iter()
+            .find(|(f, _)| *f == "citation")
+            .unwrap()
+            .1;
+        assert!(
+            healthy_scores.iter().any(|&s| s < 1.0),
+            "healthy citation scores are spread"
+        );
+    }
+}

@@ -9,15 +9,21 @@
 //! * [`separability`] — the score-distribution standard-deviation
 //!   statistic and SD histograms (Figs 5.4–5.7),
 //! * [`stats`] — small numeric helpers (mean, median),
-//! * [`report`] — table rendering for harness output (markdown + JSON).
+//! * [`report`] — table rendering for harness output (markdown + JSON),
+//! * [`streaming`] — incremental overlap/separability for live
+//!   aggregators, bit-equal to the batch functions.
 
 pub mod overlap;
 pub mod precision;
 pub mod report;
 pub mod separability;
 pub mod stats;
+pub mod streaming;
 
 pub use overlap::{top_k_overlap, top_k_percent_overlap};
 pub use precision::{f1, precision, precision_curve, recall, PrecisionCurves};
 pub use separability::{sd_histogram, separability_sd};
 pub use stats::{mean, median};
+pub use streaming::{
+    streaming_top_k_overlap, streaming_top_k_percent_overlap, StreamingSeparability, StreamingTopK,
+};

@@ -1,0 +1,350 @@
+//! Incremental variants of the paper's evaluation statistics, for use
+//! by live aggregators that see scores one at a time instead of as
+//! finished slices.
+//!
+//! Two invariants drive the design, and the property tests in
+//! `tests/streaming_props.rs` pin both:
+//!
+//! * **Batch equivalence.** After pushing any sequence of values, the
+//!   streaming results equal the batch functions
+//!   ([`crate::separability_sd`], [`crate::top_k_overlap`],
+//!   [`crate::top_k_percent_overlap`]) applied to the same values —
+//!   bit-for-bit, not approximately. Separability only depends on bin
+//!   counts, so the streaming form keeps counts and re-runs the exact
+//!   batch arithmetic; top-k overlap keeps an ordered candidate list
+//!   with the same comparator and tie expansion as the batch sort.
+//! * **Merge commutativity.** [`StreamingSeparability::merge`] is a
+//!   plain count addition, so sharded aggregation (one accumulator per
+//!   worker, merged at read time) gives the same answer regardless of
+//!   which worker saw which score — the property the rolling-window
+//!   recorder already guarantees for latency histograms.
+
+/// Streaming form of [`separability_sd`]: bin counts over `[0, 1]`,
+/// fed one score at a time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamingSeparability {
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl StreamingSeparability {
+    /// An empty accumulator with `n_bins` equal ranges over [0, 1].
+    pub fn new(n_bins: usize) -> Self {
+        assert!(n_bins >= 1, "need at least one bin");
+        Self {
+            counts: vec![0; n_bins],
+            total: 0,
+        }
+    }
+
+    /// Bin one score. Same binning as the batch function: clamp to
+    /// [0, 1], `bin = (s · n) as usize`, score exactly 1.0 falls in the
+    /// last range.
+    pub fn push(&mut self, score: f64) {
+        let n_bins = self.counts.len();
+        let s = score.clamp(0.0, 1.0);
+        let mut bin = (s * n_bins as f64) as usize;
+        if bin == n_bins {
+            bin -= 1;
+        }
+        self.counts[bin] += 1;
+        self.total += 1;
+    }
+
+    /// Bin a whole slice (batch-parity helper for tests and backfill).
+    pub fn push_all(&mut self, scores: &[f64]) {
+        for &s in scores {
+            self.push(s);
+        }
+    }
+
+    /// Fold another accumulator into this one. Panics if the bin counts
+    /// disagree. Count addition is commutative and associative, so
+    /// merge order never changes [`Self::sd`].
+    pub fn merge(&mut self, other: &Self) {
+        assert_eq!(
+            self.counts.len(),
+            other.counts.len(),
+            "merging separability accumulators with different bin counts"
+        );
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+    }
+
+    /// The paper's separability SD over everything pushed so far;
+    /// 0.0 while empty, exactly matching `separability_sd(&[], n)`.
+    pub fn sd(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let n_bins = self.counts.len();
+        let total = self.total as f64;
+        let expected = 100.0 / n_bins as f64;
+        let var = self
+            .counts
+            .iter()
+            .map(|&c| {
+                let pct = 100.0 * c as f64 / total;
+                (pct - expected) * (pct - expected)
+            })
+            .sum::<f64>()
+            / n_bins as f64;
+        var.sqrt()
+    }
+
+    /// Raw bin counts (ascending score ranges).
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Number of scores pushed.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// True if nothing has been pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+}
+
+/// Incremental top-k candidate set for one score function, fed
+/// `(id, score)` pairs one at a time.
+///
+/// Two retention modes:
+///
+/// * [`StreamingTopK::keep_all`] retains every pushed item. Required
+///   for percent-overlap, where the effective k grows with the item
+///   count, so no eviction is ever safe.
+/// * [`StreamingTopK::with_k`] retains only the tie-expanded top-k —
+///   bounded memory, valid because a fixed k never re-admits an item
+///   that once fell strictly below the kth score.
+#[derive(Debug, Clone)]
+pub struct StreamingTopK {
+    /// `Some(k)` = prune to the tie-expanded top-k; `None` = keep all.
+    fixed_k: Option<usize>,
+    /// Sorted by the batch comparator: descending score, ascending id.
+    items: Vec<(u32, f64)>,
+    /// Total items pushed (≥ `items.len()` once pruning kicks in).
+    pushed: usize,
+}
+
+impl StreamingTopK {
+    /// Retain every item; supports any `k` and percent-overlap.
+    pub fn keep_all() -> Self {
+        Self {
+            fixed_k: None,
+            items: Vec::new(),
+            pushed: 0,
+        }
+    }
+
+    /// Retain only the tie-expanded top-`k`; overlap queries deeper
+    /// than `k` panic (the evicted items are gone).
+    pub fn with_k(k: usize) -> Self {
+        assert!(k >= 1, "fixed-k retention needs k >= 1");
+        Self {
+            fixed_k: Some(k),
+            items: Vec::new(),
+            pushed: 0,
+        }
+    }
+
+    /// Insert one scored item, keeping the batch sort order.
+    pub fn push(&mut self, id: u32, score: f64) {
+        self.pushed += 1;
+        let pos = self.items.partition_point(|&(other_id, other_score)| {
+            // Strictly-before predicate for (desc score, asc id).
+            match score.total_cmp(&other_score) {
+                std::cmp::Ordering::Less => true,
+                std::cmp::Ordering::Greater => false,
+                std::cmp::Ordering::Equal => other_id < id,
+            }
+        });
+        self.items.insert(pos, (id, score));
+        if let Some(k) = self.fixed_k {
+            if self.items.len() > k {
+                // Keep everything tied with the kth score; drop the
+                // strictly-worse tail.
+                let kth = self.items[k - 1].1;
+                let cut = self.items.partition_point(|&(_, s)| s >= kth);
+                self.items.truncate(cut);
+            }
+        }
+    }
+
+    /// Feed a whole slice (batch-parity helper).
+    pub fn push_all(&mut self, scored: &[(u32, f64)]) {
+        for &(id, s) in scored {
+            self.push(id, s);
+        }
+    }
+
+    /// Total items pushed so far (the `n` of the percent formula).
+    pub fn pushed(&self) -> usize {
+        self.pushed
+    }
+
+    /// True if nothing has been pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.pushed == 0
+    }
+
+    /// The tie-expanded top-`k` id set, sorted ascending. Equals the
+    /// batch `top_k_set` over the same pushed items.
+    pub fn top_set(&self, k: usize) -> Vec<u32> {
+        if k == 0 || self.items.is_empty() {
+            return Vec::new();
+        }
+        if let Some(fixed) = self.fixed_k {
+            assert!(
+                k <= fixed,
+                "top_set({k}) on a StreamingTopK pruned to k={fixed}"
+            );
+        }
+        let k = k.min(self.items.len());
+        let kth = self.items[k - 1].1;
+        let cut = self.items.partition_point(|&(_, s)| s >= kth);
+        let mut ids: Vec<u32> = self.items[..cut].iter().map(|&(id, _)| id).collect();
+        ids.sort_unstable();
+        ids
+    }
+}
+
+/// Streaming top-k overlapping ratio: batch [`top_k_overlap`] over two
+/// incremental candidate sets, with the paper's tie rule (tied sets
+/// expand; the denominator becomes the smaller expanded size).
+pub fn streaming_top_k_overlap(a: &StreamingTopK, b: &StreamingTopK, k: usize) -> f64 {
+    if k == 0 {
+        return 0.0;
+    }
+    let t1 = a.top_set(k);
+    let t2 = b.top_set(k);
+    if t1.is_empty() || t2.is_empty() {
+        return 0.0;
+    }
+    let inter = sorted_intersection_len(&t1, &t2);
+    let denom = if t1.len() > k || t2.len() > k {
+        t1.len().min(t2.len())
+    } else {
+        k
+    };
+    inter as f64 / denom as f64
+}
+
+/// Streaming top-k% overlapping ratio: `k = max(1, round(pct · n))`
+/// with `n = max(a.pushed(), b.pushed())`, matching
+/// [`crate::top_k_percent_overlap`]. Both sides must be `keep_all` (or
+/// pruned at least as deep as the effective k).
+pub fn streaming_top_k_percent_overlap(a: &StreamingTopK, b: &StreamingTopK, pct: f64) -> f64 {
+    let n = a.pushed().max(b.pushed());
+    if n == 0 {
+        return 0.0;
+    }
+    let k = ((pct * n as f64).round() as usize).max(1);
+    streaming_top_k_overlap(a, b, k)
+}
+
+/// Intersection size of two ascending-sorted id slices.
+fn sorted_intersection_len(a: &[u32], b: &[u32]) -> usize {
+    let (mut i, mut j, mut n) = (0, 0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                n += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    n
+}
+
+/// Convenience: batch overlap of two raw slices routed through the
+/// streaming structures — used by tests to pin the equivalence.
+pub fn overlap_via_streaming(s1: &[(u32, f64)], s2: &[(u32, f64)], k: usize) -> f64 {
+    let mut a = StreamingTopK::keep_all();
+    let mut b = StreamingTopK::keep_all();
+    a.push_all(s1);
+    b.push_all(s2);
+    streaming_top_k_overlap(&a, &b, k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{separability_sd, top_k_overlap};
+
+    #[test]
+    fn separability_matches_batch_on_simple_input() {
+        let scores = [0.05, 0.15, 0.15, 0.95, 1.0, 0.0];
+        let mut s = StreamingSeparability::new(10);
+        s.push_all(&scores);
+        assert_eq!(s.sd(), separability_sd(&scores, 10));
+        assert_eq!(s.total(), scores.len() as u64);
+    }
+
+    #[test]
+    fn separability_merge_is_order_independent() {
+        let (left, right) = ([0.1, 0.2, 0.9], [0.5, 0.5, 1.0, 0.0]);
+        let mut a = StreamingSeparability::new(10);
+        a.push_all(&left);
+        let mut b = StreamingSeparability::new(10);
+        b.push_all(&right);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        let mut all = [left.as_slice(), right.as_slice()].concat();
+        all.sort_by(f64::total_cmp);
+        assert_eq!(ab.sd(), separability_sd(&all, 10));
+    }
+
+    #[test]
+    fn top_k_matches_batch_with_ties() {
+        let s1 = [(1u32, 0.9), (2, 0.5), (3, 0.5), (4, 0.1)];
+        let s2 = [(1u32, 0.9), (2, 0.8), (3, 0.7), (4, 0.1)];
+        for k in 1..=4 {
+            assert_eq!(
+                overlap_via_streaming(&s1, &s2, k),
+                top_k_overlap(&s1, &s2, k),
+                "k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn fixed_k_pruning_keeps_tie_expanded_set() {
+        let mut t = StreamingTopK::with_k(2);
+        // Push in an order that forces eviction and tie retention.
+        for &(id, s) in &[(4u32, 0.1), (2, 0.5), (1, 0.9), (3, 0.5), (5, 0.05)] {
+            t.push(id, s);
+        }
+        assert_eq!(t.top_set(2), vec![1, 2, 3], "ties at the kth score stay");
+        assert_eq!(t.pushed(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "pruned")]
+    fn querying_deeper_than_pruned_k_panics() {
+        let mut t = StreamingTopK::with_k(1);
+        t.push(1, 0.5);
+        t.push(2, 0.4);
+        t.top_set(2);
+    }
+
+    #[test]
+    fn empty_sides_are_zero() {
+        let empty = StreamingTopK::keep_all();
+        let mut one = StreamingTopK::keep_all();
+        one.push(1, 0.5);
+        assert_eq!(streaming_top_k_overlap(&empty, &one, 3), 0.0);
+        assert_eq!(streaming_top_k_percent_overlap(&empty, &empty, 0.1), 0.0);
+        assert_eq!(streaming_top_k_overlap(&one, &one, 0), 0.0);
+    }
+}

@@ -1,0 +1,194 @@
+//! Property tests pinning the streaming evaluation statistics to their
+//! batch counterparts: after any push sequence, the incremental
+//! implementations must agree with `separability_sd` /
+//! `top_k_overlap` / `top_k_percent_overlap` on the same inputs —
+//! exactly, not within an epsilon, because the quality gate diffs
+//! reports byte-for-byte.
+
+use eval::{
+    separability_sd, streaming_top_k_overlap, streaming_top_k_percent_overlap, top_k_overlap,
+    top_k_percent_overlap, StreamingSeparability, StreamingTopK,
+};
+use proptest::prelude::*;
+use std::ops::{Range, RangeInclusive};
+
+/// Raw generator for scored lists (the vendored proptest stub has no
+/// `prop_map`, so the mapping lives in [`scored`]).
+fn raw_scored(
+    max_len: usize,
+) -> proptest::collection::VecStrategy<(Range<u32>, RangeInclusive<u8>)> {
+    proptest::collection::vec((0u32..64, 0u8..=8), 0..max_len)
+}
+
+/// Deduplicate ids and quantize scores to 1/8ths — deliberately
+/// collision-heavy so the tie-expansion rule is exercised constantly.
+fn scored(raw: &[(u32, u8)]) -> Vec<(u32, f64)> {
+    let mut seen = std::collections::HashSet::new();
+    raw.iter()
+        .filter(|&&(id, _)| seen.insert(id))
+        .map(|&(id, q)| (id, q as f64 / 8.0))
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn streaming_separability_equals_batch(
+        scores in proptest::collection::vec(-0.25f64..=1.25, 0..300),
+        n_bins in 1usize..24,
+    ) {
+        let mut s = StreamingSeparability::new(n_bins);
+        s.push_all(&scores);
+        // Exact equality: same binning, same summation order over bins.
+        prop_assert_eq!(s.sd().to_bits(), separability_sd(&scores, n_bins).to_bits());
+        prop_assert_eq!(s.total(), scores.len() as u64);
+    }
+
+    #[test]
+    fn streaming_separability_prefixes_match_batch(
+        scores in proptest::collection::vec(0.0f64..=1.0, 1..80),
+    ) {
+        // Every prefix agrees, i.e. the accumulator is correct at all
+        // times, not only after the full stream.
+        let mut s = StreamingSeparability::new(10);
+        for (i, &x) in scores.iter().enumerate() {
+            s.push(x);
+            prop_assert_eq!(
+                s.sd().to_bits(),
+                separability_sd(&scores[..=i], 10).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_merge_equals_single_accumulator(
+        scores in proptest::collection::vec(0.0f64..=1.0, 0..200),
+        shards in 1usize..8,
+    ) {
+        // Round-robin the stream over N shards and merge: identical to
+        // one accumulator that saw everything (count addition is
+        // commutative), independent of shard count and merge order.
+        let mut single = StreamingSeparability::new(10);
+        single.push_all(&scores);
+        let mut parts: Vec<StreamingSeparability> =
+            (0..shards).map(|_| StreamingSeparability::new(10)).collect();
+        for (i, &x) in scores.iter().enumerate() {
+            parts[i % shards].push(x);
+        }
+        let mut merged = StreamingSeparability::new(10);
+        for p in parts.iter().rev() {
+            merged.merge(p);
+        }
+        prop_assert_eq!(&merged, &single);
+        prop_assert_eq!(merged.sd().to_bits(), single.sd().to_bits());
+    }
+
+    #[test]
+    fn streaming_overlap_equals_batch(
+        raw1 in raw_scored(48),
+        raw2 in raw_scored(48),
+        k in 0usize..12,
+    ) {
+        let (s1, s2) = (scored(&raw1), scored(&raw2));
+        let mut a = StreamingTopK::keep_all();
+        let mut b = StreamingTopK::keep_all();
+        a.push_all(&s1);
+        b.push_all(&s2);
+        let streamed = streaming_top_k_overlap(&a, &b, k);
+        let batch = top_k_overlap(&s1, &s2, k);
+        prop_assert_eq!(streamed.to_bits(), batch.to_bits(), "k={}", k);
+    }
+
+    #[test]
+    fn streaming_percent_overlap_equals_batch(
+        raw1 in raw_scored(48),
+        raw2 in raw_scored(48),
+        pct_times_100 in 1u32..=50,
+    ) {
+        let (s1, s2) = (scored(&raw1), scored(&raw2));
+        let pct = pct_times_100 as f64 / 100.0;
+        let mut a = StreamingTopK::keep_all();
+        let mut b = StreamingTopK::keep_all();
+        a.push_all(&s1);
+        b.push_all(&s2);
+        let streamed = streaming_top_k_percent_overlap(&a, &b, pct);
+        let batch = top_k_percent_overlap(&s1, &s2, pct);
+        prop_assert_eq!(streamed.to_bits(), batch.to_bits());
+    }
+
+    #[test]
+    fn push_order_never_matters(
+        raw1 in raw_scored(32),
+        k in 1usize..8,
+    ) {
+        let s1 = scored(&raw1);
+        // The candidate list is a set: any permutation of pushes gives
+        // the same top set. Compare forward vs reversed insertion.
+        let mut fwd = StreamingTopK::keep_all();
+        fwd.push_all(&s1);
+        let mut rev = StreamingTopK::keep_all();
+        for &(id, s) in s1.iter().rev() {
+            rev.push(id, s);
+        }
+        prop_assert_eq!(fwd.top_set(k), rev.top_set(k));
+    }
+
+    #[test]
+    fn fixed_k_pruning_is_lossless_at_depth_k(
+        raw1 in raw_scored(48),
+        raw2 in raw_scored(48),
+        k in 1usize..8,
+    ) {
+        let (s1, s2) = (scored(&raw1), scored(&raw2));
+        // Bounded-memory mode answers depth-k queries identically to
+        // keep-all (eviction only ever drops items strictly below the
+        // kth score).
+        let mut pruned_a = StreamingTopK::with_k(k);
+        let mut pruned_b = StreamingTopK::with_k(k);
+        pruned_a.push_all(&s1);
+        pruned_b.push_all(&s2);
+        let batch = top_k_overlap(&s1, &s2, k);
+        prop_assert_eq!(
+            streaming_top_k_overlap(&pruned_a, &pruned_b, k).to_bits(),
+            batch.to_bits()
+        );
+    }
+}
+
+#[test]
+fn empty_windows_are_zero_everywhere() {
+    let s = StreamingSeparability::new(10);
+    assert_eq!(s.sd(), 0.0);
+    assert_eq!(s.sd(), separability_sd(&[], 10));
+    let a = StreamingTopK::keep_all();
+    let b = StreamingTopK::keep_all();
+    assert_eq!(streaming_top_k_overlap(&a, &b, 5), 0.0);
+    assert_eq!(streaming_top_k_percent_overlap(&a, &b, 0.1), 0.0);
+    assert_eq!(top_k_overlap(&[], &[], 5), 0.0);
+}
+
+#[test]
+fn single_context_single_score_matches_batch() {
+    // One context, one paper: SD collapses to the worst case for the
+    // bin the score lands in; overlap of a singleton with itself is 1.
+    let mut s = StreamingSeparability::new(10);
+    s.push(0.42);
+    assert_eq!(s.sd().to_bits(), separability_sd(&[0.42], 10).to_bits());
+    let mut a = StreamingTopK::keep_all();
+    a.push(7, 0.9);
+    assert_eq!(streaming_top_k_overlap(&a, &a, 1), 1.0);
+}
+
+#[test]
+fn fully_tied_scores_expand_to_everything() {
+    // All scores identical: the tie rule expands the top-1 set to the
+    // whole list on both sides; denominator = min(|t1|, |t2|).
+    let tied: Vec<(u32, f64)> = (0..6).map(|i| (i, 0.5)).collect();
+    let mut a = StreamingTopK::keep_all();
+    let mut b = StreamingTopK::keep_all();
+    a.push_all(&tied);
+    b.push_all(&tied[..3]);
+    let streamed = streaming_top_k_overlap(&a, &b, 1);
+    let batch = top_k_overlap(&tied, &tied[..3], 1);
+    assert_eq!(streamed.to_bits(), batch.to_bits());
+    assert_eq!(streamed, 1.0);
+}

@@ -44,6 +44,7 @@ use parking_lot::Mutex;
 
 pub mod clock;
 mod histogram;
+pub mod quality;
 pub mod rolling;
 pub mod slo;
 pub mod slowlog;
@@ -52,6 +53,11 @@ pub mod trace;
 
 pub use clock::{Clock, ManualClock, MonotonicClock};
 pub use histogram::Histogram;
+pub use quality::{
+    BaselineTolerances, DriftCheck, FunctionScores, QualityAggregator, QualityBaseline,
+    QualityDriftReport, QualityEvent, QualityReport, QualitySummary, QualityTracker, ScoreSketch,
+    SeriesMean,
+};
 pub use rolling::{RollingConfig, RollingRecorder, WindowStats, SECOND_NS};
 pub use slo::{
     default_burn_windows, BurnWindow, SloEval, SloKind, SloReport, SloSpec, SloStatus, SloTracker,
@@ -84,10 +90,12 @@ struct SpanStats {
 /// gauges, histograms, span stats — **and** clears the live-serving
 /// attachments' state: an attached [`RollingRecorder`]'s windows are
 /// emptied, an attached [`SloTracker`]'s latched worst status returns
-/// to `Ok`, and an attached [`SlowQueryLog`] is cleared. The
-/// attachments themselves stay attached and the enabled flag is
-/// unchanged, so a reset registry keeps feeding the same windows. A
-/// reset registry therefore reports empty windows until new
+/// to `Ok`, an attached [`SlowQueryLog`] is cleared, an attached
+/// [`QualityAggregator`]'s run accumulators and sketches are dropped,
+/// and an attached [`QualityTracker`]'s latched drift verdict returns
+/// to `Ok`. The attachments themselves stay attached and the enabled
+/// flag is unchanged, so a reset registry keeps feeding the same
+/// windows. A reset registry therefore reports empty windows until new
 /// observations arrive.
 #[derive(Default)]
 pub struct Registry {
@@ -102,6 +110,8 @@ pub struct Registry {
     rolling: Mutex<Option<Arc<RollingRecorder>>>,
     slo: Mutex<Option<Arc<SloTracker>>>,
     slowlog: Mutex<Option<Arc<SlowQueryLog>>>,
+    quality: Mutex<Option<Arc<QualityAggregator>>>,
+    quality_tracker: Mutex<Option<Arc<QualityTracker>>>,
 }
 
 impl Registry {
@@ -117,6 +127,8 @@ impl Registry {
             rolling: Mutex::new(None),
             slo: Mutex::new(None),
             slowlog: Mutex::new(None),
+            quality: Mutex::new(None),
+            quality_tracker: Mutex::new(None),
         }
     }
 
@@ -153,6 +165,12 @@ impl Registry {
         }
         if let Some(slowlog) = self.slowlog.lock().as_ref() {
             slowlog.clear();
+        }
+        if let Some(quality) = self.quality.lock().as_ref() {
+            quality.reset();
+        }
+        if let Some(tracker) = self.quality_tracker.lock().as_ref() {
+            tracker.reset();
         }
     }
 
@@ -197,6 +215,28 @@ impl Registry {
     /// The attached slow-query log, if any.
     pub fn slow_log(&self) -> Option<Arc<SlowQueryLog>> {
         self.slowlog.lock().clone()
+    }
+
+    /// Attach a ranking-quality aggregator so [`reset`](Self::reset)
+    /// covers its run accumulators and dashboards can find it.
+    pub fn attach_quality(&self, aggregator: Arc<QualityAggregator>) {
+        *self.quality.lock() = Some(aggregator);
+    }
+
+    /// The attached quality aggregator, if any.
+    pub fn quality_aggregator(&self) -> Option<Arc<QualityAggregator>> {
+        self.quality.lock().clone()
+    }
+
+    /// Attach a quality drift tracker so [`reset`](Self::reset) covers
+    /// its latched verdict and gates can find it.
+    pub fn attach_quality_tracker(&self, tracker: Arc<QualityTracker>) {
+        *self.quality_tracker.lock() = Some(tracker);
+    }
+
+    /// The attached quality drift tracker, if any.
+    pub fn quality_tracker(&self) -> Option<Arc<QualityTracker>> {
+        self.quality_tracker.lock().clone()
     }
 
     /// Add `delta` to a monotonic counter.
@@ -395,6 +435,26 @@ pub fn attach_slow_log(log: Arc<SlowQueryLog>) {
 /// The global registry's slow-query log, if attached.
 pub fn slow_log() -> Option<Arc<SlowQueryLog>> {
     GLOBAL.slow_log()
+}
+
+/// Attach a ranking-quality aggregator to the global registry.
+pub fn attach_quality(aggregator: Arc<QualityAggregator>) {
+    GLOBAL.attach_quality(aggregator);
+}
+
+/// The global registry's quality aggregator, if attached.
+pub fn quality_aggregator() -> Option<Arc<QualityAggregator>> {
+    GLOBAL.quality_aggregator()
+}
+
+/// Attach a quality drift tracker to the global registry.
+pub fn attach_quality_tracker(tracker: Arc<QualityTracker>) {
+    GLOBAL.attach_quality_tracker(tracker);
+}
+
+/// The global registry's quality drift tracker, if attached.
+pub fn quality_tracker() -> Option<Arc<QualityTracker>> {
+    GLOBAL.quality_tracker()
 }
 
 /// Snapshot the global registry and write pretty JSON to `path`,

@@ -67,6 +67,7 @@ fn main() -> ExitCode {
         "stats" => cmd_stats(&flags),
         "trace" => cmd_trace(&flags),
         "top" => cmd_top(&flags),
+        "quality" => cmd_quality(&flags),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -139,13 +140,58 @@ fn cmd_trace(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
+/// The (searcher, query texts) workload shared by `top` and `quality`:
+/// a warm snapshot from disk, or a tiny in-process demo build.
+fn dashboard_workload(flags: &Flags, seed: u64) -> Result<(Searcher, Vec<String>), String> {
+    use litsearch::corpus::queries::{generate_queries, QueryConfig};
+
+    let (searcher, queries) = if let Some(dir) = flags.get("snapshot") {
+        eprintln!("loading snapshot from {dir}…");
+        let snapshot =
+            load_snapshot(Path::new(dir), EngineConfig::default()).map_err(|e| e.to_string())?;
+        let queries = generate_queries(
+            snapshot.ontology(),
+            snapshot.corpus(),
+            &QueryConfig {
+                seed,
+                ..Default::default()
+            },
+        );
+        (
+            snapshot.searcher(),
+            queries.into_iter().map(|q| q.text).collect::<Vec<_>>(),
+        )
+    } else {
+        eprintln!("no --snapshot: preparing a tiny in-process demo snapshot…");
+        let snapshot = litsearch::demo::snapshot(litsearch::demo::Scale::Tiny, seed);
+        let queries = generate_queries(
+            snapshot.ontology(),
+            snapshot.corpus(),
+            &QueryConfig {
+                n_queries: 40,
+                seed,
+                ..Default::default()
+            },
+        );
+        (
+            snapshot.searcher(),
+            queries.into_iter().map(|q| q.text).collect::<Vec<_>>(),
+        )
+    };
+    if queries.is_empty() {
+        return Err("workload produced no queries".to_string());
+    }
+    Ok((searcher, queries))
+}
+
 /// `litsearch top`: drive load at a snapshot (or an in-process demo
 /// build) and render the live serving dashboard — windowed per-stage
 /// latencies, SLO burn rates, and the slow-query leaderboard.
 /// `--once --json` prints a single machine-readable report for CI.
+/// `--quality N` shadow-scores 1/N queries under all three prestige
+/// functions and adds the ranking-quality panel.
 fn cmd_top(flags: &Flags) -> Result<(), String> {
-    use bench::load::{default_serve_slos, LoadConfig, LoadHarness, LoopMode};
-    use litsearch::corpus::queries::{generate_queries, QueryConfig};
+    use bench::load::{default_serve_slos, LoadConfig, LoadHarness, LoopMode, QualityLoadConfig};
 
     let seed = flags.get_usize("seed", 2007)? as u64;
 
@@ -176,47 +222,19 @@ fn cmd_top(flags: &Flags) -> Result<(), String> {
         capture_traces: true,
         error_every: flags.get_usize("error-every", 0)? as u64,
         slos: default_serve_slos(slow_threshold_ns),
+        quality: match flags.get_usize("quality", 0)? {
+            0 => None,
+            every => Some(QualityLoadConfig {
+                sample_every: every as u64,
+                ..Default::default()
+            }),
+        },
     };
     let once = flags.get_bool("once");
     let as_json = flags.get_bool("json");
     let refresh_ms = flags.get_usize("refresh-ms", 500)? as u64;
 
-    let (searcher, queries): (Searcher, Vec<String>) = if let Some(dir) = flags.get("snapshot") {
-        eprintln!("loading snapshot from {dir}…");
-        let snapshot =
-            load_snapshot(Path::new(dir), EngineConfig::default()).map_err(|e| e.to_string())?;
-        let queries = generate_queries(
-            snapshot.ontology(),
-            snapshot.corpus(),
-            &QueryConfig {
-                seed,
-                ..Default::default()
-            },
-        );
-        (
-            snapshot.searcher(),
-            queries.into_iter().map(|q| q.text).collect(),
-        )
-    } else {
-        eprintln!("no --snapshot: preparing a tiny in-process demo snapshot…");
-        let snapshot = litsearch::demo::snapshot(litsearch::demo::Scale::Tiny, seed);
-        let queries = generate_queries(
-            snapshot.ontology(),
-            snapshot.corpus(),
-            &QueryConfig {
-                n_queries: 40,
-                seed,
-                ..Default::default()
-            },
-        );
-        (
-            snapshot.searcher(),
-            queries.into_iter().map(|q| q.text).collect(),
-        )
-    };
-    if queries.is_empty() {
-        return Err("workload produced no queries".to_string());
-    }
+    let (searcher, queries) = dashboard_workload(flags, seed)?;
 
     let harness = LoadHarness::new(config);
     let report = if once || harness.config().sim {
@@ -239,6 +257,81 @@ fn cmd_top(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
+/// `litsearch quality`: run a deterministic simulated load with shadow
+/// scoring on and emit the ranking-quality report — per-function
+/// top-k overlap, winner agreement, score margins and distributions,
+/// plus a drift verdict when judged against a checked-in baseline.
+fn cmd_quality(flags: &Flags) -> Result<(), String> {
+    use bench::load::{LoadConfig, LoadHarness, LoopMode, QualityLoadConfig};
+
+    let seed = flags.get_usize("seed", 2007)? as u64;
+    let report_kind = match flags.get("report").unwrap_or("md") {
+        k @ ("json" | "md") => k,
+        other => return Err(format!("--report must be json or md, got {other:?}")),
+    };
+    let baseline = match flags.get("baseline") {
+        Some(path) => {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            Some(obs::QualityBaseline::from_json(&text).map_err(|e| format!("{path}: {e}"))?)
+        }
+        None => None,
+    };
+    let quality = QualityLoadConfig {
+        sample_every: flags.get_usize("sample-every", 4)?.max(1) as u64,
+        baseline,
+        ..Default::default()
+    };
+    let n_bins = quality.n_bins;
+    let config = LoadConfig {
+        threads: flags.get_usize("threads", 4)?,
+        queries_per_thread: flags.get_usize("queries", 200)?,
+        mode: LoopMode::Closed,
+        // Always simulated: the quality report is a deterministic,
+        // byte-stable function of the workload, so CI can diff it.
+        sim: true,
+        limit: flags.get_usize("limit", 10)?,
+        quality: Some(quality),
+        ..Default::default()
+    };
+
+    let (searcher, queries) = dashboard_workload(flags, seed)?;
+    let harness = LoadHarness::new(config);
+    let report = harness.run(&searcher, &queries);
+    let quality = report
+        .quality
+        .as_ref()
+        .expect("quality sampling was configured");
+
+    let rendered = match report_kind {
+        "json" => quality.to_json(),
+        _ => quality.to_markdown(),
+    };
+    match flags.get("out") {
+        Some(path) => {
+            std::fs::write(path, &rendered).map_err(|e| format!("cannot write {path}: {e}"))?;
+            eprintln!("quality report: {path}");
+        }
+        None => print!("{rendered}"),
+    }
+    if let Some(path) = flags.get("write-baseline") {
+        let derived = obs::QualityBaseline::from_summary(
+            &quality.summary,
+            n_bins,
+            &obs::BaselineTolerances::default(),
+        );
+        std::fs::write(path, derived.to_json()).map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("quality baseline: {path}");
+    }
+    if report.has_quality_drift() {
+        if flags.get_bool("fail-on-drift") {
+            return Err("ranking-quality drift is critical (see report)".to_string());
+        }
+        eprintln!("warning: ranking-quality drift is critical (see report)");
+    }
+    Ok(())
+}
+
 const USAGE: &str = "\
 litsearch — context-based literature search (ICDE 2007 reproduction)
 
@@ -255,7 +348,10 @@ USAGE:
   litsearch trace    --file PATH
   litsearch top      [--snapshot DIR] [--threads N] [--queries N] [--window SECS]
                      [--slow-threshold-ms MS] [--error-every N] [--refresh-ms MS]
-                     [--sim] [--once] [--json]
+                     [--sim] [--once] [--json] [--quality N]
+  litsearch quality  [--snapshot DIR] [--threads N] [--queries N] [--sample-every N]
+                     [--baseline PATH] [--write-baseline PATH] [--report json|md]
+                     [--out PATH] [--fail-on-drift]
   litsearch help
 
 `prepare` runs the whole offline phase — context sets, pattern mining,
@@ -283,7 +379,17 @@ when no `--snapshot` is given) and renders a live terminal dashboard:
 rolling-window p50/p95/p99 per pipeline stage, SLO burn rates, and the
 slow-query leaderboard with captured explain traces. `--once` runs one
 batch and prints a single report; `--json` emits it machine-readable
-(the CI artifact form); `--sim` uses deterministic simulated timing.";
+(the CI artifact form); `--sim` uses deterministic simulated timing.
+`--quality N` shadow-scores one of every N queries under all three
+prestige functions and adds the ranking-quality panel.
+
+`quality` runs a deterministic simulated load with shadow scoring on
+and emits the ranking-quality report: per-function top-k overlap,
+winning-context agreement, score margins and per-context score
+distributions. `--baseline PATH` judges the run against a checked-in
+baseline (warn/critical drift bands); `--fail-on-drift` turns a
+critical verdict into a nonzero exit; `--write-baseline PATH` derives
+a fresh baseline from this run.";
 
 /// Minimal `--flag value` parser (no external dependencies).
 struct Flags {
@@ -291,7 +397,7 @@ struct Flags {
 }
 
 /// Flags that take no value (presence means `true`).
-const BOOL_FLAGS: &[&str] = &["once", "json", "sim", "quiet"];
+const BOOL_FLAGS: &[&str] = &["once", "json", "sim", "quiet", "fail-on-drift"];
 
 impl Flags {
     fn parse(args: &[String]) -> Result<Self, String> {

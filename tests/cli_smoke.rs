@@ -486,6 +486,159 @@ fn prepare_then_snapshot_search_through_the_cli() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// `top --once --json` under `--sim`: one deterministic simulated
+/// batch over the in-process demo snapshot, with the machine-readable
+/// dashboard report (the CI artifact form) on stdout.
+#[test]
+fn top_once_json_sim_emits_the_dashboard_report() {
+    let out = litsearch(&[
+        "top",
+        "--sim",
+        "--once",
+        "--json",
+        "--threads",
+        "2",
+        "--queries",
+        "20",
+    ]);
+    assert!(
+        out.status.success(),
+        "top: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let v: serde_json::Value = serde_json::from_str(stdout.trim()).expect("report is valid JSON");
+    let windows = v
+        .get("windows")
+        .and_then(|w| w.as_array())
+        .expect("report carries windowed stats");
+    assert!(!windows.is_empty(), "no window stats: {stdout}");
+    assert!(v.get("slo").is_some(), "report carries the SLO block");
+    // Quality sampling is opt-in; without --quality there is no panel.
+    assert!(v.get("quality").is_none(), "{stdout}");
+
+    // --quality N adds the ranking-quality block: sampled queries,
+    // pairwise overlaps, and per-function score distributions. In sim
+    // mode the submitter blocks instead of dropping, so every sampled
+    // query is evaluated.
+    let out = litsearch(&[
+        "top",
+        "--sim",
+        "--once",
+        "--json",
+        "--threads",
+        "2",
+        "--queries",
+        "20",
+        "--quality",
+        "4",
+    ]);
+    assert!(
+        out.status.success(),
+        "top --quality: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let v: serde_json::Value = serde_json::from_str(stdout.trim()).expect("report is valid JSON");
+    let quality = v.get("quality").expect("quality panel present");
+    let sampled = quality.get("sampled").and_then(|s| s.as_f64()).unwrap();
+    assert!(sampled >= 1.0, "no shadow-scored queries: {stdout}");
+    let dropped = quality.get("dropped").and_then(|d| d.as_f64()).unwrap();
+    assert_eq!(dropped, 0.0, "sim mode must not drop samples: {stdout}");
+    assert!(
+        quality
+            .get("overlaps")
+            .and_then(|o| o.as_array())
+            .is_some_and(|o| !o.is_empty()),
+        "{stdout}"
+    );
+}
+
+/// The `quality` subcommand: deterministic report bytes across runs,
+/// and a baseline written by one run judges the next run clean.
+#[test]
+fn quality_subcommand_is_deterministic_and_round_trips_its_baseline() {
+    let dir = std::env::temp_dir().join(format!("litsearch_quality_test_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let baseline = dir.join("quality_baseline.json");
+
+    let args = [
+        "quality",
+        "--threads",
+        "2",
+        "--queries",
+        "24",
+        "--sample-every",
+        "2",
+        "--report",
+        "json",
+    ];
+    let first = litsearch(&args);
+    assert!(
+        first.status.success(),
+        "quality: {}",
+        String::from_utf8_lossy(&first.stderr)
+    );
+    let second = litsearch(&args);
+    assert!(second.status.success());
+    assert_eq!(
+        first.stdout, second.stdout,
+        "quality report must be byte-stable across runs"
+    );
+    let v: serde_json::Value = serde_json::from_str(String::from_utf8_lossy(&first.stdout).trim())
+        .expect("report is valid JSON");
+    assert!(v.get("sampled").and_then(|s| s.as_f64()).unwrap() >= 1.0);
+
+    // Derive a baseline, then judge an identical run against it with
+    // the gate armed: same workload, so the verdict must be clean.
+    let out = litsearch(&[
+        "quality",
+        "--threads",
+        "2",
+        "--queries",
+        "24",
+        "--sample-every",
+        "2",
+        "--write-baseline",
+        baseline.to_str().unwrap(),
+        "--out",
+        dir.join("report.md").to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "write-baseline: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let judged = litsearch(&[
+        "quality",
+        "--threads",
+        "2",
+        "--queries",
+        "24",
+        "--sample-every",
+        "2",
+        "--baseline",
+        baseline.to_str().unwrap(),
+        "--fail-on-drift",
+        "--out",
+        dir.join("judged.md").to_str().unwrap(),
+    ]);
+    assert!(
+        judged.status.success(),
+        "identical workload must not drift: {}",
+        String::from_utf8_lossy(&judged.stderr)
+    );
+    let report = std::fs::read_to_string(dir.join("judged.md")).unwrap();
+    assert!(report.contains("# Ranking-quality report"), "{report}");
+    assert!(
+        report.contains("Drift"),
+        "judged report has a verdict: {report}"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn helpful_errors_for_bad_usage() {
     // Unknown command.

@@ -313,14 +313,21 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                 }
                 Some(_) => {
-                    // Consume one UTF-8 character (input is a &str, so
-                    // boundaries are valid).
-                    let rest = &self.bytes[self.pos..];
-                    let s = std::str::from_utf8(rest)
-                        .map_err(|_| Error::new("invalid utf-8", self.pos))?;
-                    let c = s.chars().next().expect("non-empty");
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                    // Consume the whole run of plain characters up to the
+                    // next delimiter in one slice. `"` and `\` are ASCII,
+                    // so they can never occur inside a multi-byte UTF-8
+                    // sequence — stopping at either always lands on a char
+                    // boundary, and validating just the segment keeps the
+                    // string parse linear in input size.
+                    let start = self.pos;
+                    let mut end = self.pos;
+                    while end < self.bytes.len() && !matches!(self.bytes[end], b'"' | b'\\') {
+                        end += 1;
+                    }
+                    let s = std::str::from_utf8(&self.bytes[start..end])
+                        .map_err(|_| Error::new("invalid utf-8", start))?;
+                    out.push_str(s);
+                    self.pos = end;
                 }
             }
         }
@@ -422,6 +429,49 @@ mod tests {
     fn floats_keep_decimal_point() {
         assert_eq!(to_string(&1.0f64).unwrap(), "1.0");
         assert_eq!(to_string(&0.25f64).unwrap(), "0.25");
+    }
+
+    #[test]
+    fn string_segments_round_trip() {
+        // Exercises the batched plain-segment scan: long runs between
+        // escapes, multi-byte UTF-8 adjacent to delimiters, and strings
+        // that start/end on escapes.
+        let cases = [
+            "plain ascii with no escapes at all".to_string(),
+            "héllo → wörld …直到结束".to_string(),
+            "\\starts and ends on an escape\"".to_string(),
+            "a\"b\\c\nd\te日".to_string(),
+            "\u{0008}\u{000c}edge".to_string(),
+            "x".repeat(10_000),
+            format!("{}\"{}", "л".repeat(500), "ё".repeat(500)),
+        ];
+        for case in cases {
+            let text = to_string(&Value::Str(case.clone())).unwrap();
+            let back: Value = from_str(&text).unwrap();
+            assert_eq!(back, Value::Str(case));
+        }
+    }
+
+    #[test]
+    fn long_document_parse_is_linear() {
+        // Regression guard for the O(n²) parse_string: a document whose
+        // size is dominated by string payload must parse in linear-ish
+        // time. 4 MB of strings parsed per-char against the remaining
+        // input took tens of seconds before the fix; now it's
+        // milliseconds. Bound generously for slow CI runners.
+        let items: Vec<Value> = (0..4_000)
+            .map(|i| Value::Str(format!("{i:04}-{}", "payload".repeat(150))))
+            .collect();
+        let text = to_string(&Value::Seq(items)).unwrap();
+        assert!(text.len() > 4_000_000);
+        let start = std::time::Instant::now();
+        let back: Value = from_str(&text).unwrap();
+        assert!(matches!(back, Value::Seq(ref v) if v.len() == 4_000));
+        assert!(
+            start.elapsed() < std::time::Duration::from_secs(5),
+            "string-heavy parse took {:?} — superlinear regression?",
+            start.elapsed()
+        );
     }
 
     #[test]
