@@ -19,8 +19,8 @@ use obs::MetricsSnapshot;
 pub const DEFAULT_GATED: &[&str] = &[
     "engine.search",
     "search.select_contexts",
-    "search.keyword_match",
-    "search.relevancy",
+    "search.candidates",
+    "search.rank",
 ];
 
 /// Tunable comparison policy.

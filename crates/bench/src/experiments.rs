@@ -188,7 +188,7 @@ fn context_sds(
         .into_iter()
         .filter(|&c| !prestige.scores(c).is_empty())
         .map(|c| {
-            let mut values = prestige.score_values(c);
+            let mut values = prestige.score_values(c).to_vec();
             let max = values.iter().cloned().fold(0.0f64, f64::max);
             if max > 0.0 {
                 for v in &mut values {

@@ -188,8 +188,8 @@ pub fn sim_cost_ns(stats: &QueryStats) -> u64 {
 /// hierarchy so the dashboard has the same series in both modes.
 const SIM_STAGES: &[(&str, u64)] = &[
     ("search.select_contexts", 15),
-    ("search.keyword_match", 25),
-    ("search.relevancy", 45),
+    ("search.candidates", 25),
+    ("search.rank", 45),
 ];
 
 /// Serializes slow-query trace captures: the global tracer is a single
@@ -508,6 +508,7 @@ impl LoadHarness {
                                     ("keyword_candidates".to_string(), stats.keyword_candidates),
                                     ("scored_pairs".to_string(), stats.scored_pairs),
                                     ("results".to_string(), stats.results),
+                                    ("heap_pushes".to_string(), stats.heap_pushes),
                                 ],
                                 trace,
                             });
@@ -746,16 +747,18 @@ impl LoadReport {
             out.push_str("  none\n");
         } else {
             for s in &self.slow {
-                let pairs = s
-                    .stats
-                    .iter()
-                    .find(|(k, _)| k == "scored_pairs")
-                    .map_or(0, |(_, v)| *v);
+                let stat = |key: &str| {
+                    s.stats
+                        .iter()
+                        .find(|(k, _)| k == key)
+                        .map_or(0, |(_, v)| *v)
+                };
                 out.push_str(&format!(
-                    "  {:>9.3} ms  {:<32} scored_pairs={:<7} trace={}\n",
+                    "  {:>9.3} ms  {:<32} scored_pairs={:<7} heap_pushes={:<7} trace={}\n",
                     ms(s.duration_ns),
                     s.query,
-                    pairs,
+                    stat("scored_pairs"),
+                    stat("heap_pushes"),
                     if s.trace.is_some() { "yes" } else { "no" },
                 ));
             }
@@ -865,7 +868,7 @@ mod tests {
         let b = run();
         assert_eq!(a, b, "sim-mode report must be bit-identical");
         assert!(a.contains("serve.query"));
-        assert!(a.contains("search.relevancy"));
+        assert!(a.contains("search.rank"));
     }
 
     #[test]
@@ -985,8 +988,8 @@ mod tests {
             "serve.query",
             "engine.search",
             "search.select_contexts",
-            "search.keyword_match",
-            "search.relevancy",
+            "search.candidates",
+            "search.rank",
         ] {
             assert_eq!(
                 series_json(&without, series),

@@ -28,10 +28,20 @@ impl ContextSetKind {
 }
 
 /// The assignment of papers to contexts.
+///
+/// Stored columnar like [`crate::PrestigeScores`]: non-empty contexts
+/// ascending in `contexts`, with `offsets` slicing one shared `papers`
+/// column (sorted + deduplicated per context). Membership reads are
+/// binary searches over borrowed slices; iteration order is the
+/// ascending context id order, a pure function of the contents.
 #[derive(Debug, Clone)]
 pub struct ContextPaperSets {
-    /// Members per context, sorted by paper id, deduplicated.
-    members: HashMap<ContextId, Vec<PaperId>>,
+    /// Non-empty contexts, ascending.
+    contexts: Vec<ContextId>,
+    /// `offsets[i]..offsets[i+1]` slices the members of `contexts[i]`.
+    offsets: Vec<usize>,
+    /// Member column, sorted by paper id within each context's slice.
+    papers: Vec<PaperId>,
     /// Representative paper per context (text-based sets only).
     pub representatives: HashMap<ContextId, PaperId>,
     /// For pattern-based sets: contexts that were empty and inherited
@@ -43,9 +53,10 @@ pub struct ContextPaperSets {
 }
 
 impl ContextPaperSets {
-    /// Create from raw member lists (sorted + deduped internally).
+    /// Create from raw member lists (sorted + deduped internally;
+    /// empty contexts dropped).
     pub fn new(members: HashMap<ContextId, Vec<PaperId>>, kind: ContextSetKind) -> Self {
-        let members = members
+        let mut entries: Vec<(ContextId, Vec<PaperId>)> = members
             .into_iter()
             .map(|(c, mut v)| {
                 v.sort_unstable();
@@ -54,8 +65,21 @@ impl ContextPaperSets {
             })
             .filter(|(_, v)| !v.is_empty())
             .collect();
+        entries.sort_unstable_by_key(|&(c, _)| c);
+        let total: usize = entries.iter().map(|(_, v)| v.len()).sum();
+        let mut contexts = Vec::with_capacity(entries.len());
+        let mut offsets = Vec::with_capacity(entries.len() + 1);
+        let mut papers = Vec::with_capacity(total);
+        offsets.push(0);
+        for (c, v) in entries {
+            contexts.push(c);
+            papers.extend(v);
+            offsets.push(papers.len());
+        }
         Self {
-            members,
+            contexts,
+            offsets,
+            papers,
             representatives: HashMap::new(),
             inherited_from: HashMap::new(),
             kind,
@@ -64,12 +88,15 @@ impl ContextPaperSets {
 
     /// Papers of one context (empty slice if absent).
     pub fn members(&self, context: ContextId) -> &[PaperId] {
-        self.members.get(&context).map(Vec::as_slice).unwrap_or(&[])
+        match self.contexts.binary_search(&context) {
+            Ok(i) => &self.papers[self.offsets[i]..self.offsets[i + 1]],
+            Err(_) => &[],
+        }
     }
 
     /// Does the context have any papers?
     pub fn contains_context(&self, context: ContextId) -> bool {
-        self.members.contains_key(&context)
+        self.contexts.binary_search(&context).is_ok()
     }
 
     /// Is the paper a member of the context? (binary search)
@@ -77,36 +104,35 @@ impl ContextPaperSets {
         self.members(context).binary_search(&paper).is_ok()
     }
 
-    /// All non-empty contexts.
+    /// All non-empty contexts, in ascending id order.
     pub fn contexts(&self) -> impl Iterator<Item = ContextId> + '_ {
-        self.members.keys().copied()
+        self.contexts.iter().copied()
     }
 
     /// Number of non-empty contexts.
     pub fn n_contexts(&self) -> usize {
-        self.members.len()
+        self.contexts.len()
     }
 
     /// Contexts with at least `min_size` members — the experiment
     /// population (the paper excludes small contexts whose prestige
-    /// scores are "potentially misleading").
+    /// scores are "potentially misleading"). Ascending, like
+    /// [`contexts`](Self::contexts).
     pub fn contexts_with_min_size(&self, min_size: usize) -> Vec<ContextId> {
-        let mut out: Vec<ContextId> = self
-            .members
+        self.contexts
             .iter()
-            .filter(|(_, v)| v.len() >= min_size)
-            .map(|(&c, _)| c)
-            .collect();
-        out.sort_unstable();
-        out
+            .enumerate()
+            .filter(|&(i, _)| self.offsets[i + 1] - self.offsets[i] >= min_size)
+            .map(|(_, &c)| c)
+            .collect()
     }
 
     /// Mean context size over non-empty contexts.
     pub fn mean_size(&self) -> f64 {
-        if self.members.is_empty() {
+        if self.contexts.is_empty() {
             return 0.0;
         }
-        self.members.values().map(Vec::len).sum::<usize>() as f64 / self.members.len() as f64
+        self.papers.len() as f64 / self.contexts.len() as f64
     }
 }
 
@@ -142,6 +168,13 @@ mod tests {
         assert!(s.is_member(TermId(0), PaperId(3)));
         assert!(!s.is_member(TermId(0), PaperId(0)));
         assert!(s.members(TermId(9)).is_empty());
+    }
+
+    #[test]
+    fn contexts_iterate_ascending() {
+        let s = sets();
+        let cs: Vec<ContextId> = s.contexts().collect();
+        assert_eq!(cs, vec![TermId(0), TermId(1)]);
     }
 
     #[test]

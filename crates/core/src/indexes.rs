@@ -11,7 +11,7 @@ use ontology::Ontology;
 use patterns::Selectivity;
 use std::collections::{HashMap, HashSet};
 use textproc::index::{DocId, InvertedIndex};
-use textproc::{SparseVector, TermId, TfIdfModel};
+use textproc::{CandidateScratch, SparseVector, TermId, TfIdfModel};
 
 /// Immutable prepared state over one (ontology, corpus) pair.
 pub struct CorpusIndex {
@@ -34,6 +34,14 @@ pub struct CorpusIndex {
     pub coauthors: HashMap<AuthorId, HashSet<AuthorId>>,
     /// Analyzed term-name tokens per ontology term (corpus vocabulary).
     pub term_name_tokens: Vec<Vec<TermId>>,
+    /// Sorted, deduped name tokens per term — the prepared column
+    /// behind context selection, so the query path never re-sorts a
+    /// name.
+    pub name_terms_sorted: Vec<Vec<TermId>>,
+    /// IDF mass of each term's name, summed in ascending term order at
+    /// build time (bit-identical to summing the sorted tokens per
+    /// query, which is what selection used to do).
+    pub name_idf_mass: Vec<f64>,
     /// Word selectivity across all term names (§3.3 TotalTermScore).
     pub selectivity: Selectivity,
 }
@@ -121,6 +129,19 @@ impl CorpusIndex {
             .map(|t| corpus.analyze_known(&ontology.term(t).name))
             .collect();
         let selectivity = Selectivity::new(term_name_tokens.iter().map(Vec::as_slice));
+        let name_terms_sorted: Vec<Vec<TermId>> = term_name_tokens
+            .iter()
+            .map(|name| {
+                let mut terms = name.clone();
+                terms.sort_unstable();
+                terms.dedup();
+                terms
+            })
+            .collect();
+        let name_idf_mass: Vec<f64> = name_terms_sorted
+            .iter()
+            .map(|terms| terms.iter().map(|&t| model.idf(t)).sum())
+            .collect();
         drop(_aux);
 
         Self {
@@ -133,6 +154,8 @@ impl CorpusIndex {
             global_pagerank,
             coauthors,
             term_name_tokens,
+            name_terms_sorted,
+            name_idf_mass,
             selectivity,
         }
     }
@@ -152,6 +175,20 @@ impl CorpusIndex {
             .into_iter()
             .map(|(DocId(d), s)| (PaperId(d), s))
             .collect()
+    }
+
+    /// Columnar keyword search into a reusable scratch: candidate doc
+    /// ids ascending, scores parallel. Same candidate set and score
+    /// bits as [`keyword_search`](Self::keyword_search), minus the
+    /// descending sort (the caller's ranking stage replaces it) and
+    /// the per-call allocation.
+    pub fn keyword_search_columns(
+        &self,
+        query: &SparseVector,
+        min_score: f64,
+        scratch: &mut CandidateScratch,
+    ) {
+        self.inverted.search_columns(query, min_score, scratch);
     }
 
     /// Whole-paper cosine between a paper and an arbitrary unit vector.

@@ -42,7 +42,9 @@ pub struct ContextSetsFile {
     pub inherited_from: Vec<(u32, u32)>,
 }
 
-/// Stable on-disk form of [`PrestigeScores`].
+/// Version-1 on-disk form of [`PrestigeScores`] (pair-shaped). Still
+/// accepted by [`prestige_from_json`] so old snapshots keep loading;
+/// new files are written as [`PrestigeFileV2`].
 #[derive(Debug, Serialize, Deserialize)]
 pub struct PrestigeFile {
     /// "citation", "text", or "pattern".
@@ -51,13 +53,35 @@ pub struct PrestigeFile {
     pub scores: Vec<(u32, Vec<(u32, f64)>)>,
 }
 
+/// Version-2 on-disk form of [`PrestigeScores`]: native sorted columns,
+/// so loading is a validation pass instead of a rebuild-and-sort. The
+/// field name (`columns` vs the v1 `scores`) is what distinguishes the
+/// two shapes on read.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct PrestigeFileV2 {
+    /// "citation", "text", or "pattern".
+    pub function: String,
+    /// `(context, papers, values)` column triples: contexts ascending,
+    /// papers ascending within each context, values parallel.
+    pub columns: Vec<(u32, Vec<u32>, Vec<f64>)>,
+}
+
 /// The magic string identifying a snapshot directory's header file.
 pub const SNAPSHOT_MAGIC: &str = "litsearch-snapshot";
 
 /// Current on-disk snapshot format version. Bump on any layout change;
-/// [`load_snapshot`] rejects other versions with a clean
+/// [`load_snapshot`] rejects versions outside
+/// [`MIN_SNAPSHOT_VERSION`]`..=`[`SNAPSHOT_VERSION`] with a clean
 /// [`PersistError::VersionMismatch`].
-pub const SNAPSHOT_VERSION: u32 = 1;
+///
+/// Version history: 1 = pair-shaped prestige files; 2 = columnar
+/// prestige files ([`PrestigeFileV2`]).
+pub const SNAPSHOT_VERSION: u32 = 2;
+
+/// Oldest snapshot format version this build still reads. Version-1
+/// directories load through the pair-shaped fallback parse and produce
+/// byte-identical engines.
+pub const MIN_SNAPSHOT_VERSION: u32 = 1;
 
 /// The `snapshot.json` header of a snapshot directory: identifies the
 /// format, versions it, and records enough shape to cross-check the
@@ -118,7 +142,8 @@ impl std::fmt::Display for PersistError {
             ),
             Self::VersionMismatch { found, expected } => write!(
                 f,
-                "snapshot format version {found} is not supported (this build reads {expected})"
+                "snapshot format version {found} is not supported \
+                 (this build reads {MIN_SNAPSHOT_VERSION}..={expected})"
             ),
             Self::Corrupt(what) => write!(f, "corrupt snapshot: {what}"),
         }
@@ -200,34 +225,47 @@ pub fn context_sets_from_json(json: &str) -> Result<ContextPaperSets, PersistErr
     Ok(sets)
 }
 
-/// Serialize prestige scores to JSON.
+/// Serialize prestige scores to JSON (the v2 columnar shape — the
+/// in-memory columns go to disk as-is, contexts ascending).
 pub fn prestige_to_json(prestige: &PrestigeScores) -> Result<String, PersistError> {
-    let mut scores: Vec<(u32, Vec<(u32, f64)>)> = prestige
-        .contexts()
-        .map(|c| {
-            (
-                c.0,
-                prestige.scores(c).iter().map(|&(p, s)| (p.0, s)).collect(),
-            )
-        })
+    let columns: Vec<(u32, Vec<u32>, Vec<f64>)> = prestige
+        .iter_columns()
+        .map(|(c, papers, values)| (c.0, papers.iter().map(|p| p.0).collect(), values.to_vec()))
         .collect();
-    scores.sort_unstable_by_key(|&(c, _)| c);
-    let file = PrestigeFile {
+    let file = PrestigeFileV2 {
         function: prestige.function.name().to_string(),
-        scores,
+        columns,
     };
     Ok(serde_json::to_string(&file)?)
 }
 
-/// Load prestige scores from JSON produced by [`prestige_to_json`].
+/// Load prestige scores from JSON: the v2 columnar shape written by
+/// [`prestige_to_json`], or the v1 pair shape (sorted into columns on
+/// read), distinguished by field name. Both produce identical
+/// in-memory state for the same scores.
 pub fn prestige_from_json(json: &str) -> Result<PrestigeScores, PersistError> {
+    if let Ok(file) = serde_json::from_str::<PrestigeFileV2>(json) {
+        let function = function_from_name(&file.function)?;
+        let mut cols: Vec<(ContextId, Vec<PaperId>, Vec<f64>)> =
+            Vec::with_capacity(file.columns.len());
+        for (c, papers, values) in file.columns {
+            if papers.len() != values.len() {
+                return Err(PersistError::Corrupt(format!(
+                    "prestige context {c}: {} papers but {} values",
+                    papers.len(),
+                    values.len()
+                )));
+            }
+            cols.push((
+                ontology::TermId(c),
+                papers.into_iter().map(PaperId).collect(),
+                values,
+            ));
+        }
+        return Ok(PrestigeScores::from_context_columns(cols, function));
+    }
     let file: PrestigeFile = serde_json::from_str(json)?;
-    let function = match file.function.as_str() {
-        "citation" => ScoreFunction::Citation,
-        "text" => ScoreFunction::Text,
-        "pattern" => ScoreFunction::Pattern,
-        other => return Err(PersistError::UnknownTag(other.to_string())),
-    };
+    let function = function_from_name(&file.function)?;
     let by_context: HashMap<ContextId, Vec<(PaperId, f64)>> = file
         .scores
         .into_iter()
@@ -364,7 +402,7 @@ pub fn load_snapshot(
     if header.magic != SNAPSHOT_MAGIC {
         return Err(PersistError::BadMagic(header.magic));
     }
-    if header.version != SNAPSHOT_VERSION {
+    if !(MIN_SNAPSHOT_VERSION..=SNAPSHOT_VERSION).contains(&header.version) {
         return Err(PersistError::VersionMismatch {
             found: header.version,
             expected: SNAPSHOT_VERSION,
@@ -470,6 +508,33 @@ mod tests {
         let loaded = prestige_from_json(&json).unwrap();
         assert_eq!(loaded.function, ScoreFunction::Text);
         assert_eq!(loaded.scores(TermId(3)), prestige.scores(TermId(3)));
+    }
+
+    #[test]
+    fn v1_pair_shaped_prestige_json_still_loads() {
+        // The exact shape SNAPSHOT_VERSION=1 builds wrote — unsorted
+        // pairs included.
+        let json = r#"{"function":"text","scores":[[3,[[5,1.0],[1,0.25]]]]}"#;
+        let loaded = prestige_from_json(json).unwrap();
+        assert_eq!(loaded.function, ScoreFunction::Text);
+        assert_eq!(
+            loaded.scores(TermId(3)),
+            vec![(PaperId(1), 0.25), (PaperId(5), 1.0)]
+        );
+        // Re-serializing upgrades to the columnar shape, losslessly.
+        let rewritten = prestige_to_json(&loaded).unwrap();
+        assert!(rewritten.contains("\"columns\""));
+        let again = prestige_from_json(&rewritten).unwrap();
+        assert_eq!(again.scores(TermId(3)), loaded.scores(TermId(3)));
+    }
+
+    #[test]
+    fn v2_column_length_mismatch_is_corrupt() {
+        let json = r#"{"function":"text","columns":[[3,[1,5],[0.25]]]}"#;
+        assert!(matches!(
+            prestige_from_json(json),
+            Err(PersistError::Corrupt(_))
+        ));
     }
 
     #[test]

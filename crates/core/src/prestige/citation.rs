@@ -32,11 +32,9 @@ pub fn citation_prestige(
     graph: &CitationGraph,
     config: &EngineConfig,
 ) -> PrestigeScores {
-    let contexts: Vec<ContextId> = {
-        let mut v: Vec<ContextId> = sets.contexts().collect();
-        v.sort_unstable();
-        v
-    };
+    // `sets.contexts()` already iterates in ascending id order — the
+    // deterministic population for the parallel map.
+    let contexts: Vec<ContextId> = sets.contexts().collect();
     let computed: Vec<(ContextId, Vec<(PaperId, f64)>)> =
         crate::parallel_map(config.threads, &contexts, |&context| {
             (context, context_pagerank(sets, graph, config, context))
@@ -98,11 +96,7 @@ pub fn hits_citation_prestige(
     graph: &CitationGraph,
     config: &EngineConfig,
 ) -> PrestigeScores {
-    let contexts: Vec<ContextId> = {
-        let mut v: Vec<ContextId> = sets.contexts().collect();
-        v.sort_unstable();
-        v
-    };
+    let contexts: Vec<ContextId> = sets.contexts().collect();
     let computed: Vec<(ContextId, Vec<(PaperId, f64)>)> =
         crate::parallel_map(config.threads, &contexts, |&context| {
             let members: Vec<u32> = sets.members(context).iter().map(|p| p.0).collect();
@@ -208,7 +202,7 @@ mod tests {
         let s = sets(&[(0, &[0, 1, 2, 3, 4, 5])]);
         let p = citation_prestige(&s, &graph(), &EngineConfig::default());
         assert_eq!(p.scores(TermId(0)).len(), 6);
-        for &(_, score) in p.scores(TermId(0)) {
+        for &(_, score) in p.scores(TermId(0)).iter() {
             assert!((0.0..=1.0).contains(&score));
         }
     }

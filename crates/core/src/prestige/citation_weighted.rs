@@ -52,11 +52,7 @@ pub fn weighted_citation_prestige(
     config: &EngineConfig,
     weights: &CrossContextWeights,
 ) -> PrestigeScores {
-    let contexts: Vec<ContextId> = {
-        let mut v: Vec<ContextId> = sets.contexts().collect();
-        v.sort_unstable();
-        v
-    };
+    let contexts: Vec<ContextId> = sets.contexts().collect();
     let computed: Vec<(ContextId, Vec<(PaperId, f64)>)> =
         crate::parallel_map(config.threads, &contexts, |&context| {
             (
@@ -200,7 +196,7 @@ mod tests {
             },
         );
         for c in [TermId(0), TermId(1)] {
-            for (&(pa, sa), &(pb, sb)) in plain.scores(c).iter().zip(zeroed.scores(c)) {
+            for (&(pa, sa), &(pb, sb)) in plain.scores(c).iter().zip(zeroed.scores(c).iter()) {
                 assert_eq!(pa, pb);
                 assert!((sa - sb).abs() < 1e-9, "{sa} vs {sb} in {c}");
             }
@@ -220,7 +216,7 @@ mod tests {
             &CrossContextWeights::default(),
         );
         for c in [TermId(0), TermId(1), TermId(2)] {
-            for &(_, v) in weighted.scores(c) {
+            for &(_, v) in weighted.scores(c).iter() {
                 assert!((0.0..=1.0).contains(&v) && v.is_finite());
             }
         }

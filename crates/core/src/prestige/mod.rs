@@ -38,9 +38,27 @@ impl ScoreFunction {
 }
 
 /// Per-context prestige scores in [0, 1] (max-normalized per context).
+///
+/// Stored columnar: one CSR-style arena where `contexts` (ascending)
+/// and `offsets` slice the shared `papers`/`values` columns, with
+/// `papers` ascending within each context. The serve path reads the
+/// two parallel columns of a context directly via [`columns`] and
+/// merge-intersects them against the candidate column — no per-query
+/// hashing, no pointer chasing. The map-shaped [`new`] constructor
+/// remains the builder API for the offline score functions.
+///
+/// [`columns`]: PrestigeScores::columns
+/// [`new`]: PrestigeScores::new
 #[derive(Debug, Clone)]
 pub struct PrestigeScores {
-    by_context: HashMap<ContextId, Vec<(PaperId, f64)>>,
+    /// Contexts with entries, ascending.
+    contexts: Vec<ContextId>,
+    /// `offsets[i]..offsets[i+1]` slices the columns of `contexts[i]`.
+    offsets: Vec<usize>,
+    /// Paper column, ascending within each context's slice.
+    papers: Vec<PaperId>,
+    /// Score column, parallel to `papers`.
+    values: Vec<f64>,
     /// The function that produced these scores.
     pub function: ScoreFunction,
 }
@@ -48,42 +66,123 @@ pub struct PrestigeScores {
 impl PrestigeScores {
     /// Wrap raw per-context score lists (sorted by paper id internally).
     pub fn new(
-        mut by_context: HashMap<ContextId, Vec<(PaperId, f64)>>,
+        by_context: HashMap<ContextId, Vec<(PaperId, f64)>>,
         function: ScoreFunction,
     ) -> Self {
-        for v in by_context.values_mut() {
+        let mut entries: Vec<(ContextId, Vec<(PaperId, f64)>)> = by_context.into_iter().collect();
+        entries.sort_unstable_by_key(|&(c, _)| c);
+        for (_, v) in entries.iter_mut() {
             v.sort_unstable_by_key(|&(p, _)| p);
         }
+        let total: usize = entries.iter().map(|(_, v)| v.len()).sum();
+        let mut contexts = Vec::with_capacity(entries.len());
+        let mut offsets = Vec::with_capacity(entries.len() + 1);
+        let mut papers = Vec::with_capacity(total);
+        let mut values = Vec::with_capacity(total);
+        offsets.push(0);
+        for (c, v) in entries {
+            contexts.push(c);
+            for (p, s) in v {
+                papers.push(p);
+                values.push(s);
+            }
+            offsets.push(papers.len());
+        }
         Self {
-            by_context,
+            contexts,
+            offsets,
+            papers,
+            values,
             function,
         }
     }
 
-    /// Scores of one context, sorted by paper id.
-    pub fn scores(&self, context: ContextId) -> &[(PaperId, f64)] {
-        self.by_context
-            .get(&context)
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+    /// Build directly from per-context columns (snapshot v2 load path).
+    /// Columns already sorted by paper id load zero-copy into the arena;
+    /// unsorted input (a hand-edited file) is sorted on read. Each
+    /// `(papers, values)` pair must be equal-length — the persist layer
+    /// validates that before calling.
+    pub(crate) fn from_context_columns(
+        mut cols: Vec<(ContextId, Vec<PaperId>, Vec<f64>)>,
+        function: ScoreFunction,
+    ) -> Self {
+        cols.sort_unstable_by_key(|&(c, _, _)| c);
+        let total: usize = cols.iter().map(|(_, p, _)| p.len()).sum();
+        let mut contexts = Vec::with_capacity(cols.len());
+        let mut offsets = Vec::with_capacity(cols.len() + 1);
+        let mut papers = Vec::with_capacity(total);
+        let mut values = Vec::with_capacity(total);
+        offsets.push(0);
+        for (c, ps, vs) in cols {
+            contexts.push(c);
+            if ps.is_sorted() {
+                papers.extend(ps);
+                values.extend(vs);
+            } else {
+                let mut pairs: Vec<(PaperId, f64)> = ps.into_iter().zip(vs).collect();
+                pairs.sort_unstable_by_key(|&(p, _)| p);
+                for (p, s) in pairs {
+                    papers.push(p);
+                    values.push(s);
+                }
+            }
+            offsets.push(papers.len());
+        }
+        Self {
+            contexts,
+            offsets,
+            papers,
+            values,
+            function,
+        }
+    }
+
+    fn range(&self, context: ContextId) -> Option<std::ops::Range<usize>> {
+        let i = self.contexts.binary_search(&context).ok()?;
+        Some(self.offsets[i]..self.offsets[i + 1])
+    }
+
+    /// The two parallel columns of one context — papers (ascending) and
+    /// their scores. Empty slices if the context has no entries. This is
+    /// the serve path's accessor: borrowed, allocation-free.
+    pub fn columns(&self, context: ContextId) -> (&[PaperId], &[f64]) {
+        match self.range(context) {
+            Some(r) => (&self.papers[r.clone()], &self.values[r]),
+            None => (&[], &[]),
+        }
+    }
+
+    /// Scores of one context as owned pairs, sorted by paper id.
+    /// Allocates — offline/test convenience; the serve path uses
+    /// [`columns`](Self::columns).
+    pub fn scores(&self, context: ContextId) -> Vec<(PaperId, f64)> {
+        let (ps, vs) = self.columns(context);
+        ps.iter().copied().zip(vs.iter().copied()).collect()
     }
 
     /// The score of one paper in one context.
     pub fn get(&self, context: ContextId, paper: PaperId) -> Option<f64> {
-        let v = self.scores(context);
-        v.binary_search_by_key(&paper, |&(p, _)| p)
-            .ok()
-            .map(|i| v[i].1)
+        let (ps, vs) = self.columns(context);
+        ps.binary_search(&paper).ok().map(|i| vs[i])
     }
 
-    /// Contexts that have scores.
+    /// Contexts that have entries, in ascending id order.
     pub fn contexts(&self) -> impl Iterator<Item = ContextId> + '_ {
-        self.by_context.keys().copied()
+        self.contexts.iter().copied()
     }
 
     /// Just the score values of one context (for separability).
-    pub fn score_values(&self, context: ContextId) -> Vec<f64> {
-        self.scores(context).iter().map(|&(_, s)| s).collect()
+    pub fn score_values(&self, context: ContextId) -> &[f64] {
+        self.columns(context).1
+    }
+
+    /// Iterate every context's columns in ascending context order (the
+    /// persistence layer writes these natively as snapshot v2).
+    pub(crate) fn iter_columns(&self) -> impl Iterator<Item = (ContextId, &[PaperId], &[f64])> {
+        self.contexts.iter().enumerate().map(|(i, &c)| {
+            let r = self.offsets[i]..self.offsets[i + 1];
+            (c, &self.papers[r.clone()], &self.values[r])
+        })
     }
 
     /// The paper's hierarchy rule (§3): a paper residing in context `c`
@@ -92,8 +191,13 @@ impl PrestigeScores {
     /// high relevance to the ancestor.
     ///
     /// Processes contexts in reverse topological order so each child is
-    /// final before its parents look at it.
+    /// final before its parents look at it. Offline-only: works on a
+    /// map-shaped copy and rebuilds the columnar arena at the end.
     pub fn propagate_hierarchy_max(&mut self, ontology: &Ontology, sets: &ContextPaperSets) {
+        let mut by_context: HashMap<ContextId, Vec<(PaperId, f64)>> = self
+            .iter_columns()
+            .map(|(c, ps, vs)| (c, ps.iter().copied().zip(vs.iter().copied()).collect()))
+            .collect();
         let topo: Vec<ContextId> = ontology.topological_order().to_vec();
         for &c in topo.iter().rev() {
             if !sets.contains_context(c) {
@@ -102,16 +206,18 @@ impl PrestigeScores {
             // Collect child maxima for papers that also reside in c.
             let mut updates: Vec<(PaperId, f64)> = Vec::new();
             for &child in ontology.children(c) {
-                for &(p, s) in self.scores(child) {
-                    if sets.is_member(c, p) {
-                        updates.push((p, s));
+                if let Some(child_scores) = by_context.get(&child) {
+                    for &(p, s) in child_scores {
+                        if sets.is_member(c, p) {
+                            updates.push((p, s));
+                        }
                     }
                 }
             }
             if updates.is_empty() {
                 continue;
             }
-            let v = self.by_context.entry(c).or_default();
+            let v = by_context.entry(c).or_default();
             for (p, s) in updates {
                 match v.binary_search_by_key(&p, |&(q, _)| q) {
                     Ok(i) => {
@@ -123,6 +229,7 @@ impl PrestigeScores {
                 }
             }
         }
+        *self = Self::new(by_context, self.function);
     }
 }
 
@@ -224,7 +331,35 @@ mod tests {
         let (_, s) = sets_and_scores();
         assert_eq!(s.get(TermId(0), PaperId(2)), Some(0.9));
         assert_eq!(s.get(TermId(0), PaperId(7)), None);
-        assert_eq!(s.scores(TermId(9)), &[]);
+        assert!(s.scores(TermId(9)).is_empty());
+    }
+
+    #[test]
+    fn columns_are_sorted_and_parallel() {
+        let (_, s) = sets_and_scores();
+        let (ps, vs) = s.columns(TermId(0));
+        assert_eq!(ps, &[PaperId(1), PaperId(2)]);
+        assert_eq!(vs, &[0.1, 0.9]);
+        assert_eq!(s.score_values(TermId(0)), &[0.1, 0.9]);
+        let (ps, vs) = s.columns(TermId(9));
+        assert!(ps.is_empty() && vs.is_empty());
+        // Contexts iterate in ascending id order.
+        let cs: Vec<ContextId> = s.contexts().collect();
+        assert_eq!(cs, vec![TermId(0), TermId(1), TermId(2)]);
+    }
+
+    #[test]
+    fn unsorted_input_columns_are_sorted_on_read() {
+        let cols = vec![
+            (TermId(4), vec![PaperId(9), PaperId(2)], vec![0.9, 0.2]),
+            (TermId(1), vec![PaperId(3)], vec![0.3]),
+        ];
+        let s = PrestigeScores::from_context_columns(cols, ScoreFunction::Text);
+        assert_eq!(s.columns(TermId(4)).0, &[PaperId(2), PaperId(9)]);
+        assert_eq!(s.columns(TermId(4)).1, &[0.2, 0.9]);
+        assert_eq!(s.get(TermId(1), PaperId(3)), Some(0.3));
+        let cs: Vec<ContextId> = s.contexts().collect();
+        assert_eq!(cs, vec![TermId(1), TermId(4)]);
     }
 
     #[test]

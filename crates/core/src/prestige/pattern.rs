@@ -35,14 +35,11 @@ pub fn pattern_prestige(
     };
 
     // Score contexts that own their paper sets.
-    let own_contexts: Vec<ContextId> = {
-        let mut v: Vec<ContextId> = sets
-            .contexts()
-            .filter(|c| !sets.inherited_from.contains_key(c))
-            .collect();
-        v.sort_unstable();
-        v
-    };
+    // `sets.contexts()` iterates ascending — deterministic population.
+    let own_contexts: Vec<ContextId> = sets
+        .contexts()
+        .filter(|c| !sets.inherited_from.contains_key(c))
+        .collect();
     let computed: Vec<(ContextId, Vec<(PaperId, f64)>)> =
         crate::parallel_map(config.threads, &own_contexts, |&context| {
             (
@@ -166,7 +163,7 @@ mod tests {
         let (onto, corpus, index, config, pats, sets) = setup();
         let prestige = pattern_prestige(&onto, &sets, &corpus, &index, &pats, &config, true);
         for c in prestige.contexts() {
-            for &(_, s) in prestige.scores(c) {
+            for &(_, s) in prestige.scores(c).iter() {
                 assert!((0.0..=1.0).contains(&s), "{s}");
             }
         }
@@ -202,7 +199,7 @@ mod tests {
             let anc = prestige.scores(a);
             let desc = prestige.scores(c);
             assert_eq!(anc.len(), desc.len());
-            for (&(pa, sa), &(pd, sd)) in anc.iter().zip(desc) {
+            for (&(pa, sa), &(pd, sd)) in anc.iter().zip(desc.iter()) {
                 assert_eq!(pa, pd);
                 assert!((sd - sa * decay).abs() < 1e-9);
             }
@@ -222,7 +219,7 @@ mod tests {
         // tuples matter in full matching).
         let mut any_diff = false;
         for c in sets.contexts_with_min_size(3) {
-            for (&(p1, s1), &(p2, s2)) in simp.scores(c).iter().zip(full.scores(c)) {
+            for (&(p1, s1), &(p2, s2)) in simp.scores(c).iter().zip(full.scores(c).iter()) {
                 assert_eq!(p1, p2);
                 if (s1 - s2).abs() > 1e-9 {
                     any_diff = true;

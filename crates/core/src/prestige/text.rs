@@ -22,14 +22,12 @@ pub fn text_prestige(
     index: &CorpusIndex,
     config: &EngineConfig,
 ) -> PrestigeScores {
-    let contexts: Vec<ContextId> = {
-        let mut v: Vec<ContextId> = sets
-            .contexts()
-            .filter(|c| sets.representatives.contains_key(c))
-            .collect();
-        v.sort_unstable();
-        v
-    };
+    // `sets.contexts()` iterates ascending, so this is already the
+    // deterministic population for the parallel map.
+    let contexts: Vec<ContextId> = sets
+        .contexts()
+        .filter(|c| sets.representatives.contains_key(c))
+        .collect();
     let computed: Vec<(ContextId, Vec<(PaperId, f64)>)> =
         crate::parallel_map(config.threads, &contexts, |&context| {
             let rep = sets.representatives[&context];
@@ -111,7 +109,7 @@ mod tests {
             if let Some(s) = prestige.get(c, rep) {
                 // The representative's self-similarity dominates every
                 // other member's similarity to it.
-                for &(p, other) in prestige.scores(c) {
+                for &(p, other) in prestige.scores(c).iter() {
                     if p != rep {
                         assert!(s >= other - 1e-9, "rep {s} vs {p:?} {other} in {c}");
                     }

@@ -8,18 +8,21 @@
 //! (owns the pieces directly) and [`Searcher`](super::serve::Searcher)
 //! (borrows them from an immutable [`crate::EngineSnapshot`]). Nothing
 //! on this path takes a lock or mutates shared state, so any number of
-//! threads can execute it concurrently over the same borrowed parts.
+//! threads can execute it concurrently over the same borrowed parts;
+//! per-query working memory comes from the thread-local
+//! [`crate::search::scratch::QueryScratch`] pool, so the steady-state
+//! path is also allocation-light.
 
 use crate::ac_answer::ac_answer_set;
 use crate::config::EngineConfig;
 use crate::context::{ContextId, ContextPaperSets};
 use crate::indexes::CorpusIndex;
 use crate::prestige::PrestigeScores;
-use crate::search::relevancy::relevancy;
+use crate::search::scratch::with_scratch;
 use crate::search::select::select_contexts;
 use corpus::{Corpus, PaperId};
 use ontology::Ontology;
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 
 /// One ranked context-based search result.
 #[derive(Debug, Clone, Copy)]
@@ -51,12 +54,18 @@ pub struct QueryStats {
     pub scored_pairs: u64,
     /// Ranked results returned (after the limit).
     pub results: u64,
+    /// Pushes into the bounded top-k heap. On the unlimited path every
+    /// scored paper enters the ranking, so this equals the distinct
+    /// paper count there; with a limit it shrinks toward `limit` as
+    /// candidates arrive in better-first order.
+    pub heap_pushes: u64,
 }
 
 /// The total order of ranked output: descending relevancy, ties broken
-/// by ascending paper id. The tie-break is what makes repeated runs
-/// byte-identical — candidates are accumulated in a `HashMap`, whose
-/// iteration order would otherwise leak into equal-relevancy runs.
+/// by ascending paper id. Both ranking paths implement exactly this
+/// order — the full sort when unlimited, and the bounded top-k heap's
+/// eviction rule when a limit is set — which is what makes them
+/// interchangeable byte for byte.
 pub(crate) fn rank_order(a: &SearchResult, b: &SearchResult) -> std::cmp::Ordering {
     b.relevancy
         .total_cmp(&a.relevancy)
@@ -143,70 +152,49 @@ impl QueryParts<'_> {
         }
         let qvec = self.index.query_vector(self.corpus, query);
         let contexts = self.select_contexts(query, sets);
-        let matching: HashMap<PaperId, f64> = {
-            let _s = obs::span("search.keyword_match");
-            self.index.keyword_search(&qvec, 0.0).into_iter().collect()
-        };
-        if tracing {
-            obs::trace_instant(
-                "search.keyword_candidates",
-                vec![("matched_papers".to_string(), matching.len().into())],
-            );
-        }
-
-        let _scoring = obs::span("search.relevancy");
-        let mut best: HashMap<PaperId, SearchResult> = HashMap::new();
-        let mut scored_pairs = 0u64;
-        let n_contexts = contexts.len() as u64;
-        for (context, _ctx_score) in contexts {
-            for &(paper, pscore) in prestige.scores(context) {
-                let Some(&m) = matching.get(&paper) else {
-                    continue; // no text match at all → not in the output
-                };
-                scored_pairs += 1;
-                let r = relevancy(pscore, m, &self.config.relevancy);
-                let candidate = SearchResult {
-                    paper,
-                    relevancy: r,
-                    matching: m,
-                    prestige: pscore,
-                    context,
-                };
-                best.entry(paper)
-                    .and_modify(|cur| {
-                        if r > cur.relevancy {
-                            *cur = candidate;
-                        }
-                    })
-                    .or_insert(candidate);
+        with_scratch(|scratch| {
+            scratch.begin(self.corpus.len());
+            {
+                let _s = obs::span("search.candidates");
+                scratch.gather_candidates(self.index, &qvec);
             }
-        }
-        let mut out: Vec<SearchResult> = best.into_values().collect();
-        out.sort_by(rank_order);
-        if tracing {
-            obs::trace_instant(
-                "search.relevancy_candidates",
-                vec![
-                    ("scored_pairs".to_string(), scored_pairs.into()),
-                    ("distinct_papers".to_string(), out.len().into()),
-                ],
-            );
-        }
-        if limit > 0 {
-            out.truncate(limit);
-        }
-        drop(_scoring);
-        if tracing {
-            self.trace_explain_hits(&out);
-        }
-        obs::observe_ns("engine.search.results", out.len() as u64);
-        let stats = QueryStats {
-            selected_contexts: n_contexts,
-            keyword_candidates: matching.len() as u64,
-            scored_pairs,
-            results: out.len() as u64,
-        };
-        (out, stats)
+            if tracing {
+                obs::trace_instant(
+                    "search.keyword_candidates",
+                    vec![("matched_papers".to_string(), scratch.n_candidates().into())],
+                );
+            }
+
+            let _scoring = obs::span("search.rank");
+            let mut scored_pairs = 0u64;
+            let n_contexts = contexts.len() as u64;
+            for &(context, _ctx_score) in &contexts {
+                scored_pairs += scratch.score_context(prestige, context, &self.config.relevancy);
+            }
+            if tracing {
+                obs::trace_instant(
+                    "search.relevancy_candidates",
+                    vec![
+                        ("scored_pairs".to_string(), scored_pairs.into()),
+                        ("distinct_papers".to_string(), scratch.distinct().into()),
+                    ],
+                );
+            }
+            let (out, heap_pushes) = scratch.ranked(limit);
+            drop(_scoring);
+            if tracing {
+                self.trace_explain_hits(&out);
+            }
+            obs::observe_ns("engine.search.results", out.len() as u64);
+            let stats = QueryStats {
+                selected_contexts: n_contexts,
+                keyword_candidates: scratch.n_candidates() as u64,
+                scored_pairs,
+                results: out.len() as u64,
+                heap_pushes,
+            };
+            (out, stats)
+        })
     }
 
     /// Emit one `explain.hit` instant per top result: the context that

@@ -7,6 +7,7 @@ pub mod explain;
 pub mod gopubmed;
 pub mod related;
 pub mod relevancy;
+pub(crate) mod scratch;
 pub mod select;
 pub mod serve;
 pub mod shadow;

@@ -12,7 +12,6 @@ use crate::context::{ContextId, ContextPaperSets};
 use crate::indexes::CorpusIndex;
 use crate::prestige::text::combined_similarity;
 use corpus::{Corpus, PaperId};
-use std::collections::HashMap;
 
 /// One related paper.
 #[derive(Debug, Clone, Copy)]
@@ -21,7 +20,7 @@ pub struct RelatedPaper {
     pub paper: PaperId,
     /// The §3.2 combined similarity to the source paper.
     pub similarity: f64,
-    /// A context both papers share (the one where it was found first).
+    /// A context both papers share (the lowest-id one).
     pub shared_context: ContextId,
 }
 
@@ -36,27 +35,32 @@ pub fn more_like_this(
     source: PaperId,
     limit: usize,
 ) -> Vec<RelatedPaper> {
-    let mut best: HashMap<PaperId, RelatedPaper> = HashMap::new();
+    // Concatenate the source's context member columns (contexts come
+    // ascending), then one sort + dedup keeps each candidate's lowest
+    // shared context — no hashing, and the §3.2 similarity runs once
+    // per distinct candidate.
+    let mut candidates: Vec<(PaperId, ContextId)> = Vec::new();
     for context in sets.contexts() {
         if !sets.is_member(context, source) {
             continue;
         }
-        for &candidate in sets.members(context) {
-            if candidate == source || best.contains_key(&candidate) {
-                continue;
-            }
-            let similarity = combined_similarity(corpus, index, config, candidate, source);
-            best.insert(
-                candidate,
-                RelatedPaper {
-                    paper: candidate,
-                    similarity,
-                    shared_context: context,
-                },
-            );
-        }
+        candidates.extend(
+            sets.members(context)
+                .iter()
+                .filter(|&&p| p != source)
+                .map(|&p| (p, context)),
+        );
     }
-    let mut out: Vec<RelatedPaper> = best.into_values().collect();
+    candidates.sort_unstable();
+    candidates.dedup_by_key(|&mut (p, _)| p);
+    let mut out: Vec<RelatedPaper> = candidates
+        .into_iter()
+        .map(|(paper, shared_context)| RelatedPaper {
+            paper,
+            similarity: combined_similarity(corpus, index, config, paper, source),
+            shared_context,
+        })
+        .collect();
     out.sort_by(|a, b| {
         b.similarity
             .total_cmp(&a.similarity)

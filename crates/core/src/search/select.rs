@@ -12,49 +12,50 @@
 use crate::config::SelectionConfig;
 use crate::context::{ContextId, ContextPaperSets};
 use crate::indexes::CorpusIndex;
-use std::collections::HashSet;
 use textproc::TermId;
 
 /// Rank the contexts of `sets` against query tokens; returns
 /// `(context, match score)` pairs, best first, filtered and truncated
 /// per `config`.
+///
+/// Per-context state is fully prepared at index build time
+/// ([`CorpusIndex::name_terms_sorted`] and
+/// [`CorpusIndex::name_idf_mass`]): the only per-call work is sorting
+/// the query's own tokens and one binary search per name token.
 pub fn select_contexts(
     query_tokens: &[TermId],
     index: &CorpusIndex,
     sets: &ContextPaperSets,
     config: &SelectionConfig,
 ) -> Vec<(ContextId, f64)> {
-    // IDF masses are summed in ascending term order. Summing over
-    // `HashSet` iteration would give each thread its own ULP-level
-    // rounding (per-thread hash seeds), letting near-tied contexts
-    // swap ranks across serving threads.
+    // IDF masses are summed in ascending term order — the query mass
+    // here, the prepared name masses at build. Summing over hash-set
+    // iteration would give each thread its own ULP-level rounding
+    // (per-thread hash seeds), letting near-tied contexts swap ranks
+    // across serving threads.
     let mut query_terms: Vec<TermId> = query_tokens.to_vec();
     query_terms.sort_unstable();
     query_terms.dedup();
     if query_terms.is_empty() {
         return Vec::new();
     }
-    let query_set: HashSet<TermId> = query_terms.iter().copied().collect();
     let query_mass: f64 = query_terms.iter().map(|&t| index.model.idf(t)).sum();
     let mut scored: Vec<(ContextId, f64)> = sets
         .contexts()
         .filter_map(|c| {
-            let name = index.term_name_tokens.get(c.index())?;
-            if name.is_empty() {
+            let name_terms = index.name_terms_sorted.get(c.index())?;
+            if name_terms.is_empty() {
                 return None;
             }
-            let mut name_terms: Vec<TermId> = name.to_vec();
-            name_terms.sort_unstable();
-            name_terms.dedup();
             let shared: f64 = name_terms
                 .iter()
-                .filter(|t| query_set.contains(t))
+                .filter(|t| query_terms.binary_search(t).is_ok())
                 .map(|&t| index.model.idf(t))
                 .sum();
             if shared <= 0.0 {
                 return None;
             }
-            let name_mass: f64 = name_terms.iter().map(|&t| index.model.idf(t)).sum();
+            let name_mass = *index.name_idf_mass.get(c.index())?;
             let dice = 2.0 * shared / (query_mass + name_mass);
             Some((c, dice))
         })

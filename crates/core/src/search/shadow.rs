@@ -259,7 +259,7 @@ pub fn shadow_evaluate(
             results[0].relevancy.clamp(0.0, 1.0)
         };
         margins.push((function.name(), margin));
-        scores.push((function.name(), prestige.score_values(winner)));
+        scores.push((function.name(), prestige.score_values(winner).to_vec()));
         ranked.push((function.name(), top, winner, margin));
     }
     if ranked.is_empty() {

@@ -11,7 +11,7 @@
 //! self-time vs. child-time, and feed a per-span duration histogram.
 //! Span names follow a `stage.substage` dotted convention, e.g.
 //! `engine.search` with children `search.select_contexts`,
-//! `search.keyword_match`, `search.relevancy`.
+//! `search.candidates`, `search.rank`.
 //!
 //! Collection is **off by default**: every hook checks one relaxed
 //! atomic load and bails, so instrumented hot paths cost ~1 ns per call

@@ -37,6 +37,72 @@ pub struct InvertedIndex {
     n_docs: u32,
 }
 
+/// Reusable accumulation state for [`InvertedIndex::search_columns`].
+///
+/// Holds a dense per-document score array stamped with a query epoch —
+/// a slot is "live" only when its stamp equals the current epoch, so
+/// consecutive queries skip the O(n_docs) zeroing that
+/// [`InvertedIndex::score_all`] pays per call. The output is a pair of
+/// parallel columns (`docs` ascending, `scores` aligned), ready for
+/// merge-intersection against other sorted id columns.
+///
+/// One scratch must not be shared across threads; keep one per worker
+/// (the serve path pools one per thread).
+#[derive(Debug, Default)]
+pub struct CandidateScratch {
+    /// Dense accumulator, indexed by doc id.
+    acc: Vec<f64>,
+    /// Epoch stamp per doc: `stamp[d] == epoch` ⇔ `acc[d]` is live.
+    stamp: Vec<u32>,
+    /// The current query's epoch.
+    epoch: u32,
+    /// Output column: matching documents, ascending.
+    docs: Vec<DocId>,
+    /// Output column: scores parallel to `docs`.
+    scores: Vec<f64>,
+}
+
+impl CandidateScratch {
+    /// An empty scratch; arrays grow to the index's size on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The candidate columns of the most recent
+    /// [`InvertedIndex::search_columns`] call: documents ascending, with
+    /// their scores parallel.
+    pub fn columns(&self) -> (&[DocId], &[f64]) {
+        (&self.docs, &self.scores)
+    }
+
+    /// Number of candidates produced by the most recent search.
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// Whether the most recent search produced no candidates.
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+
+    /// Advance to a fresh epoch, growing the dense arrays to `n` slots.
+    /// On u32 wraparound every stamp is cleared so stale stamps from
+    /// ~4 billion queries ago cannot alias the new epoch.
+    fn begin(&mut self, n: usize) {
+        if self.acc.len() < n {
+            self.acc.resize(n, 0.0);
+            self.stamp.resize(n, 0);
+        }
+        self.docs.clear();
+        self.scores.clear();
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.stamp.fill(0);
+            self.epoch = 1;
+        }
+    }
+}
+
 impl InvertedIndex {
     /// Build from unit-normalized document vectors, in `DocId` order.
     pub fn build(doc_vectors: &[SparseVector]) -> Self {
@@ -93,6 +159,51 @@ impl InvertedIndex {
             }
         }
         scores
+    }
+
+    /// Columnar search: accumulate cosine scores into `scratch` and emit
+    /// the candidates strictly above `min_score` as doc-id-ascending
+    /// parallel columns (read them via [`CandidateScratch::columns`]).
+    ///
+    /// Candidate set and score bits are identical to [`search`] — the
+    /// accumulation visits `(term, posting)` pairs in the same order, so
+    /// every floating-point sum associates identically; only the output
+    /// order differs (ascending doc instead of descending score).
+    /// Allocation-free after warm-up: the dense accumulator is epoch-
+    /// stamped instead of re-zeroed, and the output columns are reused.
+    ///
+    /// [`search`]: InvertedIndex::search
+    pub fn search_columns(
+        &self,
+        query: &SparseVector,
+        min_score: f64,
+        scratch: &mut CandidateScratch,
+    ) {
+        scratch.begin(self.n_docs as usize);
+        let epoch = scratch.epoch;
+        for &(t, qw) in query.entries() {
+            for p in self.postings(t) {
+                let i = p.doc.index();
+                if scratch.stamp[i] != epoch {
+                    scratch.stamp[i] = epoch;
+                    scratch.acc[i] = 0.0;
+                    scratch.docs.push(p.doc);
+                }
+                scratch.acc[i] += qw * p.weight as f64;
+            }
+        }
+        scratch.docs.sort_unstable();
+        let mut kept = 0;
+        for r in 0..scratch.docs.len() {
+            let d = scratch.docs[r];
+            let s = scratch.acc[d.index()];
+            if s > min_score {
+                scratch.docs[kept] = d;
+                scratch.scores.push(s);
+                kept += 1;
+            }
+        }
+        scratch.docs.truncate(kept);
     }
 
     /// Score and return `(doc, score)` pairs above `min_score`, sorted by
@@ -180,5 +291,55 @@ mod tests {
         let idx = InvertedIndex::build(&[]);
         assert_eq!(idx.n_docs(), 0);
         assert!(idx.search(&SparseVector::new(), 0.0).is_empty());
+        let mut scratch = CandidateScratch::new();
+        idx.search_columns(&SparseVector::new(), 0.0, &mut scratch);
+        assert!(scratch.is_empty());
+    }
+
+    #[test]
+    fn search_columns_matches_search_bit_for_bit() {
+        let (idx, model) = tiny_index();
+        let mut scratch = CandidateScratch::new();
+        for (q, min) in [
+            (ids(&[1]), 0.0),
+            (ids(&[2, 3]), 0.0),
+            (ids(&[0, 1, 2, 3]), 0.05),
+            (ids(&[1]), 1.1),
+        ] {
+            let qv = model.vectorize_normalized(&q);
+            let mut reference = idx.search(&qv, min);
+            reference.sort_unstable_by_key(|&(d, _)| d);
+            idx.search_columns(&qv, min, &mut scratch);
+            let (docs, scores) = scratch.columns();
+            assert_eq!(docs.len(), reference.len(), "query {q:?}");
+            for (i, &(d, s)) in reference.iter().enumerate() {
+                assert_eq!(docs[i], d);
+                assert_eq!(scores[i].to_bits(), s.to_bits(), "doc {d:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_does_not_leak_across_queries() {
+        let (idx, model) = tiny_index();
+        let mut scratch = CandidateScratch::new();
+        // A broad query first, then a narrow one: stale accumulator
+        // slots from the broad query must not surface.
+        idx.search_columns(
+            &model.vectorize_normalized(&ids(&[0, 1, 2, 3])),
+            0.0,
+            &mut scratch,
+        );
+        let broad = scratch.len();
+        idx.search_columns(&model.vectorize_normalized(&ids(&[3])), 0.0, &mut scratch);
+        let (docs, _) = scratch.columns();
+        assert!(scratch.len() < broad);
+        assert_eq!(docs, &[DocId(2)], "only doc2 contains term 3");
+        // And the epoch discipline survives many reuses.
+        for _ in 0..100 {
+            idx.search_columns(&model.vectorize_normalized(&ids(&[1])), 0.0, &mut scratch);
+            let (docs, _) = scratch.columns();
+            assert_eq!(docs, &[DocId(0), DocId(1)]);
+        }
     }
 }

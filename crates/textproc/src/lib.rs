@@ -32,7 +32,7 @@ pub mod tfidf;
 pub mod tokenize;
 pub mod vocab;
 
-pub use index::InvertedIndex;
+pub use index::{CandidateScratch, InvertedIndex};
 pub use search::{SearchEngine, SearchHit};
 pub use sparse::SparseVector;
 pub use tfidf::TfIdfModel;

@@ -36,7 +36,7 @@ fn main() {
 
     for (name, scores) in [("citation", &citation), ("pattern", &pattern)] {
         println!("top 5 by {name}-based prestige:");
-        let mut ranked: Vec<_> = scores.scores(context).to_vec();
+        let mut ranked: Vec<_> = scores.scores(context);
         ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
         for (p, s) in ranked.iter().take(5) {
             println!(
@@ -45,7 +45,7 @@ fn main() {
                 truncate(&engine.corpus().paper(*p).title, 64)
             );
         }
-        let sd = separability_sd(&scores.score_values(context), 10);
+        let sd = separability_sd(scores.score_values(context), 10);
         println!("  separability SD (0 = perfectly uniform): {sd:.1}\n");
     }
 

@@ -761,8 +761,8 @@ fn cmd_search(flags: &Flags) -> Result<(), String> {
         for name in [
             "engine.search",
             "search.select_contexts",
-            "search.keyword_match",
-            "search.relevancy",
+            "search.candidates",
+            "search.rank",
         ] {
             if let Some(s) = snap.span(name) {
                 eprintln!(

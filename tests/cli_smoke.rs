@@ -186,8 +186,8 @@ fn metrics_flag_writes_telemetry_snapshots() {
     for name in [
         "engine.search",
         "search.select_contexts",
-        "search.keyword_match",
-        "search.relevancy",
+        "search.candidates",
+        "search.rank",
     ] {
         let span = snap
             .span(name)
@@ -290,7 +290,7 @@ fn trace_flag_writes_chrome_trace() {
     // The query path and its explain instants are in the trace.
     for name in [
         "engine.search",
-        "search.keyword_match",
+        "search.candidates",
         "search.contexts_selected",
         "search.keyword_candidates",
         "search.relevancy_candidates",

@@ -57,10 +57,10 @@ proptest! {
         for f in [ScoreFunction::Citation, ScoreFunction::Pattern] {
             let prestige = e.prestige(&sets, f);
             for c in prestige.contexts() {
-                for &(_, s) in prestige.scores(c) {
+                for &(_, s) in prestige.scores(c).iter() {
                     prop_assert!(s.is_finite() && (0.0..=1.0 + 1e-9).contains(&s));
                 }
-                let sd = separability_sd(&prestige.score_values(c), 10);
+                let sd = separability_sd(prestige.score_values(c), 10);
                 prop_assert!(sd.is_finite() && sd >= 0.0);
             }
         }

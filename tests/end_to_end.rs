@@ -49,7 +49,7 @@ fn all_three_score_functions_produce_valid_scores() {
         let prestige = e.prestige(sets, function);
         let mut n_scores = 0usize;
         for c in prestige.contexts() {
-            for &(p, s) in prestige.scores(c) {
+            for &(p, s) in prestige.scores(c).iter() {
                 assert!(
                     s.is_finite() && (0.0..=1.0 + 1e-9).contains(&s),
                     "{function:?} score {s} for {p:?} in {c}"
@@ -69,7 +69,7 @@ fn hierarchy_propagation_gives_ancestors_at_least_descendant_scores() {
     let onto = e.ontology();
     for c in sets.contexts() {
         for &child in onto.children(c) {
-            for &(p, s_child) in prestige.scores(child) {
+            for &(p, s_child) in prestige.scores(child).iter() {
                 if sets.is_member(c, p) {
                     let s_parent = prestige
                         .get(c, p)

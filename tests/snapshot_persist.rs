@@ -3,7 +3,9 @@
 //! damaged snapshot directory must fail with a clean [`PersistError`],
 //! never a panic.
 
-use litsearch::context_search::persist::{load_snapshot, save_snapshot, PersistError};
+use litsearch::context_search::persist::{
+    load_snapshot, save_snapshot, PersistError, SNAPSHOT_VERSION,
+};
 use litsearch::context_search::{ContextSetKind, EngineConfig, ScoreFunction};
 use litsearch::demo::{snapshot, Scale};
 use std::path::PathBuf;
@@ -71,11 +73,12 @@ fn damaged_snapshots_fail_cleanly_not_loudly() {
     let pristine = std::fs::read_to_string(&header_path).unwrap();
 
     // A future format version is refused, not misread.
-    std::fs::write(
-        &header_path,
-        pristine.replace("\"version\": 1", "\"version\": 99"),
-    )
-    .unwrap();
+    let tampered = pristine.replace(
+        &format!("\"version\": {SNAPSHOT_VERSION}"),
+        "\"version\": 99",
+    );
+    assert_ne!(tampered, pristine, "header must carry the current version");
+    std::fs::write(&header_path, tampered).unwrap();
     let err = load_snapshot(&dir, EngineConfig::default()).unwrap_err();
     assert!(
         matches!(err, PersistError::VersionMismatch { found: 99, .. }),
