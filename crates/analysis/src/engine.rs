@@ -14,10 +14,11 @@
 //!   or unused directives are themselves findings under the
 //!   `lint-allow` meta-rule.
 
+use crate::callgraph::CallGraph;
 use crate::report::{Finding, LintReport, Severity, SuppressionUse};
 use crate::rules::{all_rules, span_drift, RawFinding, Rule};
 use crate::scanner::{scan, SourceFile};
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -60,6 +61,16 @@ impl Workspace {
             })
             .collect();
         Ok(Self { files, baselines })
+    }
+
+    /// Load a workspace restricted to the given workspace-relative
+    /// paths (`--paths` fast mode). Paths not found on disk are
+    /// silently dropped: a changed-file list may name deleted files.
+    pub fn from_root_filtered(root: &Path, keep: &[String]) -> io::Result<Self> {
+        let mut ws = Self::from_root(root)?;
+        let keep: BTreeSet<&str> = keep.iter().map(String::as_str).collect();
+        ws.files.retain(|f| keep.contains(f.path.as_str()));
+        Ok(ws)
     }
 
     /// Build a workspace from in-memory sources — the test seam.
@@ -105,6 +116,11 @@ fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<String>) -> io::Resul
 pub struct LintConfig {
     /// (rule id, forced severity); later entries win.
     pub overrides: Vec<(String, Severity)>,
+    /// `--paths` fast mode: only the per-file token rules run. The
+    /// workspace-scoped rules (call-graph reachability, span
+    /// registry/baseline checks) need every file to reach a verdict,
+    /// so they are skipped and their suppressions are not stale-checked.
+    pub fast_only: bool,
 }
 
 impl LintConfig {
@@ -127,6 +143,14 @@ pub const LINT_ALLOW_RULE: &str = "lint-allow";
 
 /// Run every rule over the workspace and settle suppressions.
 pub fn lint(ws: &Workspace, config: &LintConfig) -> LintReport {
+    // One call graph serves every interprocedural rule; fast mode
+    // (partial workspace) cannot build a truthful one, so it skips
+    // the workspace-scoped rules altogether.
+    let graph = if config.fast_only {
+        None
+    } else {
+        Some(CallGraph::build(ws))
+    };
     let mut raw: Vec<(&'static str, Severity, RawFinding)> = Vec::new();
     for rule in all_rules() {
         let severity = config.severity_for(rule.as_ref());
@@ -138,8 +162,13 @@ pub fn lint(ws: &Workspace, config: &LintConfig) -> LintReport {
                 raw.push((rule.id(), severity, f));
             }
         }
-        for f in rule.check_workspace(ws) {
-            raw.push((rule.id(), severity, f));
+        if let Some(graph) = &graph {
+            for f in rule.check_workspace(ws) {
+                raw.push((rule.id(), severity, f));
+            }
+            for f in rule.check_graph(ws, graph) {
+                raw.push((rule.id(), severity, f));
+            }
         }
     }
 
@@ -148,11 +177,11 @@ pub fn lint(ws: &Workspace, config: &LintConfig) -> LintReport {
         files_scanned: ws.files.len(),
         ..LintReport::default()
     };
-    let mut used: HashMap<(String, u32), bool> = HashMap::new();
+    let mut used: HashMap<(String, u32), (String, bool)> = HashMap::new();
     for file in &ws.files {
         for d in &file.allows {
             let valid = LintConfig::known_rule(&d.rule) && !d.reason.trim().is_empty();
-            used.insert((file.path.clone(), d.line), !valid);
+            used.insert((file.path.clone(), d.line), (d.rule.clone(), !valid));
             if !LintConfig::known_rule(&d.rule) {
                 report.findings.push(Finding {
                     rule: LINT_ALLOW_RULE.to_string(),
@@ -164,6 +193,7 @@ pub fn lint(ws: &Workspace, config: &LintConfig) -> LintReport {
                         "lint:allow names unknown rule `{}`; run --list-rules for valid ids",
                         d.rule
                     ),
+                    chain: Vec::new(),
                 });
             } else if d.reason.trim().is_empty() {
                 report.findings.push(Finding {
@@ -176,6 +206,7 @@ pub fn lint(ws: &Workspace, config: &LintConfig) -> LintReport {
                         "lint:allow({}) has no reason; suppressions must justify themselves",
                         d.rule
                     ),
+                    chain: Vec::new(),
                 });
             }
         }
@@ -194,9 +225,9 @@ pub fn lint(ws: &Workspace, config: &LintConfig) -> LintReport {
                 })
             });
         if let Some(d) = directive {
-            if let Some(flag) = used.get_mut(&(f.path.clone(), d.line)) {
-                if !*flag {
-                    *flag = true;
+            if let Some((_, was_used)) = used.get_mut(&(f.path.clone(), d.line)) {
+                if !*was_used {
+                    *was_used = true;
                     report.suppressions.push(SuppressionUse {
                         rule: rule_id.to_string(),
                         path: f.path.clone(),
@@ -214,22 +245,37 @@ pub fn lint(ws: &Workspace, config: &LintConfig) -> LintReport {
             line: f.line,
             col: f.col,
             message: f.message,
+            chain: f.chain,
         });
     }
 
-    // Valid directives that silenced nothing are stale — warn so they
-    // get cleaned up once the underlying code is fixed.
-    for ((path, line), was_used) in &used {
-        if !*was_used {
-            report.findings.push(Finding {
-                rule: LINT_ALLOW_RULE.to_string(),
-                severity: Severity::Warn,
-                path: path.clone(),
-                line: *line,
-                col: 0,
-                message: "lint:allow suppresses nothing; remove the stale directive".to_string(),
-            });
+    // Valid directives that silenced nothing are stale — warn (which
+    // --deny-warnings turns into a failure) so they get cleaned up
+    // once the underlying code is fixed. Fast mode skipped the
+    // workspace-scoped rules, so their directives get no verdict.
+    let workspace_rules: BTreeSet<&'static str> = all_rules()
+        .iter()
+        .filter(|r| r.workspace_scoped())
+        .map(|r| r.id())
+        .collect();
+    for ((path, line), (rule, was_used)) in &used {
+        if *was_used {
+            continue;
         }
+        if config.fast_only && workspace_rules.contains(rule.as_str()) {
+            continue;
+        }
+        report.findings.push(Finding {
+            rule: LINT_ALLOW_RULE.to_string(),
+            severity: Severity::Warn,
+            path: path.clone(),
+            line: *line,
+            col: 0,
+            message: format!(
+                "lint:allow({rule}) on line {line} suppresses nothing; remove the stale directive"
+            ),
+            chain: Vec::new(),
+        });
     }
 
     report
@@ -356,6 +402,7 @@ mod tests {
         );
         let cfg = LintConfig {
             overrides: vec![("no-panic-serving".to_string(), Severity::Warn)],
+            fast_only: false,
         };
         let r = lint(&ws, &cfg);
         assert_eq!(r.deny_count(), 0);

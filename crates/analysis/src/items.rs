@@ -1,0 +1,371 @@
+//! Lightweight item extraction: `mod` / `impl` / `trait` / `fn`
+//! structure recovered from the token stream, no `syn`.
+//!
+//! This is the front half of the interprocedural layer. It does not
+//! try to be a Rust parser — it tracks a scope stack keyed to brace
+//! depth and recognizes item headers by keyword, which is enough to
+//! attribute every function body to a (module path, impl type, name)
+//! triple. The documented approximations:
+//!
+//! - Generic parameters are skipped by angle-bracket matching; const
+//!   generic *default expressions* containing braces would desync the
+//!   scan (none exist in this workspace, and the self-check test keeps
+//!   it that way).
+//! - An impl's self type is the last path segment of the first type
+//!   path after `for` (or after the generics when there is no `for`),
+//!   so `impl fmt::Display for Window` registers methods under
+//!   `Window` and blanket impls register under the last named segment.
+//! - Macro invocations and definitions with brace bodies
+//!   (`thread_local! { … }`, `macro_rules! … { … }`) are opaque: no
+//!   items are extracted from inside them, so macro fragment grammars
+//!   cannot fabricate phantom functions.
+//! - `#[cfg(test)]` / `#[test]` functions are extracted but flagged
+//!   `is_test`; the call-graph builder drops them.
+
+use crate::scanner::{is_keyword, SourceFile, Tok, TokKind};
+
+/// One `fn` item attributed to its lexical scope.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// Function name (raw identifiers keep their `r#` framing).
+    pub name: String,
+    /// Innermost enclosing `impl`/`trait` self type, if any.
+    pub impl_type: Option<String>,
+    /// Inline `mod` names enclosing the item, outermost first. File
+    /// modules are not included — the call-graph builder derives those
+    /// from the path.
+    pub inline_mods: Vec<String>,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// True for `#[cfg(test)]` / `#[test]` items.
+    pub is_test: bool,
+    /// Token-index range of the body `{ … }` braces, inclusive.
+    /// `None` for bodiless signatures (trait requirements, externs).
+    pub body: Option<(usize, usize)>,
+}
+
+#[derive(Debug, Clone)]
+enum ScopeKind {
+    Mod(String),
+    ImplOrTrait(String),
+    Anon,
+}
+
+/// Tokens that put a following `impl` in *type* position
+/// (`-> impl Iterator`, `x: impl Fn()`, …) rather than item position.
+const TYPE_POS_PREV: &[&str] = &["->", "(", ",", ":", "=", "<", "&", "+", "|", "dyn", "where"];
+
+fn text(toks: &[Tok], i: usize) -> &str {
+    toks.get(i).map_or("", |t| t.text.as_str())
+}
+
+/// Extract every `fn` item in the file, in source order.
+pub fn extract_items(file: &SourceFile) -> Vec<FnItem> {
+    let toks = &file.tokens;
+    let mut items = Vec::new();
+    let mut stack: Vec<ScopeKind> = Vec::new();
+    let mut pending: Option<ScopeKind> = None;
+    let mut i = 0usize;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "{" => stack.push(pending.take().unwrap_or(ScopeKind::Anon)),
+                "}" => {
+                    stack.pop();
+                }
+                ";" => pending = None,
+                _ => {}
+            }
+            i += 1;
+            continue;
+        }
+        if t.kind == TokKind::Ident {
+            // Opaque macro body: `ident ! { … }` or
+            // `macro_rules! name { … }` — jump past it.
+            if text(toks, i + 1) == "!" {
+                let open = if text(toks, i + 2) == "{" {
+                    Some(i + 2)
+                } else if t.text == "macro_rules" && text(toks, i + 3) == "{" {
+                    Some(i + 3)
+                } else {
+                    None
+                };
+                if let Some(open) = open {
+                    if let Some(close) = matching_brace(toks, open) {
+                        i = close + 1;
+                        continue;
+                    }
+                }
+            }
+            let named_by_next = |toks: &[Tok]| {
+                toks.get(i + 1)
+                    .is_some_and(|n| n.kind == TokKind::Ident && !is_keyword(&n.text))
+            };
+            match t.text.as_str() {
+                "mod" if named_by_next(toks) => {
+                    pending = Some(ScopeKind::Mod(toks[i + 1].text.clone()));
+                }
+                "impl" => {
+                    let prev = if i == 0 { "" } else { text(toks, i - 1) };
+                    if !TYPE_POS_PREV.contains(&prev) {
+                        if let Some(ty) = parse_impl_header(toks, i) {
+                            pending = Some(ScopeKind::ImplOrTrait(ty));
+                        }
+                    }
+                }
+                "trait" if named_by_next(toks) => {
+                    pending = Some(ScopeKind::ImplOrTrait(toks[i + 1].text.clone()));
+                }
+                "fn" => {
+                    if let Some(item) = parse_fn(toks, i, &stack) {
+                        items.push(item);
+                    }
+                }
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    items
+}
+
+/// Token index of the `}` matching the `{` at `open`, by depth count.
+/// String/char contents are separate token kinds, so braces inside
+/// literals never miscount.
+pub(crate) fn matching_brace(toks: &[Tok], open: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (k, t) in toks.iter().enumerate().skip(open) {
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some(k);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    None
+}
+
+/// Self type of the impl whose `impl` keyword sits at `i`.
+fn parse_impl_header(toks: &[Tok], i: usize) -> Option<String> {
+    let mut j = i + 1;
+    // Skip `<…>` generic parameters.
+    if text(toks, j) == "<" {
+        let mut depth = 0i32;
+        while j < toks.len() {
+            match text(toks, j) {
+                "<" => depth += 1,
+                ">" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                "{" | ";" | "" => return None,
+                _ => {}
+            }
+            j += 1;
+        }
+    }
+    // Find a `for` at bracket depth 0 before the body / where clause.
+    let mut k = j;
+    let mut for_at = None;
+    let mut depth = 0i32;
+    let end;
+    loop {
+        if k >= toks.len() {
+            end = k;
+            break;
+        }
+        match toks[k].text.as_str() {
+            "<" | "(" | "[" => depth += 1,
+            ">" | ")" | "]" => depth -= 1,
+            "for" if depth == 0 => for_at = Some(k),
+            "{" | "where" | ";" if depth <= 0 => {
+                end = k;
+                break;
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+    // The self type: last plain path segment of the first type path.
+    let start = for_at.map_or(j, |f| f + 1);
+    let mut last: Option<String> = None;
+    let mut m = start;
+    while m < end {
+        let t = &toks[m];
+        match t.text.as_str() {
+            "&" | "mut" | "dyn" | "::" => {}
+            "<" | "{" | "where" | "(" => break,
+            _ if t.kind == TokKind::Ident && !is_keyword(&t.text) => {
+                last = Some(t.text.clone());
+            }
+            _ if t.kind == TokKind::Lifetime => {}
+            _ => {
+                if last.is_some() {
+                    break;
+                }
+            }
+        }
+        m += 1;
+    }
+    last
+}
+
+/// Parse the `fn` item whose keyword sits at `i`.
+fn parse_fn(toks: &[Tok], i: usize, stack: &[ScopeKind]) -> Option<FnItem> {
+    let nt = toks.get(i + 1)?;
+    if nt.kind != TokKind::Ident || is_keyword(&nt.text) {
+        return None; // `fn(u32) -> u32` function-pointer type
+    }
+    // Walk the signature: the body is the first `{` at bracket depth 0;
+    // a `;` there means a bodiless signature.
+    let mut j = i + 2;
+    let mut depth = 0i32;
+    let mut body = None;
+    while j < toks.len() {
+        match toks[j].text.as_str() {
+            "(" | "[" | "<" => depth += 1,
+            ")" | "]" | ">" => depth -= 1,
+            "{" if depth <= 0 => {
+                body = Some((j, matching_brace(toks, j)?));
+                break;
+            }
+            ";" if depth <= 0 => break,
+            _ => {}
+        }
+        j += 1;
+    }
+    let mut inline_mods = Vec::new();
+    let mut impl_type = None;
+    for s in stack {
+        match s {
+            ScopeKind::Mod(m) => inline_mods.push(m.clone()),
+            ScopeKind::ImplOrTrait(t) => impl_type = Some(t.clone()),
+            ScopeKind::Anon => {}
+        }
+    }
+    Some(FnItem {
+        name: nt.text.clone(),
+        impl_type,
+        inline_mods,
+        line: toks[i].line,
+        is_test: nt.in_test,
+        body,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scanner::scan;
+
+    fn items(src: &str) -> Vec<FnItem> {
+        extract_items(&scan("crates/core/src/x.rs", src))
+    }
+
+    #[test]
+    fn free_and_method_fns_are_attributed() {
+        let got = items(
+            "pub fn free() {}\n\
+             impl Searcher {\n    pub fn query(&self) -> u32 { 1 }\n}\n\
+             impl fmt::Display for Window {\n    fn fmt(&self) {}\n}\n",
+        );
+        let names: Vec<(String, Option<String>)> = got
+            .iter()
+            .map(|f| (f.name.clone(), f.impl_type.clone()))
+            .collect();
+        assert_eq!(
+            names,
+            [
+                ("free".to_string(), None),
+                ("query".to_string(), Some("Searcher".to_string())),
+                ("fmt".to_string(), Some("Window".to_string())),
+            ]
+        );
+    }
+
+    #[test]
+    fn generic_impl_headers_resolve_self_type() {
+        let got = items("impl<'a, T: Clone> Holder<'a, T> {\n    fn get(&self) {}\n}\n");
+        assert_eq!(got[0].impl_type.as_deref(), Some("Holder"));
+    }
+
+    #[test]
+    fn type_position_impl_is_not_a_scope() {
+        let got = items(
+            "fn mk() -> impl Iterator<Item = u32> { std::iter::empty() }\n\
+             fn take(f: impl Fn() -> u32) { f(); }\n",
+        );
+        assert_eq!(got.len(), 2);
+        assert!(got.iter().all(|f| f.impl_type.is_none()));
+    }
+
+    #[test]
+    fn inline_mods_and_nested_fns() {
+        let got = items(
+            "mod stats {\n    pub fn outer() {\n        fn inner() {}\n        inner();\n    }\n}\n",
+        );
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].name, "outer");
+        assert_eq!(got[0].inline_mods, ["stats"]);
+        assert_eq!(got[1].name, "inner");
+        // inner's body nests strictly inside outer's.
+        let (os, oe) = got[0].body.unwrap();
+        let (is_, ie) = got[1].body.unwrap();
+        assert!(os < is_ && ie < oe);
+    }
+
+    #[test]
+    fn trait_decls_attribute_default_bodies() {
+        let got =
+            items("trait Rule {\n    fn id(&self) -> &str;\n    fn check(&self) -> u32 { 0 }\n}\n");
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].body, None);
+        assert!(got[1].body.is_some());
+        assert_eq!(got[1].impl_type.as_deref(), Some("Rule"));
+    }
+
+    #[test]
+    fn macro_bodies_are_opaque() {
+        let got = items(
+            "thread_local! {\n    static S: u32 = 0;\n}\n\
+             macro_rules! gen {\n    () => { fn phantom() {} };\n}\n\
+             fn real() {}\n",
+        );
+        let names: Vec<&str> = got.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["real"]);
+    }
+
+    #[test]
+    fn test_fns_are_flagged() {
+        let got = items("fn live() {}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {}\n}\n");
+        assert_eq!(got.len(), 2);
+        assert!(!got[0].is_test);
+        assert!(got[1].is_test);
+        assert_eq!(got[1].inline_mods, ["tests"]);
+    }
+
+    #[test]
+    fn raw_identifier_fn_names_survive() {
+        let got = items("fn r#loop() {}\n");
+        assert_eq!(got[0].name, "r#loop");
+    }
+
+    #[test]
+    fn fn_signature_with_generics_finds_body() {
+        let got = items(
+            "fn pick<T: Ord>(xs: &[T], cmp: impl Fn(&T, &T) -> bool) -> Option<&T> { xs.first() }\n",
+        );
+        assert_eq!(got.len(), 1);
+        assert!(got[0].body.is_some());
+    }
+}

@@ -16,7 +16,10 @@
 //! semantics (`// lint:allow(rule-id, reason)`), and [`report`] for
 //! the output formats.
 
+pub mod callgraph;
 pub mod engine;
+pub mod items;
+pub mod reach;
 pub mod report;
 pub mod rules;
 pub mod scanner;

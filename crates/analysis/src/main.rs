@@ -3,7 +3,8 @@
 //! Exit codes: `0` clean (or warn-only), `1` deny findings (or any
 //! finding under `--deny-warnings`), `2` usage/engine error.
 
-use analysis::{all_rules, discover_root, lint, LintConfig, Severity, Workspace};
+use analysis::rules::span_coverage;
+use analysis::{all_rules, callgraph, discover_root, lint, LintConfig, Severity, Workspace};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -20,6 +21,11 @@ OPTIONS:
     --deny-warnings    exit non-zero on warn-severity findings too
     --deny RULE        force RULE to deny severity
     --warn RULE        force RULE to warn severity
+    --paths LIST       comma-separated workspace-relative .rs files:
+                       fast mode, per-file token rules only (pre-commit)
+    --emit-callgraph F write the workspace call graph to F
+                       (.dot => Graphviz, anything else => JSON)
+    --emit-registry F  write the span-name registry JSON to F
     --list-rules       print the rule catalogue and exit
     --help             this text
 ";
@@ -37,6 +43,9 @@ struct Args {
     deny_warnings: bool,
     config: LintConfig,
     list_rules: bool,
+    paths: Option<Vec<String>>,
+    emit_callgraph: Option<PathBuf>,
+    emit_registry: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -47,6 +56,9 @@ fn parse_args() -> Result<Args, String> {
         deny_warnings: false,
         config: LintConfig::default(),
         list_rules: false,
+        paths: None,
+        emit_callgraph: None,
+        emit_registry: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -75,6 +87,20 @@ fn parse_args() -> Result<Args, String> {
                 };
                 args.config.overrides.push((rule, sev));
             }
+            "--paths" => {
+                let list: Vec<String> = value("--paths")?
+                    .split(',')
+                    .map(|p| p.trim().trim_start_matches("./").to_string())
+                    .filter(|p| !p.is_empty())
+                    .collect();
+                if list.is_empty() {
+                    return Err("--paths needs at least one path".to_string());
+                }
+                args.paths = Some(list);
+                args.config.fast_only = true;
+            }
+            "--emit-callgraph" => args.emit_callgraph = Some(PathBuf::from(value(&arg)?)),
+            "--emit-registry" => args.emit_registry = Some(PathBuf::from(value(&arg)?)),
             "--list-rules" => args.list_rules = true,
             "--help" | "-h" => {
                 print!("{USAGE}");
@@ -82,6 +108,12 @@ fn parse_args() -> Result<Args, String> {
             }
             other => return Err(format!("unknown argument `{other}`")),
         }
+    }
+    if args.paths.is_some() && (args.emit_callgraph.is_some() || args.emit_registry.is_some()) {
+        return Err(
+            "--emit-callgraph / --emit-registry need a full workspace scan; drop --paths"
+                .to_string(),
+        );
     }
     Ok(args)
 }
@@ -110,8 +142,31 @@ fn run() -> Result<ExitCode, String> {
             )?
         }
     };
-    let ws =
-        Workspace::from_root(&root).map_err(|e| format!("scanning {}: {e}", root.display()))?;
+    let ws = match &args.paths {
+        Some(paths) => Workspace::from_root_filtered(&root, paths),
+        None => Workspace::from_root(&root),
+    }
+    .map_err(|e| format!("scanning {}: {e}", root.display()))?;
+
+    if let Some(path) = &args.emit_callgraph {
+        let graph = callgraph::CallGraph::build(&ws);
+        let rendered = if path.extension().is_some_and(|e| e == "dot") {
+            graph.to_dot()
+        } else {
+            graph.to_json()
+        };
+        std::fs::write(path, rendered).map_err(|e| format!("writing {}: {e}", path.display()))?;
+        eprintln!("litsearch-lint: call graph written to {}", path.display());
+    }
+    if let Some(path) = &args.emit_registry {
+        std::fs::write(path, span_coverage::registry_json(&ws))
+            .map_err(|e| format!("writing {}: {e}", path.display()))?;
+        eprintln!(
+            "litsearch-lint: span registry written to {}",
+            path.display()
+        );
+    }
+
     let report = lint(&ws, &args.config);
 
     let rendered = match args.format {

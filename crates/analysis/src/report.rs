@@ -19,6 +19,17 @@ impl Severity {
     }
 }
 
+/// One hop of an interprocedural witness chain.
+#[derive(Debug, Clone)]
+pub struct ChainStep {
+    /// Display symbol, e.g. `Searcher::query`.
+    pub symbol: String,
+    /// File declaring the function.
+    pub path: String,
+    /// 1-based line of the declaration.
+    pub line: u32,
+}
+
 /// One reported violation.
 #[derive(Debug, Clone)]
 pub struct Finding {
@@ -34,6 +45,9 @@ pub struct Finding {
     pub col: u32,
     /// Human explanation, invariant first.
     pub message: String,
+    /// Witness call chain, root entrypoint first (empty for
+    /// token-level findings).
+    pub chain: Vec<ChainStep>,
 }
 
 /// A suppression that matched a finding.
@@ -109,6 +123,14 @@ impl LintReport {
                 f.rule,
                 f.message
             ));
+            if !f.chain.is_empty() {
+                let hops: Vec<String> = f
+                    .chain
+                    .iter()
+                    .map(|c| format!("{} ({}:{})", c.symbol, c.path, c.line))
+                    .collect();
+                out.push_str(&format!("    call chain: {}\n", hops.join(" -> ")));
+            }
         }
         for s in &self.suppressions {
             out.push_str(&format!(
@@ -127,14 +149,27 @@ impl LintReport {
             if i > 0 {
                 out.push(',');
             }
+            let chain: Vec<String> = f
+                .chain
+                .iter()
+                .map(|c| {
+                    format!(
+                        "{{\"symbol\": {}, \"path\": {}, \"line\": {}}}",
+                        json_str(&c.symbol),
+                        json_str(&c.path),
+                        c.line
+                    )
+                })
+                .collect();
             out.push_str(&format!(
-                "\n    {{\"rule\": {}, \"severity\": {}, \"path\": {}, \"line\": {}, \"col\": {}, \"message\": {}}}",
+                "\n    {{\"rule\": {}, \"severity\": {}, \"path\": {}, \"line\": {}, \"col\": {}, \"message\": {}, \"chain\": [{}]}}",
                 json_str(&f.rule),
                 json_str(f.severity.name()),
                 json_str(&f.path),
                 f.line,
                 f.col,
-                json_str(&f.message)
+                json_str(&f.message),
+                chain.join(", ")
             ));
         }
         out.push_str("\n  ],\n  \"suppressions\": [");
@@ -151,9 +186,10 @@ impl LintReport {
             ));
         }
         out.push_str(&format!(
-            "\n  ],\n  \"deny\": {},\n  \"warn\": {},\n  \"files_scanned\": {}\n}}\n",
+            "\n  ],\n  \"deny\": {},\n  \"warn\": {},\n  \"suppressed\": {},\n  \"files_scanned\": {}\n}}\n",
             self.deny_count(),
             self.warn_count(),
+            self.suppressions.len(),
             self.files_scanned
         ));
         out
@@ -166,6 +202,12 @@ impl LintReport {
         if !self.findings.is_empty() {
             out.push_str("| severity | rule | location | message |\n|---|---|---|---|\n");
             for f in &self.findings {
+                let mut message = f.message.replace('|', "\\|");
+                if !f.chain.is_empty() {
+                    let hops: Vec<String> =
+                        f.chain.iter().map(|c| format!("`{}`", c.symbol)).collect();
+                    message.push_str(&format!("<br>chain: {}", hops.join(" → ")));
+                }
                 out.push_str(&format!(
                     "| {} | `{}` | `{}:{}:{}` | {} |\n",
                     f.severity.name(),
@@ -173,7 +215,7 @@ impl LintReport {
                     f.path,
                     f.line,
                     f.col,
-                    f.message.replace('|', "\\|")
+                    message
                 ));
             }
             out.push('\n');
@@ -191,8 +233,9 @@ impl LintReport {
     }
 }
 
-/// Minimal JSON string escaping.
-fn json_str(s: &str) -> String {
+/// Minimal JSON string escaping, shared by the report and the
+/// call-graph / registry exporters.
+pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -223,6 +266,11 @@ mod tests {
                 line: 3,
                 col: 7,
                 message: "`unwrap()` on the serving path".to_string(),
+                chain: vec![ChainStep {
+                    symbol: "Searcher::query".to_string(),
+                    path: "crates/core/src/search/serve.rs".to_string(),
+                    line: 149,
+                }],
             }],
             suppressions: vec![SuppressionUse {
                 rule: "float-total-order".to_string(),

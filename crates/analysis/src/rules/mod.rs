@@ -6,22 +6,34 @@
 //! | `no-locks-on-hot-path` | PR 3's lock-free serving claim stays true |
 //! | `float-total-order` | ranking comparisons are total (NaN-safe, deterministic) |
 //! | `no-wallclock-outside-obs` | wall-clock reads stay inside telemetry/bench code |
-//! | `span-name-drift` | CI-gated span names still exist as source literals |
+//! | `span-name-drift` | the checked-in metrics baselines stay readable and well-formed |
+//! | `span-coverage` | every baseline-gated span name exists in the workspace span registry |
 //! | `hashmap-order-leak` | hash iteration order never leaks into ranked output |
+//! | `panic-reachable-serving` | no panic site is call-reachable from a serve entrypoint |
+//! | `lock-reachable-hot-path` | no lock is call-reachable from a serve entrypoint |
+//! | `alloc-on-hot-path` | the per-candidate kernel never allocates outside the scratch pool |
 //!
-//! Rules are token-pattern matchers over [`SourceFile`] streams — no
-//! type information. Where that forces a heuristic (float expressions,
-//! hash-iteration flow), the rule errs toward silence on patterns it
-//! cannot classify and the dynamic tests cover the remainder.
+//! The per-file rules are token-pattern matchers over [`SourceFile`]
+//! streams — no type information. Where that forces a heuristic
+//! (float expressions, hash-iteration flow), the rule errs toward
+//! silence on patterns it cannot classify and the dynamic tests cover
+//! the remainder. The `*-reachable-*` rules run over the approximate
+//! call graph ([`crate::callgraph`]) instead and err the other way:
+//! name-based resolution over-approximates, and the boundary stop-list
+//! plus narrowed leaf-fact sets (see [`crate::reach`]) keep the
+//! false-positive rate at zero on this workspace.
 
+use crate::callgraph::CallGraph;
 use crate::engine::Workspace;
-use crate::report::Severity;
+use crate::report::{ChainStep, Severity};
 use crate::scanner::{SourceFile, Tok};
 
 pub mod float_order;
 pub mod hashmap_order;
+pub mod interproc;
 pub mod no_locks;
 pub mod no_panic;
+pub mod span_coverage;
 pub mod span_drift;
 pub mod wallclock;
 
@@ -36,6 +48,8 @@ pub struct RawFinding {
     pub col: u32,
     /// Explanation.
     pub message: String,
+    /// Witness call chain for interprocedural findings (root first).
+    pub chain: Vec<ChainStep>,
 }
 
 impl RawFinding {
@@ -46,6 +60,18 @@ impl RawFinding {
             line: tok.line,
             col: tok.col,
             message,
+            chain: Vec::new(),
+        }
+    }
+
+    /// Finding anchored at an explicit position, no chain.
+    pub fn at_pos(path: &str, line: u32, col: u32, message: String) -> Self {
+        Self {
+            path: path.to_string(),
+            line,
+            col,
+            message,
+            chain: Vec::new(),
         }
     }
 }
@@ -71,6 +97,18 @@ pub trait Rule {
     fn check_workspace(&self, _ws: &Workspace) -> Vec<RawFinding> {
         Vec::new()
     }
+    /// Interprocedural check over the workspace call graph. Only runs
+    /// when the engine built a graph (full-workspace scans).
+    fn check_graph(&self, _ws: &Workspace, _graph: &CallGraph) -> Vec<RawFinding> {
+        Vec::new()
+    }
+    /// True for rules whose verdict needs the whole workspace (the
+    /// call graph or cross-file state). `--paths` fast mode skips
+    /// them, and their `lint:allow` directives are exempt from the
+    /// stale check there.
+    fn workspace_scoped(&self) -> bool {
+        false
+    }
 }
 
 /// Every rule, in report order.
@@ -81,7 +119,11 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
         Box::new(float_order::FloatTotalOrder),
         Box::new(wallclock::NoWallclockOutsideObs),
         Box::new(span_drift::SpanNameDrift),
+        Box::new(span_coverage::SpanCoverage),
         Box::new(hashmap_order::HashmapOrderLeak),
+        Box::new(interproc::PanicReachableServing),
+        Box::new(interproc::LockReachableHotPath),
+        Box::new(interproc::AllocOnHotPath),
     ]
 }
 

@@ -251,6 +251,19 @@ pub fn scan(path: &str, src: &str) -> SourceFile {
                     push(&mut tokens, TokKind::Str, text, line, col);
                 } else {
                     let mut text = String::new();
+                    // A raw identifier (`r#fn`, `r#mod`) keeps its `r#`
+                    // framing in the token text, so it can never be
+                    // mistaken for the keyword it escapes — the item
+                    // extractor keys `fn`/`mod`/`impl` off exact text.
+                    if c == 'r'
+                        && cur.peek(1) == Some('#')
+                        && matches!(cur.peek(2), Some(c2) if c2.is_alphabetic() || c2 == '_')
+                    {
+                        text.push('r');
+                        text.push('#');
+                        cur.bump();
+                        cur.bump();
+                    }
                     while let Some(c) = cur.peek(0) {
                         if c.is_alphanumeric() || c == '_' {
                             text.push(c);
@@ -356,13 +369,25 @@ fn scan_quote(cur: &mut Cursor, tokens: &mut Vec<Tok>, line: u32, col: u32) {
     cur.bump(); // the quote
     match cur.peek(0) {
         Some('\\') => {
-            // Escaped char literal.
+            // Escaped char literal. The char right after a backslash is
+            // payload even when it is a quote (`'\''`, `'\\'`), so track
+            // escape state instead of breaking on the first `'`.
             let mut text = String::new();
+            let mut esc = false;
             while let Some(c) = cur.bump() {
-                if c == '\'' {
-                    break;
+                if esc {
+                    esc = false;
+                    text.push(c);
+                    continue;
                 }
-                text.push(c);
+                match c {
+                    '\\' => {
+                        esc = true;
+                        text.push(c);
+                    }
+                    '\'' => break,
+                    _ => text.push(c),
+                }
             }
             push(tokens, TokKind::Char, text, line, col);
         }
@@ -726,6 +751,60 @@ mod tests {
             .filter(|t| ["==", "!=", "::", "->"].contains(&t.as_str()))
             .collect();
         assert_eq!(puncts, ["==", "!=", "::", "->"]);
+    }
+
+    #[test]
+    fn raw_identifiers_stay_single_tokens() {
+        // `r#fn` / `r#mod` must not split into `r`, `#`, and a keyword —
+        // that would desync item extraction into phantom declarations.
+        let f = scan("x.rs", "fn r#fn() { r#mod(); let r#impl = 1; }");
+        let idents: Vec<&str> = f
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert!(idents.contains(&"r#fn"));
+        assert!(idents.contains(&"r#mod"));
+        assert!(idents.contains(&"r#impl"));
+        assert_eq!(
+            idents.iter().filter(|t| **t == "fn").count(),
+            1,
+            "only the real `fn` keyword may appear: {idents:?}"
+        );
+        assert!(!idents.contains(&"mod"), "r#mod must not leak a keyword");
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings_scan_as_whole_literals() {
+        let src = "let a = b\"fn {\"; let b = br#\"mod \" {\"#; let c = b\"\\\"esc\";";
+        let f = scan("x.rs", src);
+        let strs: Vec<&str> = f
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Str)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(strs, ["fn {", "mod \" {", "\"esc"]);
+        // Braces inside the literals must not surface as punctuation.
+        let braces = f.tokens.iter().filter(|t| t.text == "{").count();
+        assert_eq!(braces, 0, "string braces leaked into token stream");
+    }
+
+    #[test]
+    fn escaped_quote_char_literal_does_not_desync() {
+        let src = "let q = '\\''; let n = '\\n'; let bs = '\\\\'; x.flag();";
+        let f = scan("x.rs", src);
+        let chars: Vec<&str> = f
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Char)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(chars, ["\\'", "\\n", "\\\\"]);
+        // The trailing call must still tokenize — a desync would swallow it.
+        assert!(f.tokens.iter().any(|t| t.text == "flag"));
+        assert!(!f.tokens.iter().any(|t| t.kind == TokKind::Str));
     }
 
     #[test]

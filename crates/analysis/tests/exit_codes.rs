@@ -109,8 +109,8 @@ fn gated_span_missing_from_source_exits_one() {
     assert_eq!(out.status.code(), Some(1));
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(
-        text.contains("span-name-drift") && text.contains("engine.renamed_away"),
-        "drift finding must name the missing span: {text}"
+        text.contains("span-coverage") && text.contains("engine.renamed_away"),
+        "coverage finding must name the missing span: {text}"
     );
 }
 
@@ -175,7 +175,7 @@ fn usage_errors_exit_two() {
 }
 
 #[test]
-fn list_rules_names_all_six() {
+fn list_rules_names_all_ten() {
     let out = run(&["--list-rules"]);
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout);
@@ -185,10 +185,125 @@ fn list_rules_names_all_six() {
         "float-total-order",
         "no-wallclock-outside-obs",
         "span-name-drift",
+        "span-coverage",
         "hashmap-order-leak",
+        "panic-reachable-serving",
+        "lock-reachable-hot-path",
+        "alloc-on-hot-path",
     ] {
         assert!(text.contains(rule), "--list-rules missing {rule}: {text}");
     }
+}
+
+#[test]
+fn paths_fast_mode_checks_only_the_listed_files() {
+    let fx = Fixture::new("fastmode");
+    // Listed file has a per-file violation; the unlisted file has one
+    // too; the baseline gates a span nobody defines (a workspace-rule
+    // violation fast mode must NOT evaluate).
+    fx.write(
+        "crates/core/src/search/serve.rs",
+        "pub fn serve(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n",
+    );
+    fx.write(
+        "crates/core/src/search/select.rs",
+        "pub fn pick(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n",
+    );
+    fx.write(
+        "results/metrics_baseline.json",
+        r#"{"spans": [{"name": "engine.gone_forever"}]}"#,
+    );
+    let out = run(&[
+        "--root",
+        &root_arg(&fx),
+        "--paths",
+        "crates/core/src/search/serve.rs",
+        "--format",
+        "json",
+    ]);
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "listed violation must still fail"
+    );
+    let json = String::from_utf8_lossy(&out.stdout);
+    let v: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+    let rules: Vec<&str> = v["findings"]
+        .as_array()
+        .unwrap()
+        .iter()
+        .filter_map(|f| f["rule"].as_str())
+        .collect();
+    assert!(rules.contains(&"no-panic-serving"), "{json}");
+    assert!(
+        !json.contains("select.rs"),
+        "unlisted file must not be scanned: {json}"
+    );
+    assert!(
+        !rules.contains(&"span-coverage"),
+        "workspace rules must be skipped in fast mode: {json}"
+    );
+}
+
+#[test]
+fn paths_cannot_combine_with_emit_flags() {
+    let out = run(&["--paths", "src/lib.rs", "--emit-callgraph", "cg.json"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("full workspace scan"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn emit_callgraph_and_registry_write_artifacts() {
+    let fx = Fixture::new("emit");
+    fx.write(
+        "crates/core/src/search/serve.rs",
+        "impl Searcher {\n    pub fn query(&self) -> u32 {\n        obs::span(\"serve.query\");\n        helper()\n    }\n}\nfn helper() -> u32 { 1 }\n",
+    );
+    let dot = fx.root.join("callgraph.dot");
+    let json = fx.root.join("callgraph.json");
+    let reg = fx.root.join("span_registry.json");
+    let out = run(&[
+        "--root",
+        &root_arg(&fx),
+        "--emit-callgraph",
+        &dot.display().to_string(),
+        "--emit-registry",
+        &reg.display().to_string(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let dot_text = fs::read_to_string(&dot).expect("dot written");
+    assert!(dot_text.starts_with("digraph callgraph"), "{dot_text}");
+    assert!(dot_text.contains("Searcher::query"), "{dot_text}");
+    let reg_text = fs::read_to_string(&reg).expect("registry written");
+    let v: serde_json::Value = serde_json::from_str(&reg_text).expect("registry is JSON");
+    assert!(
+        v["names"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .any(|n| n["name"] == "serve.query"),
+        "{reg_text}"
+    );
+    // A non-.dot extension switches to the JSON rendering.
+    let out = run(&[
+        "--root",
+        &root_arg(&fx),
+        "--emit-callgraph",
+        &json.display().to_string(),
+    ]);
+    assert!(out.status.success());
+    let cg: serde_json::Value =
+        serde_json::from_str(&fs::read_to_string(&json).expect("json written"))
+            .expect("call graph is JSON");
+    assert!(cg.get("nodes").is_some() && cg.get("edges").is_some());
 }
 
 #[test]

@@ -1,0 +1,193 @@
+//! Fixture-workspace integration tests for the interprocedural rules,
+//! run through the full `lint()` pipeline (call-graph build included),
+//! not through `check_graph` directly. Each rule gets a positive case
+//! whose witness chain crosses at least two files, a negative case
+//! where the fix makes the finding disappear, and the suite ends with
+//! cycle-termination and byte-identical-output determinism checks.
+
+use analysis::{lint, LintConfig, Workspace};
+
+fn report(files: &[(&str, &str)]) -> analysis::LintReport {
+    lint(&Workspace::from_memory(files, &[]), &LintConfig::default())
+}
+
+fn findings_for<'r>(r: &'r analysis::LintReport, rule: &str) -> Vec<&'r analysis::report::Finding> {
+    r.findings.iter().filter(|f| f.rule == rule).collect()
+}
+
+// --- panic-reachable-serving -------------------------------------------
+
+const SERVE_CALLS_HELPER: (&str, &str) = (
+    "crates/core/src/search/serve.rs",
+    "impl Searcher {\n    pub fn query(&self, q: &str) -> u32 {\n        helper::compute(q.len() as u32)\n    }\n}\n",
+);
+
+#[test]
+fn panic_two_file_chain_reported_through_lint() {
+    let r = report(&[
+        SERVE_CALLS_HELPER,
+        (
+            "crates/core/src/search/helper.rs",
+            "pub fn compute(x: u32) -> u32 {\n    x.checked_add(1).unwrap()\n}\n",
+        ),
+    ]);
+    let found = findings_for(&r, "panic-reachable-serving");
+    assert_eq!(found.len(), 1, "{}", r.to_text());
+    let f = found[0];
+    assert_eq!(f.path, "crates/core/src/search/helper.rs");
+    // The witness chain crosses two files: serve.rs -> helper.rs.
+    assert_eq!(f.chain.len(), 2, "{:?}", f.chain);
+    assert_eq!(f.chain[0].symbol, "Searcher::query");
+    assert_eq!(f.chain[0].path, "crates/core/src/search/serve.rs");
+    assert_eq!(f.chain[1].path, "crates/core/src/search/helper.rs");
+    // All three renderers carry the chain.
+    assert!(r.to_text().contains("call chain: Searcher::query"));
+    assert!(r.to_json().contains("\"chain\""));
+    assert!(r.to_markdown().contains("chain:"));
+}
+
+#[test]
+fn panic_finding_disappears_after_the_fix() {
+    let r = report(&[
+        SERVE_CALLS_HELPER,
+        (
+            "crates/core/src/search/helper.rs",
+            "pub fn compute(x: u32) -> u32 {\n    x.saturating_add(1)\n}\n",
+        ),
+    ]);
+    assert!(
+        findings_for(&r, "panic-reachable-serving").is_empty(),
+        "{}",
+        r.to_text()
+    );
+    assert_eq!(r.deny_count(), 0, "{}", r.to_text());
+}
+
+// --- lock-reachable-hot-path -------------------------------------------
+
+#[test]
+fn lock_two_file_chain_reported_through_lint() {
+    let r = report(&[
+        (
+            "crates/core/src/search/serve.rs",
+            "impl Searcher {\n    pub fn query(&self, q: &str) -> bool {\n        textproc::is_stopword(q)\n    }\n}\n",
+        ),
+        (
+            "crates/textproc/src/lib.rs",
+            "pub fn is_stopword(w: &str) -> bool {\n    SET.get_or_init(build_set).contains(w)\n}\n",
+        ),
+    ]);
+    let found = findings_for(&r, "lock-reachable-hot-path");
+    assert_eq!(found.len(), 1, "{}", r.to_text());
+    assert_eq!(found[0].path, "crates/textproc/src/lib.rs");
+    assert_eq!(found[0].chain.len(), 2, "{:?}", found[0].chain);
+    assert_eq!(found[0].chain[0].symbol, "Searcher::query");
+}
+
+#[test]
+fn lock_finding_disappears_after_the_fix() {
+    let r = report(&[
+        (
+            "crates/core/src/search/serve.rs",
+            "impl Searcher {\n    pub fn query(&self, q: &str) -> bool {\n        textproc::is_stopword(q)\n    }\n}\n",
+        ),
+        (
+            "crates/textproc/src/lib.rs",
+            "pub fn is_stopword(w: &str) -> bool {\n    WORDS.binary_search(&w).is_ok()\n}\n",
+        ),
+    ]);
+    assert!(
+        findings_for(&r, "lock-reachable-hot-path").is_empty(),
+        "{}",
+        r.to_text()
+    );
+}
+
+// --- alloc-on-hot-path -------------------------------------------------
+
+#[test]
+fn alloc_two_file_chain_reported_through_lint() {
+    let r = report(&[
+        (
+            "crates/core/src/search/scratch.rs",
+            "impl QueryScratch {\n    pub fn score_context(&mut self) {\n        kernel::fold(self)\n    }\n}\n",
+        ),
+        (
+            "crates/core/src/search/kernel.rs",
+            "pub fn fold(s: &mut QueryScratch) {\n    let v: Vec<u32> = s.ids.iter().copied().collect();\n    s.acc = v.len() as u32;\n}\n",
+        ),
+    ]);
+    let found = findings_for(&r, "alloc-on-hot-path");
+    assert_eq!(found.len(), 1, "{}", r.to_text());
+    assert_eq!(found[0].path, "crates/core/src/search/kernel.rs");
+    assert_eq!(found[0].chain[0].symbol, "QueryScratch::score_context");
+    assert!(found[0].message.contains("QueryScratch"));
+}
+
+#[test]
+fn alloc_finding_disappears_after_the_fix() {
+    let r = report(&[
+        (
+            "crates/core/src/search/scratch.rs",
+            "impl QueryScratch {\n    pub fn score_context(&mut self) {\n        kernel::fold(self)\n    }\n}\n",
+        ),
+        (
+            "crates/core/src/search/kernel.rs",
+            "pub fn fold(s: &mut QueryScratch) {\n    s.acc = s.ids.iter().copied().sum();\n}\n",
+        ),
+    ]);
+    assert!(
+        findings_for(&r, "alloc-on-hot-path").is_empty(),
+        "{}",
+        r.to_text()
+    );
+}
+
+// --- cycle termination and determinism ---------------------------------
+
+#[test]
+fn recursive_call_cycles_terminate_with_a_witness() {
+    let r = report(&[
+        SERVE_CALLS_HELPER,
+        (
+            "crates/core/src/search/helper.rs",
+            "pub fn compute(d: u32) -> u32 { other(d) }\npub fn other(d: u32) -> u32 {\n    if d > 0 { return compute(d - 1); }\n    FALLBACK.expect(\"exhausted\")\n}\n",
+        ),
+    ]);
+    let found = findings_for(&r, "panic-reachable-serving");
+    assert_eq!(found.len(), 1, "{}", r.to_text());
+    let syms: Vec<&str> = found[0].chain.iter().map(|c| c.symbol.as_str()).collect();
+    assert_eq!(syms, ["Searcher::query", "compute", "other"]);
+}
+
+#[test]
+fn lint_json_is_byte_identical_across_runs() {
+    let files: &[(&str, &str)] = &[
+        SERVE_CALLS_HELPER,
+        (
+            "crates/core/src/search/helper.rs",
+            "pub fn compute(x: u32) -> u32 {\n    let label = format!(\"q{x}\");\n    GLOBAL.lock().insert(label).unwrap()\n}\n",
+        ),
+        (
+            "crates/textproc/src/lib.rs",
+            "pub fn tokenize(s: &str) -> Vec<String> {\n    s.split(' ').map(str::to_string).collect()\n}\n",
+        ),
+    ];
+    let a = lint(&Workspace::from_memory(files, &[]), &LintConfig::default()).to_json();
+    let b = lint(&Workspace::from_memory(files, &[]), &LintConfig::default()).to_json();
+    assert_eq!(a, b, "report JSON must be deterministic");
+    assert!(a.contains("panic-reachable-serving"), "{a}");
+    assert!(a.contains("lock-reachable-hot-path"), "{a}");
+    let g1 = analysis::callgraph::CallGraph::build(&Workspace::from_memory(files, &[]));
+    let g2 = analysis::callgraph::CallGraph::build(&Workspace::from_memory(files, &[]));
+    assert_eq!(
+        g1.to_json(),
+        g2.to_json(),
+        "call-graph JSON must be deterministic"
+    );
+    assert_eq!(
+        g1.to_dot(),
+        g2.to_dot(),
+        "call-graph DOT must be deterministic"
+    );
+}

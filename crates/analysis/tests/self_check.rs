@@ -5,6 +5,7 @@
 //! rule over-approximates on real code, or someone lands a violation,
 //! this test (and the CI `lint` job) fails.
 
+use analysis::rules::span_coverage;
 use analysis::{lint, LintConfig, Workspace};
 use std::path::{Path, PathBuf};
 
@@ -63,6 +64,23 @@ fn suppressions_are_few_and_justified() {
             s.reason
         );
     }
+}
+
+#[test]
+fn checked_in_span_registry_is_current() {
+    // CI archives `results/span_registry.json` as the instrumentation
+    // surface of record; the checked-in copy must match what the
+    // scanner extracts from source right now. Regenerate with
+    //   cargo run -p analysis -- --emit-registry results/span_registry.json
+    let root = workspace_root();
+    let ws = Workspace::from_root(&root).expect("scan workspace");
+    let fresh = span_coverage::registry_json(&ws);
+    let checked_in = std::fs::read_to_string(root.join("results/span_registry.json"))
+        .expect("results/span_registry.json is checked in");
+    assert_eq!(
+        fresh, checked_in,
+        "results/span_registry.json is stale; regenerate it with --emit-registry"
+    );
 }
 
 #[test]

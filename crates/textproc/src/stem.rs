@@ -30,7 +30,10 @@ pub fn porter_stem(word: &str) -> String {
     s.step3();
     s.step4();
     s.step5();
-    String::from_utf8(s.b[..=s.k].to_vec()).expect("ascii in, ascii out")
+    // The entry guard verified every byte is ascii-lowercase and the
+    // algorithm only ever writes ascii, so this is always valid UTF-8;
+    // lossy keeps the serve path panic-free regardless.
+    String::from_utf8_lossy(&s.b[..=s.k]).into_owned()
 }
 
 struct Stemmer {

@@ -3,10 +3,14 @@
 //! A compact standard list (the classic van Rijsbergen / SMART-style core)
 //! plus a handful of publication boilerplate words ("figure", "table",
 //! "et", "al") that carry no topical signal in scientific full text.
+//!
+//! The list is kept sorted so membership is a `binary_search` over the
+//! static slice — no lazily-initialized `HashSet` means no `OnceLock`
+//! on the query analysis path, which `lock-reachable-hot-path` would
+//! otherwise flag (the first query after a cold start should not pay a
+//! one-time lock + build either).
 
-use std::collections::HashSet;
-use std::sync::OnceLock;
-
+/// Sorted stopword list (core list merged with publication boilerplate).
 static STOPWORDS: &[&str] = &[
     "a",
     "about",
@@ -14,9 +18,11 @@ static STOPWORDS: &[&str] = &[
     "after",
     "again",
     "against",
+    "al",
     "all",
     "also",
     "am",
+    "among",
     "an",
     "and",
     "any",
@@ -43,7 +49,12 @@ static STOPWORDS: &[&str] = &[
     "down",
     "during",
     "each",
+    "eg",
+    "et",
+    "etc",
     "few",
+    "fig",
+    "figure",
     "for",
     "from",
     "further",
@@ -60,7 +71,9 @@ static STOPWORDS: &[&str] = &[
     "himself",
     "his",
     "how",
+    "however",
     "i",
+    "ie",
     "if",
     "in",
     "into",
@@ -71,6 +84,8 @@ static STOPWORDS: &[&str] = &[
     "let",
     "may",
     "me",
+    "method",
+    "methods",
     "might",
     "more",
     "most",
@@ -94,12 +109,20 @@ static STOPWORDS: &[&str] = &[
     "out",
     "over",
     "own",
+    "paper",
+    "respectively",
+    "result",
+    "results",
     "same",
     "she",
     "should",
+    "show",
+    "shown",
+    "shows",
     "so",
     "some",
     "such",
+    "table",
     "than",
     "that",
     "the",
@@ -109,11 +132,13 @@ static STOPWORDS: &[&str] = &[
     "themselves",
     "then",
     "there",
+    "therefore",
     "these",
     "they",
     "this",
     "those",
     "through",
+    "thus",
     "to",
     "too",
     "under",
@@ -121,7 +146,11 @@ static STOPWORDS: &[&str] = &[
     "up",
     "upon",
     "us",
+    "use",
+    "used",
+    "using",
     "very",
+    "via",
     "was",
     "we",
     "were",
@@ -135,54 +164,23 @@ static STOPWORDS: &[&str] = &[
     "why",
     "will",
     "with",
+    "within",
     "would",
     "you",
     "your",
     "yours",
     "yourself",
     "yourselves",
-    // publication boilerplate
-    "figure",
-    "fig",
-    "table",
-    "et",
-    "al",
-    "etc",
-    "ie",
-    "eg",
-    "paper",
-    "using",
-    "used",
-    "use",
-    "show",
-    "shown",
-    "shows",
-    "result",
-    "results",
-    "method",
-    "methods",
-    "however",
-    "therefore",
-    "thus",
-    "within",
-    "among",
-    "via",
-    "respectively",
 ];
-
-fn set() -> &'static HashSet<&'static str> {
-    static SET: OnceLock<HashSet<&'static str>> = OnceLock::new();
-    SET.get_or_init(|| STOPWORDS.iter().copied().collect())
-}
 
 /// Is `word` (already lowercased) a stopword?
 pub fn is_stopword(word: &str) -> bool {
-    set().contains(word)
+    STOPWORDS.binary_search(&word).is_ok()
 }
 
 /// Number of stopwords in the list (exposed for tests / diagnostics).
 pub fn stopword_count() -> usize {
-    set().len()
+    STOPWORDS.len()
 }
 
 #[cfg(test)]
@@ -197,6 +195,13 @@ mod tests {
     }
 
     #[test]
+    fn boilerplate_words_are_stopwords() {
+        for w in ["figure", "et", "al", "respectively", "via"] {
+            assert!(is_stopword(w), "{w} should be a stopword");
+        }
+    }
+
+    #[test]
     fn content_words_are_not() {
         for w in ["gene", "kinase", "transcription", "apoptosis"] {
             assert!(!is_stopword(w), "{w} should not be a stopword");
@@ -204,7 +209,10 @@ mod tests {
     }
 
     #[test]
-    fn no_duplicates_in_list() {
-        assert_eq!(stopword_count(), STOPWORDS.len());
+    fn list_is_sorted_and_deduped() {
+        // binary_search correctness depends on this invariant.
+        for pair in STOPWORDS.windows(2) {
+            assert!(pair[0] < pair[1], "{:?} !< {:?}", pair[0], pair[1]);
+        }
     }
 }

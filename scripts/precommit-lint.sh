@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Fast pre-commit lint: run the per-file token rules on the .rs files
+# changed relative to HEAD. Workspace-scoped rules (call-graph
+# reachability, span registry) need a full scan and stay in CI; this
+# catches the per-file violations before they reach a PR.
+#
+# Install as a hook with:
+#   ln -s ../../scripts/precommit-lint.sh .git/hooks/pre-commit
+set -euo pipefail
+cd "$(git rev-parse --show-toplevel)"
+
+changed=$(git diff --name-only --diff-filter=ACMR HEAD -- '*.rs' | paste -sd, -)
+if [ -z "$changed" ]; then
+    echo "precommit-lint: no changed .rs files"
+    exit 0
+fi
+
+exec cargo run -q -p analysis -- --paths "$changed" --deny-warnings
