@@ -66,8 +66,10 @@ pub struct Fact {
 }
 
 /// Serve entrypoints for the panic / lock rules: the public query
-/// surface plus the scratch-pool kernel it drives. Missing entries
-/// (fixture workspaces) simply contribute no roots.
+/// surface, the scratch-pool kernel it drives, and the HTTP request
+/// handlers of `crates/serve` (which run on worker threads where a
+/// panic would tear down the connection mid-response). Missing
+/// entries (fixture workspaces) simply contribute no roots.
 pub const SERVE_ROOTS: &[(&str, &str)] = &[
     ("crates/core/src/search/serve.rs", "query"),
     ("crates/core/src/search/serve.rs", "query_with_stats"),
@@ -80,6 +82,11 @@ pub const SERVE_ROOTS: &[(&str, &str)] = &[
     ("crates/core/src/search/scratch.rs", "gather_candidates"),
     ("crates/core/src/search/scratch.rs", "score_context"),
     ("crates/core/src/search/scratch.rs", "ranked"),
+    ("crates/serve/src/handler.rs", "handle_request"),
+    ("crates/serve/src/handler.rs", "handle_search"),
+    ("crates/serve/src/handler.rs", "handle_healthz"),
+    ("crates/serve/src/handler.rs", "handle_metrics"),
+    ("crates/serve/src/handler.rs", "handle_quality"),
 ];
 
 /// Roots for `alloc-on-hot-path`: only the per-candidate kernel. The

@@ -21,6 +21,8 @@ pub const HOT_PATH_FILES: &[&str] = &[
     "crates/core/src/search/exec.rs",
     "crates/core/src/search/select.rs",
     "crates/core/src/search/relevancy.rs",
+    "crates/serve/src/http.rs",
+    "crates/serve/src/handler.rs",
 ];
 
 const BANNED_TYPES: &[&str] = &[

@@ -22,6 +22,8 @@ pub const SERVING_FILES: &[&str] = &[
     "crates/core/src/search/exec.rs",
     "crates/core/src/search/select.rs",
     "crates/core/src/persist.rs",
+    "crates/serve/src/http.rs",
+    "crates/serve/src/handler.rs",
 ];
 
 const PANIC_MACROS: &[&str] = &[

@@ -36,6 +36,26 @@
 //!            [--quality-json FILE]   quality report JSON
 //!            [--quality-md FILE]     quality report markdown
 //!            [--fail-on-drift]       exit 1 on a critical quality drift
+//!
+//! Network mode (drive a running `litsearch serve` over the wire):
+//!            [--target http://HOST:PORT]  POST /v1/search instead of
+//!                                    calling the Searcher in-process
+//!            [--fail-on-shed]        exit 1 if the server shed (429)
+//!                                    or rejected (503) anything
+//!
+//! Overload comparison (deterministic queueing model, no sockets):
+//!            [--overload-sim]        compare shedding vs unbounded
+//!                                    queueing at --overload-factor ×
+//!                                    capacity; --fail-on-violation
+//!                                    fails unless shedding keeps p99
+//!                                    inside --deadline-ms and the
+//!                                    unbounded control does not
+//!            [--deadline-ms MS]      modeled deadline      (default 50)
+//!            [--overload-factor F]   arrival overload      (default 2.0)
+//!            [--sim-workers N]       modeled workers       (default 4)
+//!            [--sim-queue-depth N]   modeled queue bound   (default 64)
+//!            [--sim-requests N]      modeled arrivals      (default 4000)
+//!            [--overload-json FILE]  verdict JSON
 //! ```
 //!
 //! Exit code 0 on success, 1 on a hard SLO violation (only with
@@ -43,6 +63,7 @@
 //! with `--fail-on-drift`), 2 on usage/IO errors.
 
 use bench::load::{LoadConfig, LoadHarness, LoopMode, QualityLoadConfig};
+use bench::netload::{self, OverloadConfig};
 use bench::setup::{ExpConfig, Setup};
 use context_search::persist::load_snapshot;
 use context_search::{ContextSetKind, EngineConfig, ScoreFunction, Searcher};
@@ -80,6 +101,12 @@ struct Args {
     quality_md: Option<String>,
     write_quality_baseline: Option<String>,
     fail_on_drift: bool,
+    target: Option<String>,
+    fail_on_shed: bool,
+    slo_latency_ns: u64,
+    overload_sim: bool,
+    overload: OverloadConfig,
+    overload_json: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -107,6 +134,12 @@ fn parse_args() -> Result<Args, String> {
         quality_md: None,
         write_quality_baseline: None,
         fail_on_drift: false,
+        target: None,
+        fail_on_shed: false,
+        slo_latency_ns: 50 * 1_000_000,
+        overload_sim: false,
+        overload: OverloadConfig::default(),
+        overload_json: None,
     };
     // Quality knobs accumulate here; the config gets them only when
     // `--quality` (or `--quality-baseline`) actually enables sampling.
@@ -201,7 +234,8 @@ fn parse_args() -> Result<Args, String> {
             "--slo-latency-ms" => {
                 i += 1;
                 let ms: u64 = parse(&next(&argv, i, "--slo-latency-ms")?)?;
-                a.config.slos = bench::load::default_serve_slos(ms * 1_000_000);
+                a.slo_latency_ns = ms * 1_000_000;
+                a.config.slos = bench::load::default_serve_slos(a.slo_latency_ns);
             }
             "--error-every" => {
                 i += 1;
@@ -259,6 +293,37 @@ fn parse_args() -> Result<Args, String> {
                 a.quality_md = Some(next(&argv, i, "--quality-md")?);
             }
             "--fail-on-drift" => a.fail_on_drift = true,
+            "--target" => {
+                i += 1;
+                a.target = Some(next(&argv, i, "--target")?);
+            }
+            "--fail-on-shed" => a.fail_on_shed = true,
+            "--overload-sim" => a.overload_sim = true,
+            "--deadline-ms" => {
+                i += 1;
+                let ms: u64 = parse(&next(&argv, i, "--deadline-ms")?)?;
+                a.overload.deadline_ns = ms * 1_000_000;
+            }
+            "--overload-factor" => {
+                i += 1;
+                a.overload.overload_factor = parse(&next(&argv, i, "--overload-factor")?)?;
+            }
+            "--sim-workers" => {
+                i += 1;
+                a.overload.workers = parse(&next(&argv, i, "--sim-workers")?)?;
+            }
+            "--sim-queue-depth" => {
+                i += 1;
+                a.overload.queue_depth = parse(&next(&argv, i, "--sim-queue-depth")?)?;
+            }
+            "--sim-requests" => {
+                i += 1;
+                a.overload.n_requests = parse(&next(&argv, i, "--sim-requests")?)?;
+            }
+            "--overload-json" => {
+                i += 1;
+                a.overload_json = Some(next(&argv, i, "--overload-json")?);
+            }
             flag => return Err(format!("unknown flag {flag}")),
         }
         i += 1;
@@ -326,6 +391,12 @@ fn workload(a: &Args) -> Result<(Searcher, Vec<String>), String> {
 
 fn run() -> Result<bool, String> {
     let args = parse_args()?;
+    if args.overload_sim {
+        return run_overload_sim(&args);
+    }
+    if args.target.is_some() {
+        return run_network_mode(&args);
+    }
     let (searcher, queries) = workload(&args)?;
     if queries.is_empty() {
         return Err("workload produced no queries".to_string());
@@ -397,6 +468,112 @@ fn run() -> Result<bool, String> {
         }
     }
     Ok(ok)
+}
+
+/// `--target` mode: drive a live server over the wire with the PR 5
+/// worker model and gate on the network SLOs.
+fn run_network_mode(args: &Args) -> Result<bool, String> {
+    let target = args.target.as_deref().unwrap_or_default();
+    let (_searcher, queries) = workload(args)?;
+    if queries.is_empty() {
+        return Err("workload produced no queries".to_string());
+    }
+    let mut config = args.config.clone();
+    // Wire latencies are wall-clock by definition; the sim path stays
+    // available for the in-process harness only.
+    config.sim = false;
+    config.capture_traces = false;
+    config.slos = netload::network_serve_slos(args.slo_latency_ns);
+    // Shadow scoring runs inside the server (`litsearch serve
+    // --quality N`), not in the client.
+    config.quality = None;
+    eprintln!(
+        "driving {target}: {} loop, {} workers × {} queries…",
+        if args.open { "open" } else { "closed" },
+        config.threads,
+        config.queries_per_thread,
+    );
+    let harness = LoadHarness::new(config);
+    let net = netload::run_network(&harness, target, &queries)?;
+
+    if !args.quiet {
+        print!("{}", net.render_dashboard());
+    }
+    if let Some(path) = &args.out {
+        write_file(path, &net.to_json())?;
+        eprintln!("report: {path}");
+    }
+    if let Some(path) = &args.slo_json {
+        write_file(path, &net.report.slo.to_json())?;
+        eprintln!("slo report: {path}");
+    }
+    if let Some(path) = &args.slo_md {
+        write_file(path, &net.report.slo.to_markdown())?;
+        eprintln!("slo report: {path}");
+    }
+    if let Some(path) = &args.slow_jsonl {
+        write_file(path, &harness.slowlog().dump_jsonl())?;
+        eprintln!("slow-query log: {path}");
+    }
+    let mut ok = true;
+    if net.report.has_hard_violation() {
+        eprintln!("SLO HARD VIOLATION (see report)");
+        if args.fail_on_violation {
+            ok = false;
+        }
+    }
+    if net.shed + net.rejected > 0 {
+        eprintln!(
+            "server shed load at this rate: {} × 429, {} × 503",
+            net.shed, net.rejected
+        );
+        if args.fail_on_shed {
+            ok = false;
+        }
+    }
+    if net.transport_errors > 0 {
+        eprintln!(
+            "{} transport errors (counted as SLO errors)",
+            net.transport_errors
+        );
+    }
+    Ok(ok)
+}
+
+/// `--overload-sim` mode: the deterministic shedding-vs-unbounded
+/// comparison over real per-query service costs.
+fn run_overload_sim(args: &Args) -> Result<bool, String> {
+    let (searcher, queries) = workload(args)?;
+    if queries.is_empty() {
+        return Err("workload produced no queries".to_string());
+    }
+    let costs = netload::service_costs(
+        &searcher,
+        &queries,
+        args.config.kind,
+        args.config.function,
+        args.config.limit,
+    );
+    if costs.is_empty() {
+        return Err("no query produced a service-cost estimate".to_string());
+    }
+    let verdict = netload::overload_compare(&costs, &args.overload);
+    let json = serde_json::to_string_pretty(&verdict).map_err(|e| e.to_string())?;
+    if !args.quiet {
+        println!("{json}");
+    }
+    if let Some(path) = &args.overload_json {
+        write_file(path, &json)?;
+        eprintln!("overload verdict: {path}");
+    }
+    let pass = matches!(verdict.get("pass"), Some(serde::Value::Bool(true)));
+    if !pass {
+        eprintln!(
+            "OVERLOAD VERDICT FAILED: shedding did not beat unbounded queueing at {}× load",
+            args.overload.overload_factor
+        );
+    }
+    Ok(pass || !args.fail_on_violation)
 }
 
 fn write_file(path: &str, contents: &str) -> Result<(), String> {

@@ -12,9 +12,14 @@
 pub mod diff;
 pub mod experiments;
 pub mod load;
+pub mod netload;
 pub mod setup;
 
 pub use diff::{diff_snapshots, DiffReport, DiffThresholds, SpanDiff, SpanVerdict};
 pub use experiments::*;
 pub use load::{default_serve_slos, sim_cost_ns, LoadConfig, LoadHarness, LoadReport, LoopMode};
+pub use netload::{
+    network_serve_slos, overload_compare, run_network, service_costs, simulate_overload,
+    NetLoadReport, OverloadConfig, OverloadOutcome,
+};
 pub use setup::{ExpConfig, Setup};

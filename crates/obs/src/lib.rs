@@ -457,6 +457,24 @@ pub fn quality_tracker() -> Option<Arc<QualityTracker>> {
     GLOBAL.quality_tracker()
 }
 
+/// Snapshot the global registry as a JSON string (the `/metrics`
+/// payload of the serving frontend; handlers call through this free
+/// function so the lock-policed handler files never hold a guard).
+pub fn snapshot_json() -> String {
+    GLOBAL.snapshot().to_json()
+}
+
+/// The attached quality aggregator's run-level summary as JSON (the
+/// `/quality` payload), or `None` when shadow sampling is off.
+pub fn quality_summary_json() -> Option<String> {
+    let aggregator = GLOBAL.quality_aggregator()?;
+    let report = QualityReport {
+        summary: aggregator.summary(),
+        drift: None,
+    };
+    Some(report.to_json())
+}
+
 /// Snapshot the global registry and write pretty JSON to `path`,
 /// creating parent directories as needed.
 pub fn write_json(path: &std::path::Path) -> std::io::Result<()> {

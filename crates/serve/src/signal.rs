@@ -1,0 +1,36 @@
+//! Minimal async-signal-safe shutdown flag.
+//!
+//! The workspace is offline-vendored (no `libc`/`signal-hook` crates),
+//! so this binds the C library's `signal(2)` directly — it is linked
+//! into every Rust binary on the platforms we run on. The handler does
+//! the only async-signal-safe thing possible: set an atomic flag the
+//! serve loop polls to initiate graceful drain.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static TERM_REQUESTED: AtomicBool = AtomicBool::new(false);
+
+const SIGINT: i32 = 2;
+const SIGTERM: i32 = 15;
+
+extern "C" fn note_term(_signum: i32) {
+    TERM_REQUESTED.store(true, Ordering::SeqCst);
+}
+
+extern "C" {
+    fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+}
+
+/// Route SIGTERM and SIGINT to the drain flag. Call once at startup.
+pub fn install_term_handler() {
+    unsafe {
+        signal(SIGTERM, note_term);
+        signal(SIGINT, note_term);
+    }
+}
+
+/// Whether a termination signal has arrived since
+/// [`install_term_handler`].
+pub fn term_requested() -> bool {
+    TERM_REQUESTED.load(Ordering::SeqCst)
+}

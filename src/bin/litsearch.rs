@@ -68,6 +68,7 @@ fn main() -> ExitCode {
         "trace" => cmd_trace(&flags),
         "top" => cmd_top(&flags),
         "quality" => cmd_quality(&flags),
+        "serve" => cmd_serve(&flags),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -332,6 +333,145 @@ fn cmd_quality(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
+/// The serving searcher: a warm snapshot from disk, or a tiny
+/// in-process demo build when no `--snapshot` is given.
+fn serve_searcher(flags: &Flags, seed: u64) -> Result<Searcher, String> {
+    if let Some(dir) = flags.get("snapshot") {
+        eprintln!("loading snapshot from {dir}…");
+        let snapshot =
+            load_snapshot(Path::new(dir), EngineConfig::default()).map_err(|e| e.to_string())?;
+        Ok(snapshot.searcher())
+    } else {
+        eprintln!("no --snapshot: preparing a tiny in-process demo snapshot…");
+        let snapshot = litsearch::demo::snapshot(litsearch::demo::Scale::Tiny, seed);
+        Ok(snapshot.searcher())
+    }
+}
+
+/// `litsearch serve`: put the lock-free [`Searcher`] behind the
+/// hand-rolled HTTP frontend — bounded admission queue, per-request
+/// deadlines with EWMA load shedding (429 + Retry-After), and graceful
+/// drain on SIGTERM/SIGINT (stop accepting, finish in-flight, flush
+/// obs snapshots). Endpoints: POST /v1/search, GET /healthz,
+/// GET /metrics, GET /quality.
+fn cmd_serve(flags: &Flags) -> Result<(), String> {
+    use std::io::Write as _;
+    use std::sync::Arc;
+
+    let seed = flags.get_usize("seed", 2007)? as u64;
+    let host = flags.get("addr").unwrap_or("127.0.0.1").to_string();
+    let port = flags.get_usize("port", 8080)?;
+    let workers = flags.get_usize("workers", 4)?.max(1);
+    let queue_depth = flags.get_usize("queue-depth", 64)?;
+    let deadline_ms = flags.get_usize("deadline-ms", 50)? as u64;
+    let window_secs = flags.get_usize("window", 60)? as u64;
+    let limit = flags.get_usize("limit", 10)?;
+    let slow_threshold_ns = flags.get_usize("slow-threshold-ms", 50)? as u64 * 1_000_000;
+    let quality_every = flags.get_usize("quality", 0)? as u64;
+    let kind = match flags.get("kind").unwrap_or("pattern") {
+        "text" => litsearch::context_search::ContextSetKind::TextBased,
+        "pattern" => litsearch::context_search::ContextSetKind::PatternBased,
+        other => return Err(format!("--kind must be text or pattern, got {other:?}")),
+    };
+    let function = match flags.get("function") {
+        Some(_) => parse_function(flags)?,
+        None => ScoreFunction::Pattern,
+    };
+
+    let searcher = serve_searcher(flags, seed)?;
+
+    // Serving observability: spans stream into a rolling recorder so
+    // /metrics and `litsearch top`-style tooling see live windows, and
+    // a slow-request leaderboard catches tail outliers.
+    obs::enable();
+    let clock: Arc<dyn obs::Clock> = Arc::new(obs::MonotonicClock::new());
+    let rolling = Arc::new(obs::RollingRecorder::new(
+        obs::RollingConfig {
+            bucket_secs: 1,
+            window_secs: window_secs.max(60),
+            shards: workers,
+        },
+        Arc::clone(&clock),
+    ));
+    obs::attach_rolling(Arc::clone(&rolling));
+    let slowlog = Arc::new(obs::SlowQueryLog::new(
+        slow_threshold_ns,
+        flags.get_usize("slow-capacity", 10)?,
+    ));
+    obs::attach_slow_log(Arc::clone(&slowlog));
+    let shadow = if quality_every > 0 {
+        let aggregator = Arc::new(obs::QualityAggregator::new(Arc::clone(&rolling), 10));
+        obs::attach_quality(Arc::clone(&aggregator));
+        Some(Arc::new(litsearch::context_search::QualityShadow::spawn(
+            searcher.clone(),
+            litsearch::context_search::ShadowConfig {
+                sample_every: quality_every,
+                kind,
+                limit,
+                ..Default::default()
+            },
+            aggregator,
+        )))
+    } else {
+        None
+    };
+
+    let config = serve::ServerConfig {
+        addr: format!("{host}:{port}"),
+        workers,
+        queue_depth,
+        deadline_ns: deadline_ms * 1_000_000,
+        shed: !flags.get_bool("no-shed"),
+        defaults: serve::SearchDefaults {
+            kind,
+            function,
+            limit,
+        },
+        keep_alive_idle_ns: 5_000_000_000,
+        shadow: shadow.clone(),
+    };
+    let handle = serve::start_with_clock(searcher, config, clock)
+        .map_err(|e| format!("cannot start server on {host}:{port}: {e}"))?;
+    let addr = handle.local_addr();
+    println!("listening on http://{addr}");
+    let _ = std::io::stdout().flush();
+    if let Some(path) = flags.get("port-file") {
+        std::fs::write(path, addr.port().to_string())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+    eprintln!(
+        "{workers} workers, queue depth {}, deadline {} ms, shedding {} — SIGTERM/SIGINT drains",
+        if queue_depth == 0 {
+            "unbounded".to_string()
+        } else {
+            queue_depth.to_string()
+        },
+        deadline_ms,
+        if flags.get_bool("no-shed") {
+            "off"
+        } else {
+            "on"
+        },
+    );
+
+    serve::signal::install_term_handler();
+    while !serve::signal::term_requested() {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    eprintln!("signal received: draining (stop accepting, finish in-flight)…");
+    let summary = handle.await_drained();
+    if let Some(shadow) = &shadow {
+        shadow.finish();
+    }
+    eprintln!("drained: {}", summary.render());
+    if let Some(path) = flags.get("slow-jsonl") {
+        std::fs::write(path, slowlog.dump_jsonl())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("slow-request log: {path}");
+    }
+    Ok(())
+}
+
 const USAGE: &str = "\
 litsearch — context-based literature search (ICDE 2007 reproduction)
 
@@ -352,6 +492,11 @@ USAGE:
   litsearch quality  [--snapshot DIR] [--threads N] [--queries N] [--sample-every N]
                      [--baseline PATH] [--write-baseline PATH] [--report json|md]
                      [--out PATH] [--fail-on-drift]
+  litsearch serve    [--snapshot DIR] [--addr HOST] [--port P] [--workers N]
+                     [--queue-depth D] [--deadline-ms T] [--no-shed]
+                     [--kind text|pattern] [--function citation|text|pattern]
+                     [--limit N] [--window SECS] [--slow-threshold-ms MS]
+                     [--quality N] [--port-file PATH] [--slow-jsonl PATH]
   litsearch help
 
 `prepare` runs the whole offline phase — context sets, pattern mining,
@@ -389,7 +534,22 @@ winning-context agreement, score margins and per-context score
 distributions. `--baseline PATH` judges the run against a checked-in
 baseline (warn/critical drift bands); `--fail-on-drift` turns a
 critical verdict into a nonzero exit; `--write-baseline PATH` derives
-a fresh baseline from this run.";
+a fresh baseline from this run.
+
+`serve` puts the snapshot behind the hand-rolled HTTP/1.1 frontend:
+POST /v1/search (JSON body: query, kind, function, limit — response
+bytes identical to the in-process Searcher), GET /healthz, GET
+/metrics, GET /quality. An acceptor thread feeds a bounded admission
+queue (--queue-depth, 0 = unbounded); requests carry a deadline from
+enqueue (--deadline-ms, 0 = off) and are shed with 429 + Retry-After
+when the remaining budget is below the EWMA-estimated service cost
+(--no-shed disables shedding for control runs; a full queue rejects
+with 503 at the door). --port 0 binds an ephemeral port (written to
+--port-file for scripts); SIGTERM/SIGINT triggers a graceful drain —
+stop accepting, finish every admitted request, then flush metrics
+(--metrics PATH) and the slow-request log (--slow-jsonl PATH).
+--quality N shadow-scores one of every N served queries so /quality
+reports live ranking-quality aggregates.";
 
 /// Minimal `--flag value` parser (no external dependencies).
 struct Flags {
@@ -397,7 +557,7 @@ struct Flags {
 }
 
 /// Flags that take no value (presence means `true`).
-const BOOL_FLAGS: &[&str] = &["once", "json", "sim", "quiet", "fail-on-drift"];
+const BOOL_FLAGS: &[&str] = &["once", "json", "sim", "quiet", "fail-on-drift", "no-shed"];
 
 impl Flags {
     fn parse(args: &[String]) -> Result<Self, String> {

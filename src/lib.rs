@@ -12,6 +12,7 @@ pub use corpus;
 pub use eval;
 pub use ontology;
 pub use patterns;
+pub use serve;
 pub use textproc;
 
 /// Convenience builders for a ready-to-search demo setup.
